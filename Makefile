@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/office_workload.exe
+	dune exec examples/crash_recovery.exe
+	dune exec examples/cleaner_tuning.exe
+	dune exec examples/nvram_buffer.exe
+
+verify:
+	dune build @all
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
+
+.PHONY: all test bench bench-quick micro examples verify clean
