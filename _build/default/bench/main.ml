@@ -1,0 +1,823 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Rosenblum & Ousterhout, SOSP 1991).
+
+   Usage:
+     dune exec bench/main.exe            # everything except `micro`
+     dune exec bench/main.exe -- fig4 table2 ...
+     dune exec bench/main.exe -- quick   # reduced sweeps for smoke runs
+     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks
+
+   Absolute numbers come from the calibrated disk/CPU models (Wren IV +
+   Sun-4/260); the shapes are what reproduce the paper. *)
+
+module Table = Lfs_util.Table
+module Plot = Lfs_util.Plot
+module Histogram = Lfs_util.Histogram
+module Sim = Lfs_sim.Simulator
+module Access = Lfs_sim.Access
+module Csim = Lfs_sim.Config_sim
+module W = Lfs_workload
+
+let quick = ref false
+
+let header title paper =
+  Printf.printf "\n==== %s ====\n" title;
+  Printf.printf "Paper: %s\n\n" paper
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: analytic write cost vs u                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header "Figure 3 - write cost as a function of u (analytic)"
+    "LFS curve 2/(1-u); FFS today ~10; FFS improved ~4; LFS beats FFS \
+     today below u=0.8 and improved FFS below u=0.5";
+  let series = Lfs_sim.Write_cost.series ~points:20 () in
+  let flat v = Array.map (fun (u, _) -> (u, v)) series in
+  Plot.print ~y_max:14.0 ~x_label:"fraction alive in segment cleaned (u)"
+    ~title:"write cost"
+    [
+      { Plot.label = "LFS (2/(1-u))"; points = series };
+      { Plot.label = "FFS today"; points = flat Lfs_sim.Write_cost.ffs_today };
+      { Plot.label = "FFS improved"; points = flat Lfs_sim.Write_cost.ffs_improved };
+    ];
+  let crossover target =
+    match Array.find_opt (fun (_, c) -> c > target) series with
+    | Some (u, _) -> u
+    | None -> 1.0
+  in
+  Printf.printf
+    "Crossovers: LFS beats FFS-today below u=%.2f, FFS-improved below u=%.2f\n"
+    (crossover Lfs_sim.Write_cost.ffs_today)
+    (crossover Lfs_sim.Write_cost.ffs_improved)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4-7: the cleaning-policy simulator                           *)
+(* ------------------------------------------------------------------ *)
+
+let sim_base () =
+  if !quick then
+    { Sim.default_params with warmup_writes = 600_000; measured_writes = 200_000 }
+  else Sim.default_params
+
+let greedy_in = { Sim.selection = Csim.Greedy; grouping = Csim.In_order }
+let greedy_age = { Sim.selection = Csim.Greedy; grouping = Csim.Age_sort }
+let cb_age = { Sim.selection = Csim.Cost_benefit; grouping = Csim.Age_sort }
+
+let sweep params =
+  let points = if !quick then 5 else 8 in
+  Sim.sweep_utilization ~points ~lo:0.15 ~hi:0.9 params
+
+let cost_points results =
+  Array.of_list (List.map (fun (u, r) -> (u, r.Sim.write_cost)) results)
+
+let fig4 () =
+  header
+    "Figure 4 - simulated write cost vs disk capacity utilisation \
+     (greedy cleaner)"
+    "LFS uniform ~5.5 at 75%; hot-and-cold (greedy+age-sort) is WORSE \
+     than uniform - locality hurts the greedy policy";
+  let base = sim_base () in
+  let uniform = sweep { base with pattern = Access.Uniform; policy = greedy_in } in
+  let hotcold =
+    sweep { base with pattern = Access.default_hot_cold; policy = greedy_age }
+  in
+  let novar =
+    Array.init 16 (fun i ->
+        let u = 0.9 *. float_of_int i /. 15.0 in
+        (u, Lfs_sim.Write_cost.lfs ~u))
+  in
+  Plot.print ~y_max:14.0 ~x_label:"disk capacity utilisation"
+    ~title:"write cost (simulator)"
+    [
+      { Plot.label = "no variance (2/(1-u))"; points = novar };
+      { Plot.label = "LFS uniform (greedy)"; points = cost_points uniform };
+      { Plot.label = "LFS hot-and-cold (greedy+age)"; points = cost_points hotcold };
+      { Plot.label = "FFS today"; points = [| (0.0, 10.0); (0.9, 10.0) |] };
+      { Plot.label = "FFS improved"; points = [| (0.0, 4.0); (0.9, 4.0) |] };
+    ];
+  Table.print ~title:"Write cost by utilisation"
+    ~header:[ "util"; "uniform"; "hot-and-cold"; "no-variance" ]
+    (List.map2
+       (fun (u, a) (_, b) ->
+         [
+           Table.fmt_float u;
+           Table.fmt_float a.Sim.write_cost;
+           Table.fmt_float b.Sim.write_cost;
+           Table.fmt_float (Lfs_sim.Write_cost.lfs ~u);
+         ])
+       uniform hotcold)
+
+let print_histogram_table title rows =
+  Table.print ~title
+    ~header:("utilisation" :: List.map fst rows)
+    (List.init 10 (fun i ->
+         let lo = float_of_int i /. 10.0 in
+         Printf.sprintf "%.1f-%.1f" lo (lo +. 0.1)
+         :: List.map
+              (fun (_, h) ->
+                let total = ref 0.0 in
+                Array.iter
+                  (fun (x, f) ->
+                    if x >= lo && x < lo +. 0.1 then total := !total +. f)
+                  (Histogram.to_series h);
+                pct !total)
+              rows))
+
+let fig5 () =
+  header "Figure 5 - segment utilisation distributions, greedy cleaner @75%"
+    "hot-and-cold is skewed toward the cleaning point (~0.7-0.8); \
+     uniform is broader and lower";
+  let base = { (sim_base ()) with utilization = 0.75 } in
+  let uni = Sim.run { base with pattern = Access.Uniform; policy = greedy_in } in
+  let hc =
+    Sim.run { base with pattern = Access.default_hot_cold; policy = greedy_age }
+  in
+  Plot.print ~x_label:"segment utilisation" ~title:"fraction of segments"
+    [
+      { Plot.label = "uniform"; points = Histogram.to_series uni.Sim.cleaner_histogram };
+      { Plot.label = "hot-and-cold"; points = Histogram.to_series hc.Sim.cleaner_histogram };
+    ];
+  print_histogram_table "Cleaner-visible segment utilisation"
+    [ ("uniform", uni.Sim.cleaner_histogram); ("hot-and-cold", hc.Sim.cleaner_histogram) ];
+  Printf.printf "Avg cleaned u: uniform %.2f, hot-and-cold %.2f\n"
+    uni.Sim.avg_cleaned_u hc.Sim.avg_cleaned_u
+
+let fig6 () =
+  header "Figure 6 - segment utilisation distribution with cost-benefit @75%"
+    "cost-benefit yields a bimodal distribution: cold segments cleaned \
+     around 75% utilisation, hot around 15%";
+  let base =
+    { (sim_base ()) with utilization = 0.75; pattern = Access.default_hot_cold }
+  in
+  let greedy = Sim.run { base with policy = greedy_age } in
+  let cb = Sim.run { base with policy = cb_age } in
+  Plot.print ~x_label:"segment utilisation" ~title:"fraction of segments"
+    [
+      { Plot.label = "LFS cost-benefit"; points = Histogram.to_series cb.Sim.cleaner_histogram };
+      { Plot.label = "LFS greedy"; points = Histogram.to_series greedy.Sim.cleaner_histogram };
+    ];
+  print_histogram_table "Cleaner-visible segment utilisation"
+    [ ("cost-benefit", cb.Sim.cleaner_histogram); ("greedy", greedy.Sim.cleaner_histogram) ];
+  Printf.printf "Avg cleaned u: cost-benefit %.2f vs greedy %.2f\n"
+    cb.Sim.avg_cleaned_u greedy.Sim.avg_cleaned_u
+
+let fig7 () =
+  header "Figure 7 - write cost including the cost-benefit policy"
+    "cost-benefit is substantially better than greedy for hot-and-cold, \
+     especially above 60% utilisation (paper: ~7 vs ~14 at 90%)";
+  let base = { (sim_base ()) with pattern = Access.default_hot_cold } in
+  let greedy = sweep { base with policy = greedy_age } in
+  let cb = sweep { base with policy = cb_age } in
+  Plot.print ~y_max:14.0 ~x_label:"disk capacity utilisation"
+    ~title:"write cost (simulator)"
+    [
+      { Plot.label = "LFS greedy"; points = cost_points greedy };
+      { Plot.label = "LFS cost-benefit"; points = cost_points cb };
+      { Plot.label = "FFS today"; points = [| (0.0, 10.0); (0.9, 10.0) |] };
+      { Plot.label = "FFS improved"; points = [| (0.0, 4.0); (0.9, 4.0) |] };
+    ];
+  Table.print ~title:"Write cost by utilisation (hot-and-cold)"
+    ~header:[ "util"; "greedy"; "cost-benefit"; "improvement" ]
+    (List.map2
+       (fun (u, g) (_, c) ->
+         [
+           Table.fmt_float u;
+           Table.fmt_float g.Sim.write_cost;
+           Table.fmt_float c.Sim.write_cost;
+           pct (1.0 -. (c.Sim.write_cost /. g.Sim.write_cost));
+         ])
+       greedy cb)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: small-file performance                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Sprite LFS packs small files tightly in the log (the paper's 17%-busy
+   create phase implies ~1 KB of log per 1 KB file), which we model with
+   a 1 KB-block LFS; SunOS FFS runs with 4 KB blocks. *)
+let fig8_lfs () =
+  let geom =
+    { (Lfs_disk.Geometry.wren_iv ~blocks:131072) with block_size = 1024 }
+  in
+  let disk = Lfs_disk.Disk.create geom in
+  let config =
+    {
+      Lfs_core.Config.default with
+      block_size = 1024;
+      seg_blocks = 1024;
+      write_buffer_blocks = 1024;
+      cache_blocks = 16384;
+      max_inodes = 32768;
+    }
+  in
+  Lfs_core.Fs.format disk config;
+  W.Fsops.of_lfs (Lfs_core.Fs.mount disk)
+
+let fig8_ffs () = W.Fsops.fresh_ffs (Lfs_disk.Geometry.wren_iv ~blocks:32768)
+
+let fig8 () =
+  header "Figure 8 - small-file performance (10000 x 1 KB create/read/delete)"
+    "LFS ~10x SunOS for create and delete; comparable for read; LFS \
+     create is CPU-bound (disk ~17% busy) so it scales with CPU speed, \
+     SunOS is disk-bound (~85%) and does not";
+  let p =
+    if !quick then { W.Smallfile.default_params with nfiles = 2000 }
+    else W.Smallfile.default_params
+  in
+  let lfs = W.Smallfile.run p (fig8_lfs ()) in
+  let ffs = W.Smallfile.run p (fig8_ffs ()) in
+  let row (r : W.Smallfile.result) =
+    r.W.Smallfile.fs_name
+    :: List.concat_map
+         (fun (ph : W.Smallfile.phase_result) ->
+           [
+             Printf.sprintf "%.0f/s" ph.W.Smallfile.files_per_sec;
+             pct ph.W.Smallfile.disk_busy_frac;
+           ])
+         r.W.Smallfile.phases
+  in
+  Table.print ~title:"Figure 8(a): files/sec and disk busy fraction"
+    ~header:[ "system"; "create"; "busy"; "read"; "busy"; "delete"; "busy" ]
+    [ row lfs; row ffs ];
+  Table.print
+    ~title:"Figure 8(b): predicted create rate on faster CPUs (same disk)"
+    ~header:[ "system"; "Sun4"; "2*Sun4"; "4*Sun4" ]
+    (List.map
+       (fun (r : W.Smallfile.result) ->
+         r.W.Smallfile.fs_name
+         :: List.map
+              (fun k ->
+                Printf.sprintf "%.0f/s"
+                  (W.Smallfile.predict_create p r ~cpu_multiple:k))
+              [ 1.0; 2.0; 4.0 ])
+       [ lfs; ffs ]);
+  let rate phase (r : W.Smallfile.result) =
+    match
+      List.find_opt (fun ph -> ph.W.Smallfile.phase = phase) r.W.Smallfile.phases
+    with
+    | Some ph -> ph.W.Smallfile.files_per_sec
+    | None -> 0.0
+  in
+  Printf.printf "Speedups LFS/FFS: create %.1fx, read %.1fx, delete %.1fx\n"
+    (rate W.Smallfile.Create lfs /. rate W.Smallfile.Create ffs)
+    (rate W.Smallfile.Read lfs /. rate W.Smallfile.Read ffs)
+    (rate W.Smallfile.Delete lfs /. rate W.Smallfile.Delete ffs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: large-file performance                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  header
+    "Figure 9 - large-file performance (seq write/read, random \
+     write/read, seq reread)"
+    "LFS faster for all writes (random writes become sequential); equal \
+     random reads; slower only for sequential reread of a randomly \
+     written file";
+  let p =
+    if !quick then { W.Largefile.default_params with file_mb = 8 }
+    else W.Largefile.default_params
+  in
+  let geom = Lfs_disk.Geometry.wren_iv ~blocks:(p.W.Largefile.file_mb * 256 * 5) in
+  let lfs = W.Largefile.run p (W.Fsops.fresh_lfs geom) in
+  let ffs = W.Largefile.run p (W.Fsops.fresh_ffs geom) in
+  (* "A newer version of SunOS groups writes [16] and should therefore
+     have performance equivalent to Sprite LFS" — test that claim. *)
+  let clustered =
+    W.Largefile.run p
+      (W.Fsops.fresh_ffs
+         ~config:
+           { Lfs_ffs.Ffs.default_config with Lfs_ffs.Ffs.cluster_writes = true }
+         geom)
+  in
+  let clustered =
+    { clustered with W.Largefile.fs_name = "SunOS + clustering" }
+  in
+  let row (r : W.Largefile.result) =
+    r.W.Largefile.fs_name
+    :: List.map
+         (fun (ph : W.Largefile.phase_result) ->
+           Printf.sprintf "%.0f" ph.W.Largefile.kbytes_per_sec)
+         r.W.Largefile.phases
+  in
+  Table.print ~title:"kilobytes/sec per phase"
+    ~header:
+      [ "system"; "write seq"; "read seq"; "write rand"; "read rand"; "reread seq" ]
+    [ row lfs; row ffs; row clustered ];
+  let phase_rate name (r : W.Largefile.result) =
+    match
+      List.find_opt (fun ph -> ph.W.Largefile.phase = name) r.W.Largefile.phases
+    with
+    | Some ph -> ph.W.Largefile.kbytes_per_sec
+    | None -> 0.0
+  in
+  Printf.printf
+    "Random-write speedup LFS/FFS: %.1fx; reread penalty FFS/LFS: %.1fx\n"
+    (phase_rate W.Largefile.Rand_write lfs /. phase_rate W.Largefile.Rand_write ffs)
+    (phase_rate W.Largefile.Reread ffs /. phase_rate W.Largefile.Reread lfs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: data-structure inventory (documentation check)              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table 1 - on-disk data structures"
+    "inode, inode map, indirect block, segment summary, segment usage \
+     table, superblock, checkpoint region, directory change log";
+  Table.print
+    ~header:[ "structure"; "location"; "module" ]
+    [
+      [ "Inode (10 direct + indirect + dbl-indirect)"; "log"; "Lfs_core.Inode" ];
+      [ "Inode map (location, version, atime)"; "log"; "Lfs_core.Inode_map" ];
+      [ "Indirect block"; "log"; "Lfs_core.Filemap" ];
+      [ "Segment summary"; "log"; "Lfs_core.Summary" ];
+      [ "Segment usage table"; "log"; "Lfs_core.Seg_usage" ];
+      [ "Superblock"; "fixed"; "Lfs_core.Superblock" ];
+      [ "Checkpoint region (x2, alternating)"; "fixed"; "Lfs_core.Checkpoint" ];
+      [ "Directory change log"; "log"; "Lfs_core.Dir_log" ];
+    ];
+  print_endline
+    "Note: as in Sprite LFS, there is neither a free-block list nor a bitmap."
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 + Figure 10 + Table 4: production file systems               *)
+(* ------------------------------------------------------------------ *)
+
+let production_results = ref []
+
+let run_production () =
+  if !production_results = [] then begin
+    let scale = if !quick then 0.5 else 1.0 in
+    production_results :=
+      List.map (fun spec -> W.Production.run ~scale spec) W.Production.all
+  end;
+  !production_results
+
+let table2 () =
+  header "Table 2 - cleaning statistics of five production file systems"
+    "write costs 1.2-1.6 - far below the simulator's prediction at the \
+     same utilisation; many cleaned segments are empty; u far below the \
+     disk average";
+  let results = run_production () in
+  Table.print
+    ~header:
+      [ "file system"; "avg file"; "in use"; "segs cleaned"; "empty"; "avg u"; "write cost" ]
+    (List.map
+       (fun (r : W.Production.result) ->
+         [
+           r.W.Production.spec.W.Production.name;
+           Printf.sprintf "%.1f KB" (r.W.Production.avg_file_size /. 1024.0);
+           pct r.W.Production.in_use;
+           string_of_int r.W.Production.segments_cleaned;
+           pct r.W.Production.empty_fraction;
+           Table.fmt_float r.W.Production.avg_nonempty_u;
+           Table.fmt_float r.W.Production.write_cost;
+         ])
+       results);
+  List.iter
+    (fun (r : W.Production.result) ->
+      let u = r.W.Production.in_use in
+      let predicted =
+        if u < 0.2 then 1.3 else Lfs_sim.Write_cost.lfs ~u:(Float.max 0.05 (u -. 0.25))
+      in
+      Printf.printf "  %-12s measured %.2f vs simulator-style prediction ~%.1f\n"
+        r.W.Production.spec.W.Production.name r.W.Production.write_cost predicted)
+    results
+
+let fig10 () =
+  header "Figure 10 - /user6 segment utilisation snapshot"
+    "strongly bimodal: many full segments and many empty ones";
+  match run_production () with
+  | user6 :: _ ->
+      Plot.print ~x_label:"segment utilisation" ~title:"fraction of segments"
+        [ { Plot.label = "/user6"; points = Histogram.to_series user6.W.Production.histogram } ];
+      print_histogram_table "/user6 distribution"
+        [ ("/user6", user6.W.Production.histogram) ]
+  | [] -> ()
+
+let table4 () =
+  header "Table 4 - disk space and log bandwidth by block type (/user6)"
+    ">99% of live data is file data + indirect blocks; metadata is a \
+     much larger share of the log bandwidth (~13%) because the short \
+     checkpoint interval rewrites it constantly";
+  match run_production () with
+  | user6 :: _ ->
+      let live = user6.W.Production.live_breakdown in
+      let bw = user6.W.Production.log_bandwidth in
+      Table.print
+        ~header:[ "block type"; "live data"; "log bandwidth" ]
+        (List.map
+           (fun kind ->
+             [
+               Lfs_core.Types.block_kind_name kind;
+               Printf.sprintf "%.1f%%" (100.0 *. List.assoc kind live);
+               Printf.sprintf "%.1f%%" (100.0 *. List.assoc kind bw);
+             ])
+           Lfs_core.Types.all_block_kinds);
+      let meta_bw =
+        List.fold_left
+          (fun acc (k, f) ->
+            match k with
+            | Lfs_core.Types.Inode_block | Lfs_core.Types.Imap
+            | Lfs_core.Types.Seg_usage | Lfs_core.Types.Summary
+            | Lfs_core.Types.Dir_log ->
+                acc +. f
+            | Lfs_core.Types.Data | Lfs_core.Types.Indirect
+            | Lfs_core.Types.Dindirect ->
+                acc)
+          0.0 bw
+      in
+      Printf.printf "Metadata share of log bandwidth: %s\n" (pct meta_bw)
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: recovery time                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table 3 - recovery time (seconds) by file size and data recovered"
+    "recovery time is dominated by the number of files recovered: rows \
+     1 KB >> 10 KB >> 100 KB; columns grow with data written";
+  let grid = W.Recovery_bench.table3 ~disk_mb:(if !quick then 96 else 160) () in
+  let cell file_kb data_mb =
+    match List.find_opt (fun (f, d, _) -> f = file_kb && d = data_mb) grid with
+    | Some (_, _, r) -> Printf.sprintf "%.2f" r.W.Recovery_bench.recovery_s
+    | None -> "-"
+  in
+  Table.print
+    ~header:[ "file size"; "1 MB"; "10 MB"; "50 MB" ]
+    (List.map
+       (fun file_kb ->
+         Printf.sprintf "%d KB" file_kb
+         :: List.map (fun mb -> cell file_kb mb) [ 1; 10; 50 ])
+       [ 1; 10; 100 ]);
+  (* The paper bounds recovery by checkpointing per volume: "maximum
+     recovery time would grow by one second for every 70 seconds of
+     checkpoint interval" at 150 MB/hour, i.e. ~1 s per 2.9 MB. *)
+  (match
+     ( List.find_opt (fun (f, d, _) -> f = 10 && d = 1) grid,
+       List.find_opt (fun (f, d, _) -> f = 10 && d = 50) grid )
+   with
+  | Some (_, _, r1), Some (_, _, r50) ->
+      Printf.printf
+        "Marginal cost (10 KB files): %.2f s of recovery per MB written          since the checkpoint (paper: ~0.35 s/MB)
+"
+        ((r50.W.Recovery_bench.recovery_s -. r1.W.Recovery_bench.recovery_s)
+        /. 49.0)
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The modified Andrew benchmark (Section 5's 20% observation)          *)
+(* ------------------------------------------------------------------ *)
+
+let andrew () =
+  header "Modified Andrew benchmark - whole-application comparison"
+    "Sprite LFS is only ~20% faster than SunOS: the benchmark has a CPU      utilisation over 80%, so removing the synchronous writes is all      that disk management can contribute";
+  let p = W.Andrew.default_params in
+  let geom = Lfs_disk.Geometry.wren_iv ~blocks:8192 in
+  let lfs = W.Andrew.run p (W.Fsops.fresh_lfs geom) in
+  let ffs = W.Andrew.run p (W.Fsops.fresh_ffs geom) in
+  let row (r : W.Andrew.result) =
+    r.W.Andrew.fs_name
+    :: (List.map
+          (fun (ph : W.Andrew.phase_result) ->
+            Printf.sprintf "%.1f" ph.W.Andrew.elapsed_s)
+          r.W.Andrew.phases
+       @ [ Printf.sprintf "%.1f" r.W.Andrew.total_s; pct r.W.Andrew.cpu_utilization ])
+  in
+  Table.print ~title:"Elapsed seconds per phase"
+    ~header:[ "system"; "mkdir"; "copy"; "stat"; "read"; "compile"; "total"; "cpu util" ]
+    [ row lfs; row ffs ];
+  Printf.printf "LFS speedup: %.0f%% (paper: ~20%%)
+"
+    (100.0 *. ((ffs.W.Andrew.total_s /. lfs.W.Andrew.total_s) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery vs fsck (Section 4's motivation, not a numbered figure)     *)
+(* ------------------------------------------------------------------ *)
+
+let fsckcmp () =
+  header
+    "Recovery vs fsck - LFS roll-forward against a full Unix      consistency scan"
+    "Section 4: Unix must scan all metadata on disk (tens of minutes,      growing with disk size); LFS examines only the log written since      the last checkpoint";
+  let busy disk = (Lfs_disk.Disk.stats disk).Lfs_disk.Io_stats.busy_s in
+  let fill_paths = 200 in
+  let row disk_mb =
+    let blocks = disk_mb * 256 in
+    (* FFS: populate, then time the full fsck scan. *)
+    let ffs_disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks) in
+    Lfs_ffs.Ffs.format ffs_disk Lfs_ffs.Ffs.default_config;
+    let ffs = Lfs_ffs.Ffs.mount ffs_disk in
+    for i = 0 to fill_paths - 1 do
+      Lfs_ffs.Ffs.write_path ffs (Printf.sprintf "/f%d" i)
+        (Bytes.make ((disk_mb * 2048) / fill_paths) 'f')
+    done;
+    Lfs_ffs.Ffs.sync ffs;
+    let t0 = busy ffs_disk in
+    Lfs_ffs.Ffs.fsck_scan ffs;
+    let ffs_fsck_s = busy ffs_disk -. t0 in
+    (* LFS: same fill, checkpoint, 2 MB of post-checkpoint work, crash,
+       time the roll-forward. *)
+    let lfs_disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks) in
+    Lfs_core.Fs.format lfs_disk
+      { Lfs_core.Config.default with max_inodes = 4096 };
+    let lfs = Lfs_core.Fs.mount lfs_disk in
+    for i = 0 to fill_paths - 1 do
+      Lfs_core.Fs.write_path lfs (Printf.sprintf "/f%d" i)
+        (Bytes.make ((disk_mb * 2048) / fill_paths) 'f')
+    done;
+    Lfs_core.Fs.checkpoint lfs;
+    for i = 0 to 15 do
+      Lfs_core.Fs.write_path lfs (Printf.sprintf "/post%d" i)
+        (Bytes.make 131072 'p')
+    done;
+    Lfs_core.Fs.sync lfs;
+    let t0 = busy lfs_disk in
+    let _fs, _report = Lfs_core.Fs.recover lfs_disk in
+    let lfs_recover_s = busy lfs_disk -. t0 in
+    [
+      Printf.sprintf "%d MB" disk_mb;
+      Printf.sprintf "%.1f s" ffs_fsck_s;
+      Printf.sprintf "%.1f s" lfs_recover_s;
+      Printf.sprintf "%.0fx" (ffs_fsck_s /. lfs_recover_s);
+    ]
+  in
+  Table.print
+    ~title:"Consistency-restore time after a crash (2 MB written since checkpoint)"
+    ~header:[ "disk"; "FFS fsck scan"; "LFS roll-forward"; "speedup" ]
+    (List.map row (if !quick then [ 32; 64 ] else [ 32; 64; 128; 256 ]));
+  print_endline
+    "FFS's scan grows with the disk; LFS's roll-forward depends only on
+     the data written since the last checkpoint."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                    *)
+(* ------------------------------------------------------------------ *)
+
+let ablate () =
+  header "Ablations - cleaning policy, grouping, segment size"
+    "(not in the paper; supports its design choices)";
+  let base =
+    { (sim_base ()) with utilization = 0.75; pattern = Access.default_hot_cold }
+  in
+  Table.print ~title:"Policy x grouping, hot-and-cold @75% (simulator)"
+    ~header:[ "selection"; "grouping"; "write cost"; "avg cleaned u" ]
+    (List.map
+       (fun (sel, grp) ->
+         let r = Sim.run { base with policy = { selection = sel; grouping = grp } } in
+         [
+           Csim.selection_name sel;
+           Csim.grouping_name grp;
+           Table.fmt_float r.Sim.write_cost;
+           Table.fmt_float r.Sim.avg_cleaned_u;
+         ])
+       [
+         (Csim.Greedy, Csim.In_order);
+         (Csim.Greedy, Csim.Age_sort);
+         (Csim.Cost_benefit, Csim.In_order);
+         (Csim.Cost_benefit, Csim.Age_sort);
+       ]);
+  (* "We tried varying the degree of locality (e.g. 95% of accesses to
+     5% of data) and found that performance got worse and worse as the
+     locality increased" — Section 3.5, for the greedy cleaner. *)
+  Table.print ~title:"Degree of locality, greedy+age-sort @75% (simulator)"
+    ~header:[ "pattern"; "write cost (greedy)"; "write cost (cost-benefit)" ]
+    (List.map
+       (fun (label, pattern) ->
+         let run sel =
+           (Sim.run
+              {
+                base with
+                pattern;
+                policy = { selection = sel; grouping = Csim.Age_sort };
+              })
+             .Sim.write_cost
+         in
+         [
+           label;
+           Table.fmt_float (run Csim.Greedy);
+           Table.fmt_float (run Csim.Cost_benefit);
+         ])
+       [
+         ("uniform", Access.Uniform);
+         ("80/20", Access.Hot_cold { hot_fraction = 0.2; hot_traffic = 0.8 });
+         ("90/10", Access.default_hot_cold);
+         ("95/5", Access.Hot_cold { hot_fraction = 0.05; hot_traffic = 0.95 });
+       ]);
+  Table.print ~title:"Segment size (uniform @75%, greedy)"
+    ~header:[ "seg blocks"; "write cost" ]
+    (List.map
+       (fun spseg ->
+         let r =
+           Sim.run
+             {
+               base with
+               pattern = Access.Uniform;
+               policy = greedy_in;
+               blocks_per_seg = spseg;
+               nsegs = 256 * 256 / spseg;
+             }
+         in
+         [ string_of_int spseg; Table.fmt_float r.Sim.write_cost ])
+       [ 64; 128; 256; 512 ]);
+  Table.print ~title:"Full FS: cleaning policy on the /user6 workload"
+    ~header:[ "policy"; "write cost"; "avg cleaned u" ]
+    (List.map
+       (fun policy ->
+         let spec = { W.Production.user6 with W.Production.seed = 777 } in
+         let r = W.Production.run ~scale:0.5 ~policy spec in
+         [
+           Lfs_core.Config.cleaning_policy_name policy;
+           Table.fmt_float r.W.Production.write_cost;
+           Table.fmt_float r.W.Production.avg_nonempty_u;
+         ])
+       [
+         Lfs_core.Config.Cost_benefit;
+         Lfs_core.Config.Greedy;
+         Lfs_core.Config.Age_only;
+         Lfs_core.Config.Random_victim;
+       ]);
+  (* Section 3.4's untried idea: read only the live blocks of a victim
+     instead of the whole segment. *)
+  Table.print
+    ~title:"Cleaner read policy on the /user6 workload (Section 3.4 footnote)"
+    ~header:[ "read policy"; "cleaner blocks read"; "write cost" ]
+    (List.map
+       (fun cleaner_read ->
+         let spec = { W.Production.user6 with W.Production.seed = 999 } in
+         let r = W.Production.run ~scale:0.5 ~cleaner_read spec in
+         [
+           Lfs_core.Config.cleaner_read_policy_name cleaner_read;
+           string_of_int r.W.Production.cleaner_blocks_read;
+           Table.fmt_float r.W.Production.write_cost;
+         ])
+       [ Lfs_core.Config.Whole_segment; Lfs_core.Config.Live_blocks ]);
+  (* Section 5.4: the paper blames its 13% metadata bandwidth on the
+     "much too short" 30 s checkpoint interval. *)
+  Table.print
+    ~title:"Checkpoint interval vs metadata share of log bandwidth (/user6)"
+    ~header:[ "interval (ops)"; "metadata bandwidth"; "write cost" ]
+    (List.map
+       (fun interval ->
+         let spec =
+           {
+             W.Production.user6 with
+             W.Production.seed = 888;
+             checkpoint_interval_ops = interval;
+           }
+         in
+         let r = W.Production.run ~scale:0.5 spec in
+         let meta =
+           List.fold_left
+             (fun acc (k, f) ->
+               match k with
+               | Lfs_core.Types.Inode_block | Lfs_core.Types.Imap
+               | Lfs_core.Types.Seg_usage | Lfs_core.Types.Summary
+               | Lfs_core.Types.Dir_log ->
+                   acc +. f
+               | Lfs_core.Types.Data | Lfs_core.Types.Indirect
+               | Lfs_core.Types.Dindirect ->
+                   acc)
+             0.0 r.W.Production.log_bandwidth
+         in
+         [
+           string_of_int interval;
+           pct meta;
+           Table.fmt_float r.W.Production.write_cost;
+         ])
+       [ 25; 100; 500; 2000 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel)" "(implementation-level, not in the paper)";
+  let open Bechamel in
+  let disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.instant ~blocks:16384) in
+  Lfs_core.Fs.format disk Lfs_core.Config.default;
+  let fs = Lfs_core.Fs.mount disk in
+  let ino = Lfs_core.Fs.create_path fs "/bench" in
+  let payload = Bytes.make 4096 'b' in
+  let counter = ref 0 in
+  let test_write =
+    Test.make ~name:"fs-write-4k"
+      (Staged.stage (fun () ->
+           incr counter;
+           Lfs_core.Fs.write fs ino ~off:(4096 * (!counter mod 64)) payload))
+  in
+  let test_read =
+    Test.make ~name:"fs-read-4k"
+      (Staged.stage (fun () -> ignore (Lfs_core.Fs.read fs ino ~off:0 ~len:4096)))
+  in
+  let b = Bytes.make 4096 '\000' in
+  let inode = Lfs_core.Inode.create ~ino:7 ~ftype:Lfs_core.Types.Regular ~mtime:1.0 in
+  let test_inode_codec =
+    Test.make ~name:"inode-encode-decode"
+      (Staged.stage (fun () ->
+           Lfs_core.Inode.encode inode b ~slot:3;
+           ignore (Lfs_core.Inode.decode b ~slot:3)))
+  in
+  let test_checksum =
+    Test.make ~name:"adler32-4k"
+      (Staged.stage (fun () -> ignore (Lfs_util.Checksum.adler32 payload)))
+  in
+  let dir =
+    List.fold_left
+      (fun d i -> Lfs_core.Directory.add d (Printf.sprintf "entry%d" i) i)
+      Lfs_core.Directory.empty
+      (List.init 100 (fun i -> i + 2))
+  in
+  let dirb = Lfs_core.Directory.to_bytes dir in
+  let test_dir_codec =
+    Test.make ~name:"directory-decode-100"
+      (Staged.stage (fun () -> ignore (Lfs_core.Directory.of_bytes dirb)))
+  in
+  let test_sim =
+    Test.make ~name:"simulator-1k-writes"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.run
+                {
+                  Sim.default_params with
+                  nsegs = 64;
+                  blocks_per_seg = 32;
+                  warmup_writes = 1000;
+                  measured_writes = 0;
+                })))
+  in
+  let tests =
+    Test.make_grouped ~name:"lfs"
+      [ test_write; test_read; test_inode_codec; test_checksum; test_dir_codec; test_sim ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | Some [] | None -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-32s %14.1f ns/op\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("andrew", andrew);
+    ("fsckcmp", fsckcmp);
+    ("ablate", ablate);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" || a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None when name = "micro" -> micro ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s micro\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 2)
+        names);
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/lfs_sim_cli.ml: Arg Array Cmd Cmdliner Format Lfs_sim Lfs_util List Printf String Term

@@ -1,0 +1,1 @@
+bin/lfs_sim_cli.mli:

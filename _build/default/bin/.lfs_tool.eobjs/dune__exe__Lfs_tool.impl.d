@@ -1,0 +1,1 @@
+bin/lfs_tool.ml: Arg Bytes Cmd Cmdliner Filename Format Fun Lfs_core Lfs_disk Lfs_workload List Option Printf String Term

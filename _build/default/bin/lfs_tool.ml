@@ -1,0 +1,283 @@
+(* lfs_tool: manage LFS disk images from the command line.
+
+   Images are raw files whose size is blocks * 4096 bytes; the simulated
+   disk is loaded, operated on, and written back.  Examples:
+
+     lfs_tool mkfs disk.img --blocks 16384
+     lfs_tool put disk.img /docs/readme.txt ./README.md
+     lfs_tool cat disk.img /docs/readme.txt
+     lfs_tool ls disk.img /
+     lfs_tool rm disk.img /docs/readme.txt
+     lfs_tool fsck disk.img
+     lfs_tool info disk.img
+     lfs_tool clean disk.img
+     lfs_tool recover disk.img *)
+
+open Cmdliner
+
+module Disk = Lfs_disk.Disk
+module Fs = Lfs_core.Fs
+
+let geometry_of_file path =
+  let size =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+  in
+  if size mod 4096 <> 0 then failwith "image size is not a multiple of 4 KB";
+  Lfs_disk.Geometry.wren_iv ~blocks:(size / 4096)
+
+let load path = Disk.load_file (geometry_of_file path) path
+
+let with_fs path f =
+  let disk = load path in
+  let fs = Fs.mount disk in
+  let result = f fs in
+  Fs.unmount fs;
+  Disk.save_file disk path;
+  result
+
+(* ---- arguments ---- *)
+
+let image =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Disk image file")
+
+let fs_path n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"PATH" ~doc:"Path inside the file system")
+
+(* ---- commands ---- *)
+
+let mkfs_cmd =
+  let blocks =
+    Arg.(value & opt int 16384 & info [ "blocks" ] ~doc:"Disk size in 4 KB blocks")
+  in
+  let seg_blocks =
+    Arg.(value & opt int 256 & info [ "segment-blocks" ] ~doc:"Blocks per segment")
+  in
+  let run image blocks seg_blocks =
+    let geom = Lfs_disk.Geometry.wren_iv ~blocks in
+    let disk = Disk.create geom in
+    (* Size the inode map to the disk: one inode per two data blocks. *)
+    let max_inodes = max 256 (min 65536 (blocks / 2)) in
+    Fs.format disk { Lfs_core.Config.default with seg_blocks; max_inodes };
+    Disk.save_file disk image;
+    Printf.printf "formatted %s: %d blocks, %d-block segments\n" image blocks seg_blocks
+  in
+  Cmd.v (Cmd.info "mkfs" ~doc:"Create a fresh LFS image")
+    Term.(const run $ image $ blocks $ seg_blocks)
+
+let put_cmd =
+  let local = Arg.(required & pos 2 (some file) None & info [] ~docv:"LOCAL" ~doc:"Local file to copy in") in
+  let run image path local =
+    let data =
+      let ic = open_in_bin local in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    with_fs image (fun fs ->
+        (* Create parent directories as needed. *)
+        let parts = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+        let rec mkdirs prefix = function
+          | [] | [ _ ] -> ()
+          | d :: rest ->
+              let p = prefix ^ "/" ^ d in
+              (if Fs.resolve fs p = None then ignore (Fs.mkdir_path fs p));
+              mkdirs p rest
+        in
+        mkdirs "" parts;
+        Fs.write_path fs path (Bytes.of_string data);
+        Printf.printf "wrote %d bytes to %s\n" (String.length data) path)
+  in
+  Cmd.v (Cmd.info "put" ~doc:"Copy a local file into the image")
+    Term.(const run $ image $ fs_path 1 $ local)
+
+let cat_cmd =
+  let run image path =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    print_string (Bytes.to_string (Fs.read_path fs path))
+  in
+  Cmd.v (Cmd.info "cat" ~doc:"Print a file's contents")
+    Term.(const run $ image $ fs_path 1)
+
+let ls_cmd =
+  let run image path =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    match Fs.resolve fs path with
+    | None -> prerr_endline "no such path"; exit 1
+    | Some ino ->
+        List.iter
+          (fun (name, child) ->
+            let st = Fs.stat fs child in
+            Printf.printf "%c %8d  %s\n"
+              (match st.Fs.st_ftype with
+              | Lfs_core.Types.Directory -> 'd'
+              | Lfs_core.Types.Regular -> '-')
+              st.Fs.st_size name)
+          (Fs.readdir fs ino)
+  in
+  Cmd.v (Cmd.info "ls" ~doc:"List a directory") Term.(const run $ image $ fs_path 1)
+
+let rm_cmd =
+  let run image path =
+    with_fs image (fun fs ->
+        match String.rindex_opt path '/' with
+        | None -> failwith "need an absolute path"
+        | Some i ->
+            let dirpath = if i = 0 then "/" else String.sub path 0 i in
+            let name = String.sub path (i + 1) (String.length path - i - 1) in
+            let dir = Option.get (Fs.resolve fs dirpath) in
+            Fs.unlink fs ~dir name;
+            Printf.printf "removed %s\n" path)
+  in
+  Cmd.v (Cmd.info "rm" ~doc:"Remove a file") Term.(const run $ image $ fs_path 1)
+
+let get_cmd =
+  let local = Arg.(required & pos 2 (some string) None & info [] ~docv:"LOCAL" ~doc:"Local destination file") in
+  let run image path local =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    let data = Fs.read_path fs path in
+    let oc = open_out_bin local in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data);
+    Printf.printf "copied %d bytes to %s\n" (Bytes.length data) local
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Copy a file out of the image")
+    Term.(const run $ image $ fs_path 1 $ local)
+
+let mkdir_cmd =
+  let run image path =
+    with_fs image (fun fs ->
+        ignore (Fs.mkdir_path fs path);
+        Printf.printf "created %s\n" path)
+  in
+  Cmd.v (Cmd.info "mkdir" ~doc:"Create a directory") Term.(const run $ image $ fs_path 1)
+
+let mv_cmd =
+  let dst = Arg.(required & pos 2 (some string) None & info [] ~docv:"DEST" ~doc:"Destination path") in
+  let split fs path =
+    match String.rindex_opt path '/' with
+    | None -> failwith "need an absolute path"
+    | Some i ->
+        let dirpath = if i = 0 then "/" else String.sub path 0 i in
+        (Option.get (Fs.resolve fs dirpath),
+         String.sub path (i + 1) (String.length path - i - 1))
+  in
+  let run image src dst =
+    with_fs image (fun fs ->
+        let odir, oname = split fs src in
+        let ndir, nname = split fs dst in
+        Fs.rename fs ~odir oname ~ndir nname;
+        Printf.printf "renamed %s -> %s\n" src dst)
+  in
+  Cmd.v (Cmd.info "mv" ~doc:"Rename (atomically, via the directory operation log)")
+    Term.(const run $ image $ fs_path 1 $ dst)
+
+let df_cmd =
+  let run image =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    let layout = Fs.layout fs in
+    let total = layout.Lfs_core.Layout.nsegs * layout.Lfs_core.Layout.seg_blocks * 4096 in
+    let used = int_of_float (Fs.utilization fs *. float_of_int total) in
+    Printf.printf "%-12s %10s %10s %10s %5s\n" "image" "total" "used" "free" "use%";
+    Printf.printf "%-12s %10d %10d %10d %4.0f%%\n" (Filename.basename image)
+      total used (total - used)
+      (100.0 *. Fs.utilization fs)
+  in
+  Cmd.v (Cmd.info "df" ~doc:"Show space usage") Term.(const run $ image)
+
+let fsck_cmd =
+  let run image =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    let r = Lfs_core.Fsck.check fs in
+    Format.printf "%a@." Lfs_core.Fsck.pp_report r;
+    if not (Lfs_core.Fsck.is_clean r) then exit 1
+  in
+  Cmd.v (Cmd.info "fsck" ~doc:"Check file-system consistency") Term.(const run $ image)
+
+let info_cmd =
+  let run image =
+    let disk = load image in
+    let fs = Fs.mount disk in
+    let layout = Fs.layout fs in
+    Format.printf "%a@." Lfs_core.Layout.pp layout;
+    Printf.printf "utilisation: %.1f%%\n" (100.0 *. Fs.utilization fs);
+    Printf.printf "clean segments: %d / %d\n" (Fs.clean_segment_count fs)
+      layout.Lfs_core.Layout.nsegs;
+    let b = Fs.live_breakdown fs in
+    List.iter
+      (fun (kind, bytes) ->
+        if bytes > 0 then
+          Printf.printf "  %-10s %10d bytes\n"
+            (Lfs_core.Types.block_kind_name kind)
+            bytes)
+      b.Fs.by_kind
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show image statistics") Term.(const run $ image)
+
+let clean_cmd =
+  let run image =
+    with_fs image (fun fs ->
+        Fs.clean fs;
+        Printf.printf "clean segments: %d\n" (Fs.clean_segment_count fs))
+  in
+  Cmd.v (Cmd.info "clean" ~doc:"Run the segment cleaner") Term.(const run $ image)
+
+let recover_cmd =
+  let run image =
+    let disk = load image in
+    let fs, report = Fs.recover disk in
+    Fs.unmount fs;
+    Disk.save_file disk image;
+    Printf.printf
+      "recovered: %d log writes, %d inodes, %d data blocks, %d dirops (%d segments scanned)\n"
+      report.Fs.writes_replayed report.Fs.inodes_recovered
+      report.Fs.data_blocks_recovered report.Fs.dirops_applied
+      report.Fs.segments_scanned
+  in
+  Cmd.v (Cmd.info "recover" ~doc:"Roll the log forward from the last checkpoint")
+    Term.(const run $ image)
+
+let trace_record_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Output trace file") in
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Operations to record") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed") in
+  let run out ops seed =
+    let t = Lfs_workload.Trace.record_random ~ops ~seed () in
+    Lfs_workload.Trace.save t out;
+    Printf.printf "recorded %d operations (%d bytes of writes) to %s\n"
+      (Lfs_workload.Trace.length t)
+      (Lfs_workload.Trace.bytes_written t)
+      out
+  in
+  Cmd.v (Cmd.info "trace-record" ~doc:"Generate a reproducible workload trace")
+    Term.(const run $ out $ ops $ seed)
+
+let trace_replay_cmd =
+  let tracef = Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file") in
+  let run image tracef =
+    let t = Lfs_workload.Trace.load tracef in
+    let disk = load image in
+    let before = (Disk.stats disk).Lfs_disk.Io_stats.busy_s in
+    let fs = Fs.mount disk in
+    Lfs_workload.Trace.replay t (Lfs_workload.Fsops.of_lfs fs);
+    Fs.unmount fs;
+    Disk.save_file disk image;
+    Printf.printf "replayed %d operations; disk busy %.2f s; write cost %.2f\n"
+      (Lfs_workload.Trace.length t)
+      ((Disk.stats disk).Lfs_disk.Io_stats.busy_s -. before)
+      (Lfs_core.Fs_stats.write_cost (Fs.stats fs))
+  in
+  Cmd.v (Cmd.info "trace-replay" ~doc:"Replay a recorded trace against an image")
+    Term.(const run $ image $ tracef)
+
+let () =
+  let doc = "manage log-structured file system images" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lfs_tool" ~doc)
+          [ mkfs_cmd; put_cmd; get_cmd; cat_cmd; ls_cmd; mkdir_cmd; mv_cmd;
+            rm_cmd; df_cmd; fsck_cmd; info_cmd; clean_cmd; recover_cmd;
+            trace_record_cmd; trace_replay_cmd ]))

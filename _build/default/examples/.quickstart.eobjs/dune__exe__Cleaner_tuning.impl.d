@@ -1,0 +1,1 @@
+examples/cleaner_tuning.ml: Array Bytes Lfs_core Lfs_disk Lfs_util List Printf String

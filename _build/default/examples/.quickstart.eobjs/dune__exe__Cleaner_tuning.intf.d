@@ -1,0 +1,1 @@
+examples/cleaner_tuning.mli:

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Lfs_core Lfs_disk Option Printf

@@ -1,0 +1,1 @@
+examples/nvram_buffer.ml: Bytes Format Lfs_core Lfs_disk List Printf

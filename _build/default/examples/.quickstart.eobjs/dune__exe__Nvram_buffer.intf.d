@@ -1,0 +1,1 @@
+examples/nvram_buffer.mli:

@@ -1,0 +1,1 @@
+examples/office_workload.ml: Bytes Lfs_disk Lfs_workload Option Printf

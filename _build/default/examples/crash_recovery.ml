@@ -1,0 +1,76 @@
+(* Crash recovery walkthrough (Section 4): checkpoints, roll-forward and
+   the directory operation log.
+
+   The example cuts power at three nasty moments — mid data write,
+   between a rename's directory updates, and during a checkpoint — and
+   shows recovery restoring a consistent state each time.
+
+   Run with:  dune exec examples/crash_recovery.exe *)
+
+module Disk = Lfs_disk.Disk
+module Fs = Lfs_core.Fs
+
+let small_fs () =
+  let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:8192) in
+  Fs.format disk Lfs_core.Config.default;
+  (disk, Fs.mount disk)
+
+let check label disk =
+  Disk.reboot disk;
+  let fs, report = Fs.recover disk in
+  let fsck = Lfs_core.Fsck.check fs in
+  Printf.printf "%-34s recovered %2d inodes, %2d dirops; fsck %s\n" label
+    report.Fs.inodes_recovered report.Fs.dirops_applied
+    (if Lfs_core.Fsck.is_clean fsck then "clean" else "BROKEN");
+  fs
+
+let () =
+  (* 1. Power cut in the middle of flushing file data: the log write is
+     torn; recovery ignores the incomplete tail and keeps everything up
+     to the last complete log write. *)
+  let disk, fs = small_fs () in
+  Fs.write_path fs "/stable" (Bytes.of_string "checkpointed");
+  Fs.checkpoint fs;
+  Fs.write_path fs "/fresh" (Bytes.make 200_000 'x');
+  Disk.plan_crash disk ~after_blocks:20;
+  (try Fs.sync fs with Disk.Crashed -> ());
+  let fs1 = check "crash mid data flush:" disk in
+  Printf.printf "  /stable intact: %b; /fresh %s\n"
+    (Fs.resolve fs1 "/stable" <> None)
+    (match Fs.resolve fs1 "/fresh" with
+    | Some ino -> Printf.sprintf "partially recovered (%d bytes)" (Fs.file_size fs1 ino)
+    | None -> "not recovered (expected for a torn tail)");
+
+  (* 2. Rename: the directory operation log makes it atomic.  After the
+     crash the file is in exactly one of the two directories. *)
+  let disk, fs = small_fs () in
+  ignore (Fs.mkdir_path fs "/a");
+  ignore (Fs.mkdir_path fs "/b");
+  Fs.write_path fs "/a/file" (Bytes.of_string "payload");
+  Fs.checkpoint fs;
+  let a = Option.get (Fs.resolve fs "/a") in
+  let b = Option.get (Fs.resolve fs "/b") in
+  Fs.rename fs ~odir:a "file" ~ndir:b "file";
+  Disk.plan_crash disk ~after_blocks:6;
+  (try Fs.sync fs with Disk.Crashed -> ());
+  let fs2 = check "crash during rename flush:" disk in
+  let in_a = Fs.resolve fs2 "/a/file" <> None in
+  let in_b = Fs.resolve fs2 "/b/file" <> None in
+  Printf.printf "  in /a: %b, in /b: %b (exactly one: %b)\n" in_a in_b
+    (in_a <> in_b);
+
+  (* 3. Crash during the checkpoint-region write itself: the alternate
+     region takes over (two regions, the newest valid one wins). *)
+  let disk, fs = small_fs () in
+  Fs.write_path fs "/one" (Bytes.of_string "1");
+  Fs.checkpoint fs;
+  Fs.write_path fs "/two" (Bytes.of_string "2");
+  Fs.sync fs;
+  (* /two is in the log; cut power while the checkpoint machinery is
+     writing its metadata and region. *)
+  Disk.plan_crash disk ~after_blocks:3;
+  (try Fs.checkpoint fs with Disk.Crashed -> ());
+  let fs3 = check "crash during checkpoint:" disk in
+  Printf.printf "  /one intact: %b, /two recovered: %b\n"
+    (Fs.resolve fs3 "/one" <> None)
+    (Fs.resolve fs3 "/two" <> None)

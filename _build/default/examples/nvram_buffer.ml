@@ -1,0 +1,53 @@
+(* The NVRAM write buffer (Section 2.1 of the paper): "write-buffering
+   has the disadvantage of increasing the amount of data lost during a
+   crash ... for applications that require better crash recovery,
+   non-volatile RAM may be used for the write buffer."
+
+   This example crashes an ordinary LFS and an NVRAM-backed LFS at the
+   same point and compares what survives.
+
+   Run with:  dune exec examples/nvram_buffer.exe *)
+
+module Disk = Lfs_disk.Disk
+module Fs = Lfs_core.Fs
+module Nvram = Lfs_core.Nvram
+module Nfs = Lfs_core.Nvram_fs
+
+let fresh_disk () =
+  let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:8192) in
+  Fs.format disk Lfs_core.Config.default;
+  disk
+
+let files = List.init 8 (fun i -> (Printf.sprintf "/mail%d" i, 4000 + (i * 1000)))
+
+let () =
+  (* Plain LFS: acknowledged writes sit in the volatile file cache until
+     the next flush; a power cut loses them. *)
+  let disk = fresh_disk () in
+  let fs = Fs.mount disk in
+  List.iter (fun (path, size) -> Fs.write_path fs path (Bytes.make size 'm')) files;
+  (* power cut — nothing was synced *)
+  let fs', _ = Fs.recover disk in
+  let survived =
+    List.length (List.filter (fun (p, _) -> Fs.resolve fs' p <> None) files)
+  in
+  Printf.printf "plain LFS:  %d of %d acknowledged files survive the crash\n"
+    survived (List.length files);
+
+  (* NVRAM-backed LFS: every operation is journalled to battery-backed
+     memory before being acknowledged; recovery replays the journal. *)
+  let disk = fresh_disk () in
+  let nvram = Nvram.create () in
+  let nfs = Nfs.wrap (Fs.mount disk) nvram in
+  List.iter (fun (path, size) -> Nfs.write_path nfs path (Bytes.make size 'm')) files;
+  Printf.printf "NVRAM journal holds %d bytes at the crash\n"
+    (Nvram.used_bytes nvram);
+  (* power cut *)
+  let nfs', replay = Nfs.recover disk nvram in
+  let survived =
+    List.length (List.filter (fun (p, _) -> Nfs.resolve nfs' p <> None) files)
+  in
+  Printf.printf "NVRAM LFS:  %d of %d survive (%d journal records replayed)\n"
+    survived (List.length files) replay.Nfs.replayed;
+  let r = Lfs_core.Fsck.check (Nfs.fs nfs') in
+  Format.printf "%a@." Lfs_core.Fsck.pp_report r

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Bytes Int32 Layout Lfs_disk Lfs_util Printf Types

@@ -1,0 +1,1 @@
+lib/core/cleaner.ml: Array Config List

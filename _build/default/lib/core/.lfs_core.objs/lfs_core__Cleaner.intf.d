@@ -1,0 +1,1 @@
+lib/core/cleaner.mli: Config

@@ -1,0 +1,1 @@
+lib/core/dir_log.ml: Bytes Format Lfs_util List String Types

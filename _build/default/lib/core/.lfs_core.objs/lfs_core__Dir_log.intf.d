@@ -1,0 +1,1 @@
+lib/core/dir_log.mli: Format Types

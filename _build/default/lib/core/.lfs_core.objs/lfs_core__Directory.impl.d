@@ -1,0 +1,1 @@
+lib/core/directory.ml: Bytes Lfs_util List String Types

@@ -1,0 +1,1 @@
+lib/core/filemap.ml: Array Bytes Inode Int64 Layout Lfs_util List Types

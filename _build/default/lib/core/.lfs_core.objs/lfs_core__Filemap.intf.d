@@ -1,0 +1,1 @@
+lib/core/filemap.mli: Inode Layout Types

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Config Filemap Fs_stats Inode Layout Lfs_disk Lfs_util Types

@@ -1,0 +1,1 @@
+lib/core/fs_stats.ml: Array List Types

@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Array Directory Filemap Format Fs Hashtbl Inode Layout List Option Printf Types

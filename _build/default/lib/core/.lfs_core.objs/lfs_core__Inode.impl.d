@@ -1,0 +1,1 @@
+lib/core/inode.ml: Array Bytes Format Int64 Lfs_util Types

@@ -1,0 +1,1 @@
+lib/core/inode.mli: Format Types

@@ -1,0 +1,1 @@
+lib/core/inode_map.ml: Array Bytes Layout Lfs_util Types

@@ -1,0 +1,1 @@
+lib/core/inode_map.mli: Layout Types

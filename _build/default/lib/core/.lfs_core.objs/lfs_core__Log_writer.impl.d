@@ -1,0 +1,1 @@
+lib/core/log_writer.ml: Bytes Layout Lfs_disk List Summary Types

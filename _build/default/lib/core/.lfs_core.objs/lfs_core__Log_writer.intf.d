@@ -1,0 +1,1 @@
+lib/core/log_writer.mli: Layout Lfs_disk Types

@@ -1,0 +1,1 @@
+lib/core/nvram.ml: Bytes List String Types

@@ -1,0 +1,1 @@
+lib/core/nvram.mli: Types

@@ -1,0 +1,1 @@
+lib/core/nvram_fs.ml: Bytes Filename Fs Hashtbl List Nvram Option Types

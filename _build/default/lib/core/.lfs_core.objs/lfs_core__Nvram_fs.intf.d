@@ -1,0 +1,1 @@
+lib/core/nvram_fs.mli: Fs Lfs_disk Nvram Types

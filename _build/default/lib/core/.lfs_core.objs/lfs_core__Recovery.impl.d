@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Checkpoint Hashtbl Layout Lfs_disk List Summary Types

@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Checkpoint Layout Lfs_disk Summary

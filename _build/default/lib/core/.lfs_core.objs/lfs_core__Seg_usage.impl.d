@@ -1,0 +1,1 @@
+lib/core/seg_usage.ml: Array Bytes Layout Lfs_util Types

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Bytes Int32 Layout Lfs_util List Printf Types

@@ -1,0 +1,1 @@
+lib/core/superblock.ml: Bytes Config Int32 Layout Lfs_disk Lfs_util Types

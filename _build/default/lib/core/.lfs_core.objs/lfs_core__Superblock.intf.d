@@ -1,0 +1,1 @@
+lib/core/superblock.mli: Config Layout Lfs_disk

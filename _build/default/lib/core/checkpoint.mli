@@ -1,0 +1,31 @@
+(** Checkpoint regions (Section 4.1).
+
+    A checkpoint is a position in the log at which all file system
+    structures are consistent and complete.  The region at a fixed disk
+    address records the addresses of all inode map and segment usage
+    table blocks plus the log position (segment, offset, reservation,
+    sequence number).  Two regions alternate so a crash during a
+    checkpoint leaves the previous one intact; on reboot the valid region
+    with the latest timestamp wins.  A whole-region checksum stands in
+    for the paper's "time in the last block" trick — a torn region write
+    simply fails validation. *)
+
+type t = {
+  timestamp : float;    (** logical clock at checkpoint time *)
+  log_seq : int;        (** next log-write sequence number *)
+  cur_seg : int;        (** segment the log writer is filling *)
+  cur_off : int;        (** next free slot in that segment *)
+  next_seg : int;       (** the writer's reserved successor segment *)
+  imap_addrs : Types.baddr array;
+  usage_addrs : Types.baddr array;
+}
+
+val write : Layout.t -> Lfs_disk.Disk.t -> region:int -> t -> unit
+(** Serialise to region 0 (at [layout.ckpt_a]) or 1 ([ckpt_b]). *)
+
+val read : Layout.t -> Lfs_disk.Disk.t -> region:int -> t option
+(** [None] if the region is invalid (never written, or torn). *)
+
+val read_latest : Layout.t -> Lfs_disk.Disk.t -> (int * t) option
+(** The valid region with the most recent timestamp, with its index.
+    [None] when neither region is valid (not a formatted LFS). *)

@@ -1,0 +1,47 @@
+type candidate = { seg : int; u : float; age : float }
+
+let benefit_cost c = (1.0 -. c.u) *. c.age /. (1.0 +. c.u)
+
+let take n l =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
+let select ~policy ?rand ~candidates ~count () =
+  let empty, nonempty = List.partition (fun c -> c.u = 0.0) candidates in
+  let ordered =
+    match policy with
+    | Config.Greedy ->
+        List.stable_sort (fun a b -> compare a.u b.u) nonempty
+    | Config.Cost_benefit ->
+        List.stable_sort
+          (fun a b -> compare (benefit_cost b) (benefit_cost a))
+          nonempty
+    | Config.Age_only ->
+        List.stable_sort (fun a b -> compare b.age a.age) nonempty
+    | Config.Random_victim ->
+        let rand =
+          match rand with
+          | Some r -> r
+          | None -> invalid_arg "Cleaner.select: Random_victim needs ~rand"
+        in
+        let arr = Array.of_list nonempty in
+        for i = Array.length arr - 1 downto 1 do
+          let j = rand (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list arr
+  in
+  take count (List.map (fun c -> c.seg) (empty @ ordered))
+
+let order_for_grouping ~grouping pairs =
+  match grouping with
+  | Config.In_order -> List.map fst pairs
+  | Config.Age_sort ->
+      List.map fst
+        (List.stable_sort (fun (_, a) (_, b) -> compare b a) pairs)

@@ -1,0 +1,64 @@
+(** File-system geometry and policy configuration, fixed at [mkfs] time
+    (geometry) or adjustable at mount time (policies). *)
+
+(** Which segments the cleaner picks (Section 3.4, policy question 3). *)
+type cleaning_policy =
+  | Greedy        (** always the least-utilised segments *)
+  | Cost_benefit  (** highest (1-u)*age / (1+u), the paper's winner *)
+  | Age_only      (** oldest first — ablation *)
+  | Random_victim (** uniform random dirty segment — ablation *)
+
+(** How live blocks are regrouped when written out (policy question 4). *)
+type grouping_policy =
+  | In_order  (** same order they appeared in the cleaned segments *)
+  | Age_sort  (** sorted by age, oldest first — segregates cold data *)
+
+(** How a victim segment's live data is brought into memory.  The paper
+    (Section 3.4) assumes whole-segment reads in the write-cost formula
+    but notes "it may be faster to read just the live blocks,
+    particularly if the utilization is very low (we haven't tried this
+    in Sprite LFS)" — [Live_blocks] tries it. *)
+type cleaner_read_policy =
+  | Whole_segment  (** one big sequential read per victim *)
+  | Live_blocks    (** summary chain, then only the live blocks *)
+
+type t = {
+  block_size : int;        (** bytes; must match the disk geometry *)
+  seg_blocks : int;        (** blocks per segment (paper: 512 KB - 1 MB) *)
+  max_inodes : int;        (** capacity of the inode map *)
+  clean_start : int;       (** start cleaning below this many clean segs *)
+  clean_stop : int;        (** stop cleaning at this many clean segs *)
+  segs_per_pass : int;     (** victims examined per cleaning pass *)
+  write_buffer_blocks : int;  (** dirty blocks buffered before a log flush *)
+  cache_blocks : int;      (** LRU buffer-cache capacity for reads *)
+  checkpoint_interval_ops : int;
+      (** automatic checkpoint every N operations; 0 disables (the paper
+          uses a 30 s timer; ours is a deterministic operation count) *)
+  checkpoint_interval_blocks : int;
+      (** automatic checkpoint after N blocks of new log data; 0
+          disables.  The paper's suggested alternative (Section 4.1):
+          "perform checkpoints after a given amount of new data has been
+          written to the log; this would set a limit on recovery time". *)
+  cleaning_policy : cleaning_policy;
+  grouping_policy : grouping_policy;
+  cleaner_read : cleaner_read_policy;
+}
+
+val default : t
+(** 4 KB blocks, 256-block (1 MB) segments, thresholds from Section 3.4
+    ("a few tens" to start, 50-100 to stop, scaled to disk size by
+    {!validate}), cost-benefit cleaning with age-sorting. *)
+
+val small : t
+(** Small geometry for unit tests: 1 KB blocks, 16-block segments. *)
+
+val with_policy :
+  ?cleaning:cleaning_policy -> ?grouping:grouping_policy -> t -> t
+
+val validate : t -> disk_blocks:int -> unit
+(** Raises [Invalid_argument] when the configuration cannot fit the disk
+    (fewer than 4 segments, zero inodes, thresholds inverted...). *)
+
+val cleaning_policy_name : cleaning_policy -> string
+val grouping_policy_name : grouping_policy -> string
+val cleaner_read_policy_name : cleaner_read_policy -> string

@@ -1,0 +1,111 @@
+module Codec = Lfs_util.Bytes_codec
+
+type record =
+  | Add of {
+      dir : Types.ino;
+      name : string;
+      ino : Types.ino;
+      nlink : int;
+      fresh : bool;
+    }
+  | Remove of { dir : Types.ino; name : string; ino : Types.ino; nlink : int }
+  | Rename of {
+      odir : Types.ino;
+      oname : string;
+      ndir : Types.ino;
+      nname : string;
+      ino : Types.ino;
+    }
+
+let record_size = function
+  | Add { name; _ } -> 1 + 4 + 2 + String.length name + 4 + 4 + 1
+  | Remove { name; _ } -> 1 + 4 + 2 + String.length name + 4 + 4
+  | Rename { oname; nname; _ } ->
+      1 + 4 + 2 + String.length oname + 4 + 2 + String.length nname + 4
+
+let encode_record c = function
+  | Add { dir; name; ino; nlink; fresh } ->
+      Codec.put_u8 c 1;
+      Codec.put_u32 c dir;
+      Codec.put_string c name;
+      Codec.put_u32 c ino;
+      Codec.put_u32 c nlink;
+      Codec.put_u8 c (if fresh then 1 else 0)
+  | Remove { dir; name; ino; nlink } ->
+      Codec.put_u8 c 2;
+      Codec.put_u32 c dir;
+      Codec.put_string c name;
+      Codec.put_u32 c ino;
+      Codec.put_u32 c nlink
+  | Rename { odir; oname; ndir; nname; ino } ->
+      Codec.put_u8 c 3;
+      Codec.put_u32 c odir;
+      Codec.put_string c oname;
+      Codec.put_u32 c ndir;
+      Codec.put_string c nname;
+      Codec.put_u32 c ino
+
+let decode_record c =
+  match Codec.get_u8 c with
+  | 1 ->
+      let dir = Codec.get_u32 c in
+      let name = Codec.get_string c in
+      let ino = Codec.get_u32 c in
+      let nlink = Codec.get_u32 c in
+      let fresh = Codec.get_u8 c = 1 in
+      Add { dir; name; ino; nlink; fresh }
+  | 2 ->
+      let dir = Codec.get_u32 c in
+      let name = Codec.get_string c in
+      let ino = Codec.get_u32 c in
+      let nlink = Codec.get_u32 c in
+      Remove { dir; name; ino; nlink }
+  | 3 ->
+      let odir = Codec.get_u32 c in
+      let oname = Codec.get_string c in
+      let ndir = Codec.get_u32 c in
+      let nname = Codec.get_string c in
+      let ino = Codec.get_u32 c in
+      Rename { odir; oname; ndir; nname; ino }
+  | n -> Types.corrupt "dir-log: unknown record tag %d" n
+
+let encode_blocks ~block_size records =
+  let blocks = ref [] in
+  let current = ref [] in
+  let used = ref 4 (* count field *) in
+  let seal () =
+    if !current <> [] then begin
+      let b = Bytes.make block_size '\000' in
+      let c = Codec.writer b in
+      let rs = List.rev !current in
+      Codec.put_u32 c (List.length rs);
+      List.iter (encode_record c) rs;
+      blocks := b :: !blocks;
+      current := [];
+      used := 4
+    end
+  in
+  List.iter
+    (fun r ->
+      let sz = record_size r in
+      if !used + sz > block_size then seal ();
+      current := r :: !current;
+      used := !used + sz)
+    records;
+  seal ();
+  List.rev !blocks
+
+let decode_block b =
+  let c = Codec.reader b in
+  let n = Codec.get_u32 c in
+  if n > Bytes.length b then Types.corrupt "dir-log: impossible record count %d" n;
+  List.init n (fun _ -> decode_record c)
+
+let pp_record ppf = function
+  | Add { dir; name; ino; nlink; fresh } ->
+      Format.fprintf ppf "add %d/%s -> ino %d (nlink %d%s)" dir name ino nlink
+        (if fresh then ", fresh" else "")
+  | Remove { dir; name; ino; nlink } ->
+      Format.fprintf ppf "remove %d/%s (ino %d, nlink %d)" dir name ino nlink
+  | Rename { odir; oname; ndir; nname; ino } ->
+      Format.fprintf ppf "rename %d/%s -> %d/%s (ino %d)" odir oname ndir nname ino

@@ -1,0 +1,40 @@
+(** The directory operation log (Section 4.2).
+
+    Each directory mutation is recorded here and the record is guaranteed
+    to reach the log before the corresponding directory block or inode.
+    Roll-forward uses the records to restore consistency between
+    directory entries and inode reference counts, and they make rename
+    atomic across crashes. *)
+
+type record =
+  | Add of {
+      dir : Types.ino;
+      name : string;
+      ino : Types.ino;
+      nlink : int;
+      fresh : bool;
+    }
+      (** create or link: entry [name -> ino] added to [dir]; the
+          inode's reference count after the operation is [nlink].
+          [fresh] marks a newly allocated inode (create/mkdir) as
+          opposed to a link to an existing one — roll-forward needs the
+          distinction to tell incarnations of a reused inode number
+          apart *)
+  | Remove of { dir : Types.ino; name : string; ino : Types.ino; nlink : int }
+      (** unlink: entry removed; [nlink = 0] means the file dies *)
+  | Rename of {
+      odir : Types.ino;
+      oname : string;
+      ndir : Types.ino;
+      nname : string;
+      ino : Types.ino;
+    }  (** atomic move of [ino] from [odir/oname] to [ndir/nname] *)
+
+val encode_blocks : block_size:int -> record list -> bytes list
+(** Pack records into as many dir-log blocks as needed (order
+    preserved). *)
+
+val decode_block : bytes -> record list
+(** Raises {!Types.Corrupt} on malformed content. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,67 @@
+module Codec = Lfs_util.Bytes_codec
+
+type t = (string * Types.ino) list
+(* Insertion order preserved; lookups are linear, which is fine for the
+   directory sizes in the paper's workloads (Sprite LFS did the same). *)
+
+let max_name = 255
+
+let empty = []
+
+let check_name name =
+  let n = String.length name in
+  if n = 0 then Types.fs_error "empty file name";
+  if n > max_name then Types.fs_error "file name longer than %d bytes" max_name;
+  String.iter
+    (fun ch ->
+      if ch = '/' || ch = '\000' then
+        Types.fs_error "file name %S contains '/' or NUL" name)
+    name
+
+let of_bytes b =
+  try
+    let c = Codec.reader b in
+    let n = Codec.get_u32 c in
+    if n > Bytes.length b then
+      Types.corrupt "directory: impossible entry count %d" n;
+    List.init n (fun _ ->
+        let name = Codec.get_string c in
+        let ino = Codec.get_u32 c in
+        (name, ino))
+  with Codec.Overflow msg -> Types.corrupt "directory: truncated (%s)" msg
+
+let to_bytes t =
+  let size =
+    4 + List.fold_left (fun acc (name, _) -> acc + 2 + String.length name + 4) 0 t
+  in
+  let b = Bytes.make size '\000' in
+  let c = Codec.writer b in
+  Codec.put_u32 c (List.length t);
+  List.iter
+    (fun (name, ino) ->
+      Codec.put_string c name;
+      Codec.put_u32 c ino)
+    t;
+  b
+
+let is_empty t = t = []
+let cardinal = List.length
+let find t name = List.assoc_opt name t
+let mem t name = List.mem_assoc name t
+
+let add t name ino =
+  check_name name;
+  if mem t name then Types.fs_error "name %S already exists" name;
+  t @ [ (name, ino) ]
+
+let remove t name =
+  if not (mem t name) then Types.fs_error "no such entry %S" name;
+  List.filter (fun (n, _) -> n <> name) t
+
+let replace t name ino =
+  check_name name;
+  if mem t name then
+    List.map (fun (n, i) -> if n = name then (n, ino) else (n, i)) t
+  else t @ [ (name, ino) ]
+
+let entries t = t

@@ -1,0 +1,36 @@
+(** Directory contents.
+
+    A directory is an ordinary file whose data is a serialised list of
+    [(name, inode)] entries; it flows through the same cache, log and
+    cleaner as any file.  Names are unique within a directory, non-empty,
+    at most {!max_name} bytes and must not contain ['/'] or NUL. *)
+
+type t
+(** Parsed in-memory entry list. *)
+
+val max_name : int
+
+val empty : t
+val of_bytes : bytes -> t
+(** Raises {!Types.Corrupt} on malformed content. *)
+
+val to_bytes : t -> bytes
+val is_empty : t -> bool
+val cardinal : t -> int
+val find : t -> string -> Types.ino option
+val mem : t -> string -> bool
+
+val add : t -> string -> Types.ino -> t
+(** Raises {!Types.Fs_error} if the name already exists. *)
+
+val remove : t -> string -> t
+(** Raises {!Types.Fs_error} if the name is absent. *)
+
+val replace : t -> string -> Types.ino -> t
+(** Add-or-overwrite, used by recovery's ensure-style fixes. *)
+
+val entries : t -> (string * Types.ino) list
+(** In insertion order. *)
+
+val check_name : string -> unit
+(** Validate a file name; raises {!Types.Fs_error} on bad names. *)

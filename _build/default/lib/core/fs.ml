@@ -1,0 +1,1497 @@
+module Disk = Lfs_disk.Disk
+module Block_cache = Lfs_disk.Block_cache
+module Prng = Lfs_util.Prng
+
+type stat = {
+  st_ino : Types.ino;
+  st_ftype : Types.ftype;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : float;
+  st_atime : float;
+  st_version : int;
+}
+
+type handle = {
+  inode : Inode.t;
+  fmap : Filemap.t;
+  mutable inode_dirty : bool;
+  mutable content : bytes option;  (* whole-content cache, directories only *)
+}
+
+type t = {
+  disk : Disk.t;
+  bcache : Block_cache.t;
+  layout : Layout.t;
+  mutable config : Config.t;
+  imap : Inode_map.t;
+  usage : Seg_usage.t;
+  log : Log_writer.t;
+  handles : (Types.ino, handle) Hashtbl.t;
+  dirty_data : (Types.ino * int, bytes) Hashtbl.t;
+  mutable dirty_count : int;
+  mutable pending_dirops : Dir_log.record list;  (* newest first *)
+  reusable : int list ref;  (* checkpoint-persisted clean segments *)
+  reusable_len : int ref;
+  cleaner_attr : bool ref;  (* current appends belong to the cleaner *)
+  stats : Fs_stats.t;
+  mutable clock : float;
+  mutable ops_since_ckpt : int;
+  mutable blocks_since_ckpt : int;
+  mutable ckpt_region : int;  (* region to write next *)
+  mutable in_cleaner : bool;
+  mutable in_checkpoint : bool;
+  mutable checkpoint_hook : unit -> unit;
+  cleaning_victims : (int, unit) Hashtbl.t;
+  rng : Prng.t;
+}
+
+type recovery_report = {
+  writes_replayed : int;
+  inodes_recovered : int;
+  data_blocks_recovered : int;
+  dirops_applied : int;
+  segments_scanned : int;
+}
+
+let root = Types.root_ino
+
+let disk t = t.disk
+let layout t = t.layout
+let config t = t.config
+let stats t = t.stats
+let clock t = t.clock
+
+let block_size t = t.layout.Layout.block_size
+
+let tick t =
+  t.clock <- t.clock +. 1.0;
+  t.clock
+
+(* In-memory location for inodes created but not yet written to the log;
+   block 0 is the superblock so no real inode can ever live there. *)
+let placeholder_iaddr = Types.Iaddr.make ~block:0 ~slot:0
+
+let read_disk_block t addr = Block_cache.read t.bcache t.disk addr
+
+let kill_addr t addr ~bytes =
+  let seg = Layout.seg_of_block t.layout addr in
+  if seg < 0 then
+    Types.corrupt "attempt to kill fixed-area block %d" addr;
+  Seg_usage.kill t.usage seg ~bytes;
+  (* A segment whose last live byte dies is reclaimed without cleaning
+     (Section 3.6); Table 2 counts such segments as cleaned-empty. *)
+  if
+    Seg_usage.live_bytes t.usage seg = 0
+    && not (Hashtbl.mem t.cleaning_victims seg)
+  then Fs_stats.note_segment_cleaned t.stats ~u:0.0
+
+(* Every log append goes through here so traffic is attributed. *)
+let append_block t ~kind ~ino ~blockno ~version ~mtime payload =
+  Fs_stats.note_written t.stats kind ~cleaner:!(t.cleaner_attr) ~blocks:1;
+  t.blocks_since_ckpt <- t.blocks_since_ckpt + 1;
+  Log_writer.append t.log ~kind ~ino ~blockno ~version ~mtime payload
+
+(* {1 Inode handles} *)
+
+let load_handle t ino =
+  let iaddr = Inode_map.location t.imap ino in
+  if Types.Iaddr.is_nil iaddr then Types.fs_error "no such inode %d" ino;
+  if Types.Iaddr.equal iaddr placeholder_iaddr then
+    Types.corrupt "inode %d has no on-disk copy and no handle" ino;
+  let b = read_disk_block t (Types.Iaddr.block iaddr) in
+  match Inode.decode b ~slot:(Types.Iaddr.slot iaddr) with
+  | None -> Types.corrupt "inode %d: slot %a is unused" ino Types.Iaddr.pp iaddr
+  | Some inode ->
+      if inode.Inode.ino <> ino then
+        Types.corrupt "inode %d: slot holds inode %d" ino inode.Inode.ino;
+      let fmap = Filemap.load ~read:(read_disk_block t) t.layout inode in
+      { inode; fmap; inode_dirty = false; content = None }
+
+let get_handle t ino =
+  match Hashtbl.find_opt t.handles ino with
+  | Some h -> h
+  | None ->
+      let h = load_handle t ino in
+      Hashtbl.replace t.handles ino h;
+      h
+
+(* Bound the handle cache; only clean handles may be dropped. *)
+let handle_cache_limit = 100_000
+
+let maybe_evict_handles t =
+  if Hashtbl.length t.handles > handle_cache_limit then begin
+    let victims = ref [] in
+    Hashtbl.iter
+      (fun ino h ->
+        if
+          (not h.inode_dirty)
+          && (not (Filemap.dirty h.fmap))
+          && ino <> Types.root_ino
+        then victims := ino :: !victims)
+      t.handles;
+    List.iter (Hashtbl.remove t.handles) !victims
+  end
+
+let version_of t ino = Inode_map.version t.imap ino
+
+(* {1 File block IO} *)
+
+let read_file_block t h ino blockno =
+  match Hashtbl.find_opt t.dirty_data (ino, blockno) with
+  | Some b -> Bytes.copy b
+  | None ->
+      let addr = Filemap.get h.fmap blockno in
+      if addr = Types.nil_addr then Bytes.make (block_size t) '\000'
+      else read_disk_block t addr
+
+let put_dirty_block t ino blockno b =
+  if not (Hashtbl.mem t.dirty_data (ino, blockno)) then
+    t.dirty_count <- t.dirty_count + 1;
+  Hashtbl.replace t.dirty_data (ino, blockno) b
+
+(* {1 Flushing the file cache to the log} *)
+
+let flush_dirops t =
+  if t.pending_dirops <> [] then begin
+    let records = List.rev t.pending_dirops in
+    t.pending_dirops <- [];
+    let blocks = Dir_log.encode_blocks ~block_size:(block_size t) records in
+    List.iter
+      (fun b ->
+        let (_ : Types.baddr) =
+          append_block t ~kind:Types.Dir_log ~ino:0 ~blockno:0 ~version:0
+            ~mtime:t.clock (Log_writer.Bytes b)
+        in
+        ())
+      blocks
+  end
+
+let flush_data_blocks t =
+  if Hashtbl.length t.dirty_data > 0 then begin
+    (* Group by inode, ascending block numbers, for sequential layout. *)
+    let by_ino = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (ino, blockno) b ->
+        let l = Option.value ~default:[] (Hashtbl.find_opt by_ino ino) in
+        Hashtbl.replace by_ino ino ((blockno, b) :: l))
+      t.dirty_data;
+    let inos = Hashtbl.fold (fun ino _ acc -> ino :: acc) by_ino [] in
+    List.iter
+      (fun ino ->
+        let h = get_handle t ino in
+        let blocks =
+          List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.find by_ino ino)
+        in
+        List.iter
+          (fun (blockno, b) ->
+            let old = Filemap.get h.fmap blockno in
+            let addr =
+              append_block t ~kind:Types.Data ~ino ~blockno
+                ~version:(version_of t ino) ~mtime:h.inode.Inode.mtime
+                (Log_writer.Bytes b)
+            in
+            Filemap.set h.fmap blockno addr;
+            if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t);
+            Hashtbl.remove t.dirty_data (ino, blockno))
+          blocks;
+        h.inode_dirty <- true)
+      (List.sort compare inos);
+    t.dirty_count <- 0
+  end
+
+let flush_filemaps_and_inodes t =
+  (* Indirect blocks first (the inode must point at their new copies). *)
+  let dirty_inos = ref [] in
+  Hashtbl.iter
+    (fun ino h ->
+      (* The map flush also refreshes the inode's direct pointers, so it
+         must run for every inode about to be written, not only when an
+         indirect chunk is dirty. *)
+      if Filemap.dirty h.fmap || h.inode_dirty then begin
+        Filemap.flush h.fmap h.inode
+          ~alloc:(fun ~kind ~blockno payload ->
+            append_block t ~kind ~ino ~blockno ~version:(version_of t ino)
+              ~mtime:h.inode.Inode.mtime (Log_writer.Bytes payload))
+          ~free:(fun addr -> kill_addr t addr ~bytes:(block_size t));
+        dirty_inos := (ino, h) :: !dirty_inos
+      end)
+    t.handles;
+  (* Pack dirty inodes into inode blocks. *)
+  let pending = List.sort (fun (a, _) (b, _) -> compare a b) !dirty_inos in
+  let per_block = t.layout.Layout.inodes_per_block in
+  let inode_size = t.layout.Layout.inode_size in
+  let rec pack = function
+    | [] -> ()
+    | group ->
+        let n = min per_block (List.length group) in
+        let batch = List.filteri (fun i _ -> i < n) group in
+        let rest = List.filteri (fun i _ -> i >= n) group in
+        let b = Bytes.make (block_size t) '\000' in
+        let newest =
+          List.fold_left
+            (fun acc (_, h) -> Float.max acc h.inode.Inode.mtime)
+            0.0 batch
+        in
+        List.iteri (fun slot (_, h) -> Inode.encode h.inode b ~slot) batch;
+        let addr =
+          append_block t ~kind:Types.Inode_block ~ino:0 ~blockno:0 ~version:0
+            ~mtime:newest (Log_writer.Bytes b)
+        in
+        let seg = Layout.seg_of_block t.layout addr in
+        List.iteri
+          (fun slot (ino, h) ->
+            let old = Inode_map.location t.imap ino in
+            if
+              (not (Types.Iaddr.is_nil old))
+              && not (Types.Iaddr.equal old placeholder_iaddr)
+            then
+              Seg_usage.kill t.usage
+                (Layout.seg_of_block t.layout (Types.Iaddr.block old))
+                ~bytes:inode_size;
+            Seg_usage.add_live t.usage seg ~bytes:inode_size
+              ~mtime:h.inode.Inode.mtime;
+            Inode_map.set_location t.imap ino (Types.Iaddr.make ~block:addr ~slot);
+            h.inode_dirty <- false)
+          batch;
+        pack rest
+  in
+  pack pending
+
+(* Flush order matters for recovery: directory-log records first, then
+   data, then indirect blocks, then inodes (Section 4.2). *)
+let flush_internal t ~cleaner =
+  let saved = !(t.cleaner_attr) in
+  t.cleaner_attr := cleaner;
+  Fun.protect
+    ~finally:(fun () -> t.cleaner_attr := saved)
+    (fun () ->
+      flush_dirops t;
+      flush_data_blocks t;
+      flush_filemaps_and_inodes t;
+      Log_writer.sync t.log)
+
+let sync t = flush_internal t ~cleaner:false
+
+(* {1 Checkpoints} *)
+
+let refresh_reusable t =
+  let cur = Log_writer.current_segment t.log in
+  let nxt = Log_writer.reserved_segment t.log in
+  t.reusable :=
+    List.filter (fun s -> s <> cur && s <> nxt) (Seg_usage.clean_segments t.usage);
+  t.reusable_len := List.length !(t.reusable)
+
+let checkpoint t =
+  if t.in_checkpoint then ()
+  else begin
+    t.in_checkpoint <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_checkpoint <- false)
+      (fun () ->
+        flush_internal t ~cleaner:false;
+        (* Imap and usage blocks self-describe accounting that appending
+           them changes, so payloads are rendered lazily at batch-write
+           time and the dirty flag is cleared when the payload is
+           rendered.  A batch may auto-sync mid-cycle, in which case the
+           cycle's later appends re-dirty already-written blocks — so
+           cycles repeat until a whole cycle lands in one batch and
+           nothing is dirty after the sync. *)
+        let cycles = ref 0 in
+        let dirty_remains () =
+          Inode_map.dirty_blocks t.imap <> [] || Seg_usage.dirty_blocks t.usage <> []
+        in
+        while dirty_remains () do
+          incr cycles;
+          if !cycles > 100 then
+            Types.corrupt "checkpoint: metadata flush failed to converge";
+          List.iter
+            (fun i ->
+              let old = Inode_map.block_addr t.imap i in
+              let fresh =
+                append_block t ~kind:Types.Imap ~ino:0 ~blockno:i ~version:0
+                  ~mtime:t.clock
+                  (Log_writer.Lazy
+                     (fun () ->
+                       let b = Inode_map.encode_block t.imap i in
+                       Inode_map.clear_block_dirty t.imap i;
+                       b))
+              in
+              Inode_map.set_block_addr t.imap i fresh;
+              if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t))
+            (Inode_map.dirty_blocks t.imap);
+          List.iter
+            (fun i ->
+              let old = Seg_usage.block_addr t.usage i in
+              let fresh =
+                append_block t ~kind:Types.Seg_usage ~ino:0 ~blockno:i
+                  ~version:0 ~mtime:t.clock
+                  (Log_writer.Lazy
+                     (fun () ->
+                       let b = Seg_usage.encode_block t.usage i in
+                       Seg_usage.clear_block_dirty t.usage i;
+                       b))
+              in
+              Seg_usage.set_block_addr t.usage i fresh;
+              if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t))
+            (Seg_usage.dirty_blocks t.usage);
+          Log_writer.sync t.log
+        done;
+        let region =
+          {
+            Checkpoint.timestamp = t.clock;
+            log_seq = Log_writer.seq t.log;
+            cur_seg = Log_writer.current_segment t.log;
+            cur_off = Log_writer.current_offset t.log;
+            next_seg = Log_writer.reserved_segment t.log;
+            imap_addrs =
+              Array.init (Inode_map.nblocks t.imap) (Inode_map.block_addr t.imap);
+            usage_addrs =
+              Array.init (Seg_usage.nblocks t.usage) (Seg_usage.block_addr t.usage);
+          }
+        in
+        Checkpoint.write t.layout t.disk ~region:t.ckpt_region region;
+        t.ckpt_region <- 1 - t.ckpt_region;
+        t.ops_since_ckpt <- 0;
+        t.blocks_since_ckpt <- 0;
+        Fs_stats.note_checkpoint t.stats;
+        refresh_reusable t;
+        maybe_evict_handles t;
+        t.checkpoint_hook ())
+  end
+
+(* {1 The segment cleaner} *)
+
+let seg_utilization t s = Seg_usage.utilization t.usage s
+let clean_segment_count t = Seg_usage.clean_count t.usage
+
+(* One buffer flush can consume several segments before the cleaner gets
+   another chance to run — in the worst case every buffered block belongs
+   to a different large file and drags two indirect-block rewrites and an
+   inode with it — so the trigger must leave that much headroom
+   regardless of the configured threshold. *)
+let flush_need t =
+  ((3 * t.config.Config.write_buffer_blocks) + t.layout.Layout.seg_blocks - 1)
+  / t.layout.Layout.seg_blocks
+
+let clean_start_effective t = max t.config.Config.clean_start (flush_need t + 2)
+
+let clean_stop_effective t =
+  max t.config.Config.clean_stop (clean_start_effective t + 2)
+
+(* Parse every log write found in a victim segment's in-memory image.
+   Stale summaries from a previous life of the segment may survive here;
+   the entries they describe simply fail the liveness checks. *)
+let parse_segment_image t ~seg buf =
+  let bs = block_size t in
+  let seg_blocks = t.layout.Layout.seg_blocks in
+  let results = ref [] in
+  let rec walk slot =
+    if slot <= seg_blocks - 2 then begin
+      let sum_block = Bytes.sub buf (slot * bs) bs in
+      match Summary.decode sum_block with
+      | None -> ()
+      | Some s ->
+          if s.Summary.seg <> seg || s.Summary.slot <> slot then ()
+          else begin
+            let n = List.length s.Summary.entries in
+            if slot + 1 + n > seg_blocks then ()
+            else begin
+              List.iteri
+                (fun i e ->
+                  let addr = Layout.seg_first_block t.layout seg + slot + 1 + i in
+                  let payload = Bytes.sub buf ((slot + 1 + i) * bs) bs in
+                  results := (e, addr, payload) :: !results)
+                s.Summary.entries;
+              walk (Summary.next_slot s)
+            end
+          end
+    end
+  in
+  walk 0;
+  List.rev !results
+
+(* Live-blocks cleaning: walk the summary chain reading one block at a
+   time, handing out on-demand payload thunks that charge the device
+   only for blocks actually needed (Section 3.4's untried idea). *)
+let parse_segment_chain_live t ~seg =
+  let seg_blocks = t.layout.Layout.seg_blocks in
+  let first = Layout.seg_first_block t.layout seg in
+  let results = ref [] in
+  let rec walk slot =
+    if slot <= seg_blocks - 2 then begin
+      Fs_stats.note_segment_read t.stats ~blocks:1;
+      let sum_block = Disk.read_block t.disk (first + slot) in
+      match Summary.decode sum_block with
+      | None -> ()
+      | Some su ->
+          if su.Summary.seg <> seg || su.Summary.slot <> slot then ()
+          else begin
+            let n = List.length su.Summary.entries in
+            if slot + 1 + n > seg_blocks then ()
+            else begin
+              List.iteri
+                (fun i e ->
+                  let addr = first + slot + 1 + i in
+                  let payload () =
+                    Fs_stats.note_segment_read t.stats ~blocks:1;
+                    Disk.read_block t.disk addr
+                  in
+                  results := (e, addr, payload) :: !results)
+                su.Summary.entries;
+              walk (Summary.next_slot su)
+            end
+          end
+    end
+  in
+  walk 0;
+  List.rev !results
+
+type live_item =
+  | Live_data of {
+      ino : Types.ino;
+      blockno : int;
+      version : int;
+      payload : unit -> bytes;
+          (** whole-segment cleaning hands out a slice of the segment
+              image; live-blocks cleaning reads the block on demand *)
+      mtime : float;
+    }
+  | Live_indirect of { ino : Types.ino; sblockno : int }
+  | Live_inode of Types.ino
+  | Live_imap_block of int
+  | Live_usage_block of int
+
+(* Liveness tests of Section 3.3: version (uid) first — a stale version
+   discards the block with no further IO — then the block pointer. *)
+let classify_live t (e : Summary.entry) addr payload =
+  match e.Summary.kind with
+  | Types.Summary | Types.Dir_log -> []
+  | Types.Data ->
+      if
+        Inode_map.is_allocated t.imap e.Summary.ino
+        && Inode_map.version t.imap e.Summary.ino = e.Summary.version
+      then begin
+        let h = get_handle t e.Summary.ino in
+        if Filemap.get h.fmap e.Summary.blockno = addr then
+          [
+            Live_data
+              {
+                ino = e.Summary.ino;
+                blockno = e.Summary.blockno;
+                version = e.Summary.version;
+                payload;
+                mtime = e.Summary.mtime;
+              };
+          ]
+        else []
+      end
+      else []
+  | Types.Indirect | Types.Dindirect ->
+      if
+        Inode_map.is_allocated t.imap e.Summary.ino
+        && Inode_map.version t.imap e.Summary.ino = e.Summary.version
+      then begin
+        let h = get_handle t e.Summary.ino in
+        if Filemap.indirect_addr h.fmap ~sblockno:e.Summary.blockno = addr then
+          [ Live_indirect { ino = e.Summary.ino; sblockno = e.Summary.blockno } ]
+        else []
+      end
+      else []
+  | Types.Inode_block ->
+      let payload = payload () in
+      let acc = ref [] in
+      for slot = 0 to t.layout.Layout.inodes_per_block - 1 do
+        match Inode.decode payload ~slot with
+        | None -> ()
+        | Some inode ->
+            let ino = inode.Inode.ino in
+            if
+              ino >= 0
+              && ino < Inode_map.max_inodes t.imap
+              && Types.Iaddr.equal
+                   (Inode_map.location t.imap ino)
+                   (Types.Iaddr.make ~block:addr ~slot)
+            then acc := Live_inode ino :: !acc
+      done;
+      List.rev !acc
+  | Types.Imap ->
+      if
+        e.Summary.blockno >= 0
+        && e.Summary.blockno < Inode_map.nblocks t.imap
+        && Inode_map.block_addr t.imap e.Summary.blockno = addr
+      then [ Live_imap_block e.Summary.blockno ]
+      else []
+  | Types.Seg_usage ->
+      if
+        e.Summary.blockno >= 0
+        && e.Summary.blockno < Seg_usage.nblocks t.usage
+        && Seg_usage.block_addr t.usage e.Summary.blockno = addr
+      then [ Live_usage_block e.Summary.blockno ]
+      else []
+
+let relocate_item t item =
+  match item with
+  | Live_data { ino; blockno; version; payload; mtime } ->
+      let h = get_handle t ino in
+      let old = Filemap.get h.fmap blockno in
+      let addr =
+        append_block t ~kind:Types.Data ~ino ~blockno ~version ~mtime
+          (Log_writer.Bytes (payload ()))
+      in
+      Filemap.set h.fmap blockno addr;
+      h.inode_dirty <- true;
+      if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t)
+  | Live_indirect { ino; sblockno } ->
+      let h = get_handle t ino in
+      Filemap.mark_indirect_dirty h.fmap ~sblockno;
+      h.inode_dirty <- true
+  | Live_inode ino ->
+      let h = get_handle t ino in
+      h.inode_dirty <- true
+  | Live_imap_block i ->
+      let old = Inode_map.block_addr t.imap i in
+      let fresh =
+        append_block t ~kind:Types.Imap ~ino:0 ~blockno:i ~version:0
+          ~mtime:t.clock
+          (Log_writer.Lazy
+             (fun () ->
+               let b = Inode_map.encode_block t.imap i in
+               Inode_map.clear_block_dirty t.imap i;
+               b))
+      in
+      Inode_map.set_block_addr t.imap i fresh;
+      if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t)
+  | Live_usage_block i ->
+      let old = Seg_usage.block_addr t.usage i in
+      let fresh =
+        append_block t ~kind:Types.Seg_usage ~ino:0 ~blockno:i ~version:0
+          ~mtime:t.clock
+          (Log_writer.Lazy
+             (fun () ->
+               let b = Seg_usage.encode_block t.usage i in
+               Seg_usage.clear_block_dirty t.usage i;
+               b))
+      in
+      Seg_usage.set_block_addr t.usage i fresh;
+      if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t)
+
+let clean_victims t victims =
+  (* Read the victims and identify live data across all of them, then
+     write the survivors out grouped by the mount-time policy. *)
+  List.iter (fun seg -> Hashtbl.replace t.cleaning_victims seg ()) victims;
+  let live = ref [] in
+  List.iter
+    (fun seg ->
+      let u = seg_utilization t seg in
+      Fs_stats.note_segment_cleaned t.stats ~u;
+      if Seg_usage.live_bytes t.usage seg > 0 then begin
+        let entries =
+          match t.config.Config.cleaner_read with
+          | Config.Whole_segment ->
+              let buf =
+                Disk.read_blocks t.disk
+                  (Layout.seg_first_block t.layout seg)
+                  t.layout.Layout.seg_blocks
+              in
+              Fs_stats.note_segment_read t.stats
+                ~blocks:t.layout.Layout.seg_blocks;
+              List.map
+                (fun (e, addr, payload) -> (e, addr, fun () -> payload))
+                (parse_segment_image t ~seg buf)
+          | Config.Live_blocks -> parse_segment_chain_live t ~seg
+        in
+        List.iter
+          (fun (e, addr, payload) ->
+            List.iter
+              (fun item -> live := (item, e.Summary.mtime) :: !live)
+              (classify_live t e addr payload))
+          entries
+      end)
+    victims;
+  let ordered =
+    Cleaner.order_for_grouping ~grouping:t.config.Config.grouping_policy
+      (List.rev !live)
+  in
+  let saved = !(t.cleaner_attr) in
+  t.cleaner_attr := true;
+  Fun.protect
+    ~finally:(fun () -> t.cleaner_attr := saved)
+    (fun () ->
+      List.iter (relocate_item t) ordered;
+      flush_internal t ~cleaner:true);
+  (* Everything live has been relocated; the victims must be empty. *)
+  List.iter
+    (fun seg ->
+      let left = Seg_usage.live_bytes t.usage seg in
+      if left <> 0 then
+        Types.corrupt "segment %d still has %d live bytes after cleaning" seg
+          left;
+      Seg_usage.set_clean t.usage seg)
+    victims;
+  Hashtbl.reset t.cleaning_victims
+
+let clean t =
+  if t.in_cleaner then ()
+  else begin
+    t.in_cleaner <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_cleaner <- false)
+      (fun () ->
+        flush_internal t ~cleaner:false;
+        let continue_cleaning = ref true in
+        while
+          !continue_cleaning && clean_segment_count t < clean_stop_effective t
+        do
+          let before = clean_segment_count t in
+          let cur = Log_writer.current_segment t.log in
+          let nxt = Log_writer.reserved_segment t.log in
+          let candidates =
+            Seg_usage.dirty_segments t.usage
+            |> List.filter (fun s -> s <> cur && s <> nxt)
+            |> List.map (fun s ->
+                   {
+                     Cleaner.seg = s;
+                     u = seg_utilization t s;
+                     age = Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage s);
+                   })
+          in
+          (* Below the critical threshold (the pool can no longer absorb
+             even one buffer flush), yield is all that matters: fall back
+             to greedy so a cost-benefit (or ablation) policy that
+             favours old nearly-full segments cannot starve the writer of
+             clean segments. *)
+          let policy =
+            if !(t.reusable_len) < flush_need t then Config.Greedy
+            else t.config.Config.cleaning_policy
+          in
+          let victims =
+            Cleaner.select ~policy
+              ~rand:(fun n -> Prng.int t.rng n)
+              ~candidates ~count:t.config.Config.segs_per_pass ()
+          in
+          (* Relocation writes into clean segments before any victim is
+             freed, so bound the pass by what the reusable pool can
+             absorb, keeping one segment of slack for the checkpoint and
+             30% headroom for the inode and indirect blocks rewritten
+             alongside the relocated data. *)
+          let budget = Float.max 0.7 (float_of_int (!(t.reusable_len) - 1)) in
+          let victims =
+            let acc = ref 0.0 in
+            List.filter
+              (fun s ->
+                let cost = (seg_utilization t s *. 1.3) +. 0.05 in
+                if !acc +. cost <= budget then begin
+                  acc := !acc +. cost;
+                  true
+                end
+                else false)
+              victims
+          in
+          if victims = [] then continue_cleaning := false
+          else begin
+            clean_victims t victims;
+            (* Persist the pass: victims only become reusable once the
+               checkpoint no longer references their old contents. *)
+            checkpoint t;
+            if clean_segment_count t <= before then continue_cleaning := false
+          end
+        done;
+        (* Segments that emptied by themselves since the last checkpoint
+           also only become reusable once a checkpoint stops referencing
+           their contents — so always finish with one, even when no pass
+           ran. *)
+        checkpoint t)
+  end
+
+let on_checkpoint t hook = t.checkpoint_hook <- hook
+
+let drop_caches t =
+  flush_internal t ~cleaner:false;
+  Hashtbl.reset t.handles;
+  Block_cache.clear t.bcache
+
+(* {1 Operation epilogue} *)
+
+let finish_op t =
+  t.ops_since_ckpt <- t.ops_since_ckpt + 1;
+  if
+    (not t.in_checkpoint)
+    && ((t.config.Config.checkpoint_interval_ops > 0
+        && t.ops_since_ckpt >= t.config.Config.checkpoint_interval_ops)
+       || (t.config.Config.checkpoint_interval_blocks > 0
+          && t.blocks_since_ckpt >= t.config.Config.checkpoint_interval_blocks))
+  then checkpoint t;
+  if (not t.in_cleaner) && !(t.reusable_len) < clean_start_effective t then
+    clean t
+
+(* {1 File IO} *)
+
+let get_file_handle t ino =
+  let h = get_handle t ino in
+  (match h.inode.Inode.ftype with
+  | Types.Regular -> ()
+  | Types.Directory -> Types.fs_error "inode %d is a directory" ino);
+  h
+
+let write_blocks_of t h ino ~off data =
+  let bs = block_size t in
+  let len = Bytes.length data in
+  if off < 0 then Types.fs_error "negative offset";
+  let first = off / bs and last = (off + len - 1) / bs in
+  h.inode.Inode.mtime <- tick t;
+  h.inode_dirty <- true;
+  for blockno = first to last do
+    let block_start = blockno * bs in
+    let lo = max off block_start in
+    let hi = min (off + len) (block_start + bs) in
+    let b =
+      if lo = block_start && hi = block_start + bs then
+        Bytes.sub data (lo - off) bs
+      else begin
+        let b = read_file_block t h ino blockno in
+        Bytes.blit data (lo - off) b (lo - block_start) (hi - lo);
+        b
+      end
+    in
+    put_dirty_block t ino blockno b;
+    (* Grow the size with the buffered prefix so a mid-write buffer
+       flush persists a self-consistent inode (matters after a crash). *)
+    h.inode.Inode.size <- max h.inode.Inode.size hi;
+    if t.dirty_count >= t.config.Config.write_buffer_blocks then begin
+      flush_internal t ~cleaner:false;
+      if (not t.in_cleaner) && !(t.reusable_len) < clean_start_effective t
+      then clean t
+    end
+  done
+
+let write t ino ~off data =
+  if Bytes.length data > 0 then begin
+    let h = get_file_handle t ino in
+    write_blocks_of t h ino ~off data;
+    finish_op t
+  end
+
+let read_any t ino ~off ~len =
+  let h = get_handle t ino in
+  let bs = block_size t in
+  if off < 0 || len < 0 then Types.fs_error "negative read range";
+  let len = max 0 (min len (h.inode.Inode.size - off)) in
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let blockno = abs / bs in
+    let in_block = abs mod bs in
+    let n = min (bs - in_block) (len - !pos) in
+    let b = read_file_block t h ino blockno in
+    Bytes.blit b in_block out !pos n;
+    pos := !pos + n
+  done;
+  Inode_map.set_atime t.imap ino t.clock;
+  out
+
+let read t ino ~off ~len = read_any t ino ~off ~len
+
+let drop_cached_blocks_from t ino ~first_block =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun (i, blockno) _ ->
+      if i = ino && blockno >= first_block then doomed := blockno :: !doomed)
+    t.dirty_data;
+  List.iter
+    (fun blockno ->
+      Hashtbl.remove t.dirty_data (ino, blockno);
+      t.dirty_count <- t.dirty_count - 1)
+    !doomed
+
+let truncate_internal t ino ~len =
+  let h = get_handle t ino in
+  if len < 0 then Types.fs_error "negative truncate length";
+  let bs = block_size t in
+  let keep_blocks = (len + bs - 1) / bs in
+  drop_cached_blocks_from t ino ~first_block:keep_blocks;
+  Filemap.truncate h.fmap ~blocks:keep_blocks
+    ~free:(fun addr -> kill_addr t addr ~bytes:bs);
+  if len < h.inode.Inode.size && len mod bs <> 0 then begin
+    (* Zero the tail of the new last block so extends re-read zeros. *)
+    let blockno = len / bs in
+    let b = read_file_block t h ino blockno in
+    Bytes.fill b (len mod bs) (bs - (len mod bs)) '\000';
+    put_dirty_block t ino blockno b
+  end;
+  h.inode.Inode.size <- len;
+  h.inode.Inode.mtime <- tick t;
+  h.inode_dirty <- true;
+  if len = 0 then Inode_map.bump_version t.imap ino
+
+let truncate t ino ~len =
+  let (_ : handle) = get_file_handle t ino in
+  truncate_internal t ino ~len;
+  finish_op t
+
+(* {1 Directories} *)
+
+let get_dir_handle t ino =
+  let h = get_handle t ino in
+  (match h.inode.Inode.ftype with
+  | Types.Directory -> ()
+  | Types.Regular -> Types.fs_error "inode %d is not a directory" ino);
+  h
+
+let dir_contents t ino =
+  let h = get_dir_handle t ino in
+  match h.content with
+  | Some b -> Directory.of_bytes b
+  | None ->
+      let b = read_any t ino ~off:0 ~len:h.inode.Inode.size in
+      h.content <- Some b;
+      Directory.of_bytes b
+
+(* Rewrite a directory's contents, dirtying only the blocks that
+   actually changed (appending an entry touches the count block and the
+   tail, not the whole file). *)
+let set_dir_contents t ino d =
+  let h = get_dir_handle t ino in
+  let bs = block_size t in
+  let fresh = Directory.to_bytes d in
+  let old = match h.content with Some b -> b | None -> Bytes.create 0 in
+  let nblocks = (Bytes.length fresh + bs - 1) / bs in
+  for blockno = 0 to nblocks - 1 do
+    let lo = blockno * bs in
+    let hi = min (Bytes.length fresh) (lo + bs) in
+    let changed =
+      lo >= Bytes.length old
+      || hi > Bytes.length old
+      || not (Bytes.equal (Bytes.sub fresh lo (hi - lo)) (Bytes.sub old lo (hi - lo)))
+    in
+    if changed then begin
+      let b = Bytes.make bs '\000' in
+      Bytes.blit fresh lo b 0 (hi - lo);
+      put_dirty_block t ino blockno b
+    end
+  done;
+  if Bytes.length fresh < h.inode.Inode.size then begin
+    drop_cached_blocks_from t ino ~first_block:nblocks;
+    Filemap.truncate h.fmap ~blocks:nblocks
+      ~free:(fun addr -> kill_addr t addr ~bytes:bs)
+  end;
+  h.inode.Inode.size <- Bytes.length fresh;
+  h.inode.Inode.mtime <- tick t;
+  h.inode_dirty <- true;
+  h.content <- Some fresh;
+  if t.dirty_count >= t.config.Config.write_buffer_blocks then begin
+    flush_internal t ~cleaner:false;
+    if (not t.in_cleaner) && !(t.reusable_len) < clean_start_effective t
+    then clean t
+  end
+
+let lookup t ~dir name = Directory.find (dir_contents t dir) name
+
+let readdir t ino = Directory.entries (dir_contents t ino)
+
+let queue_dirop t record = t.pending_dirops <- record :: t.pending_dirops
+
+let create_node t ~dir name ~ftype =
+  Directory.check_name name;
+  let d = dir_contents t dir in
+  if Directory.mem d name then Types.fs_error "name %S already exists" name;
+  let ino = Inode_map.allocate t.imap in
+  let inode = Inode.create ~ino ~ftype ~mtime:(tick t) in
+  let h =
+    {
+      inode;
+      fmap = Filemap.create_empty t.layout inode;
+      inode_dirty = true;
+      content = (match ftype with Types.Directory -> Some (Directory.to_bytes Directory.empty) | Types.Regular -> None);
+    }
+  in
+  Hashtbl.replace t.handles ino h;
+  Inode_map.set_location t.imap ino placeholder_iaddr;
+  queue_dirop t (Dir_log.Add { dir; name; ino; nlink = 1; fresh = true });
+  set_dir_contents t dir (Directory.add d name ino);
+  (match ftype with
+  | Types.Directory ->
+      set_dir_contents t ino Directory.empty
+  | Types.Regular -> ());
+  finish_op t;
+  ino
+
+let create t ~dir name = create_node t ~dir name ~ftype:Types.Regular
+let mkdir t ~dir name = create_node t ~dir name ~ftype:Types.Directory
+
+let link t ~dir name ino =
+  Directory.check_name name;
+  let h = get_file_handle t ino in
+  let d = dir_contents t dir in
+  if Directory.mem d name then Types.fs_error "name %S already exists" name;
+  h.inode.Inode.nlink <- h.inode.Inode.nlink + 1;
+  h.inode_dirty <- true;
+  queue_dirop t
+    (Dir_log.Add { dir; name; ino; nlink = h.inode.Inode.nlink; fresh = false });
+  set_dir_contents t dir (Directory.add d name ino);
+  finish_op t
+
+let delete_file t ino =
+  let h = get_handle t ino in
+  let bs = block_size t in
+  drop_cached_blocks_from t ino ~first_block:0;
+  Filemap.iter_mapped h.fmap (fun _ addr -> kill_addr t addr ~bytes:bs);
+  List.iter
+    (fun (_, addr) -> kill_addr t addr ~bytes:bs)
+    (Filemap.indirect_blocks h.fmap);
+  let loc = Inode_map.location t.imap ino in
+  if
+    (not (Types.Iaddr.is_nil loc))
+    && not (Types.Iaddr.equal loc placeholder_iaddr)
+  then
+    Seg_usage.kill t.usage
+      (Layout.seg_of_block t.layout (Types.Iaddr.block loc))
+      ~bytes:t.layout.Layout.inode_size;
+  Inode_map.free t.imap ino;
+  Hashtbl.remove t.handles ino
+
+let unlink_internal t ~dir name ~expect =
+  let d = dir_contents t dir in
+  match Directory.find d name with
+  | None -> Types.fs_error "no such entry %S" name
+  | Some ino ->
+      let h = get_handle t ino in
+      (match (expect, h.inode.Inode.ftype) with
+      | `File, Types.Directory ->
+          Types.fs_error "%S is a directory (use rmdir)" name
+      | `Dir, Types.Regular -> Types.fs_error "%S is not a directory" name
+      | `Dir, Types.Directory ->
+          if not (Directory.is_empty (dir_contents t ino)) then
+            Types.fs_error "directory %S is not empty" name
+      | `File, Types.Regular -> ());
+      let nlink = h.inode.Inode.nlink - 1 in
+      queue_dirop t (Dir_log.Remove { dir; name; ino; nlink });
+      set_dir_contents t dir (Directory.remove d name);
+      if nlink <= 0 then delete_file t ino
+      else begin
+        h.inode.Inode.nlink <- nlink;
+        h.inode_dirty <- true
+      end
+
+let unlink t ~dir name =
+  unlink_internal t ~dir name ~expect:`File;
+  finish_op t
+
+let rmdir t ~dir name =
+  unlink_internal t ~dir name ~expect:`Dir;
+  finish_op t
+
+let rename t ~odir oname ~ndir nname =
+  Directory.check_name nname;
+  let od = dir_contents t odir in
+  match Directory.find od oname with
+  | None -> Types.fs_error "no such entry %S" oname
+  | Some ino ->
+      if odir = ndir && oname = nname then ()
+      else if lookup t ~dir:ndir nname = Some ino then
+        (* POSIX: source and target are links to the same file: no-op. *)
+        ()
+      else begin
+        (* Replace an existing (non-directory) target first. *)
+        (match lookup t ~dir:ndir nname with
+        | Some _ -> unlink_internal t ~dir:ndir nname ~expect:`File
+        | None -> ());
+        queue_dirop t (Dir_log.Rename { odir; oname; ndir; nname; ino });
+        set_dir_contents t odir (Directory.remove (dir_contents t odir) oname);
+        set_dir_contents t ndir (Directory.add (dir_contents t ndir) nname ino);
+        finish_op t
+      end
+
+(* {1 Stat} *)
+
+let stat t ino =
+  let h = get_handle t ino in
+  {
+    st_ino = ino;
+    st_ftype = h.inode.Inode.ftype;
+    st_size = h.inode.Inode.size;
+    st_nlink = h.inode.Inode.nlink;
+    st_mtime = h.inode.Inode.mtime;
+    st_atime = Inode_map.atime t.imap ino;
+    st_version = Inode_map.version t.imap ino;
+  }
+
+let file_size t ino = (get_handle t ino).inode.Inode.size
+
+(* {1 Paths} *)
+
+let split_path path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let resolve t path =
+  let rec go dir = function
+    | [] -> Some dir
+    | name :: rest -> (
+        match lookup t ~dir name with
+        | None -> None
+        | Some ino -> go ino rest)
+  in
+  go root (split_path path)
+
+let parent_and_leaf t path =
+  match List.rev (split_path path) with
+  | [] -> Types.fs_error "path %S has no leaf" path
+  | leaf :: rev_dirs -> (
+      let dirs = List.rev rev_dirs in
+      match
+        List.fold_left
+          (fun acc name ->
+            match acc with
+            | None -> None
+            | Some dir -> lookup t ~dir name)
+          (Some root) dirs
+      with
+      | None -> Types.fs_error "path %S: missing directory" path
+      | Some dir -> (dir, leaf))
+
+let create_path t path =
+  let dir, leaf = parent_and_leaf t path in
+  create t ~dir leaf
+
+let mkdir_path t path =
+  let dir, leaf = parent_and_leaf t path in
+  mkdir t ~dir leaf
+
+let write_path t path data =
+  let dir, leaf = parent_and_leaf t path in
+  let ino =
+    match lookup t ~dir leaf with
+    | Some ino -> ino
+    | None -> create t ~dir leaf
+  in
+  truncate t ino ~len:0;
+  write t ino ~off:0 data
+
+let read_path t path =
+  match resolve t path with
+  | None -> Types.fs_error "no such path %S" path
+  | Some ino -> read t ino ~off:0 ~len:(file_size t ino)
+
+(* {1 Construction} *)
+
+let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
+    ~clock ~ckpt_region =
+  let layout = sb.Superblock.layout in
+  let reusable = ref [] in
+  let reusable_len = ref 0 in
+  let cleaner_attr = ref false in
+  let stats = Fs_stats.create () in
+  let bcache = Block_cache.create ~capacity:config.Config.cache_blocks in
+  let pick_clean ~exclude =
+    let rec pop acc = function
+      | [] ->
+          Types.fs_error
+            "log is out of clean segments (disk full or checkpoint-starved)"
+      | s :: rest ->
+          if List.mem s exclude then pop (s :: acc) rest
+          else begin
+            reusable := List.rev_append acc rest;
+            decr reusable_len;
+            s
+          end
+    in
+    pop [] !reusable
+  in
+  let on_append kind ~seg ~mtime =
+    let bytes =
+      match kind with
+      | Types.Data | Types.Indirect | Types.Dindirect | Types.Imap
+      | Types.Seg_usage ->
+          layout.Layout.block_size
+      | Types.Inode_block | Types.Summary | Types.Dir_log -> 0
+    in
+    Seg_usage.add_live usage seg ~bytes ~mtime
+  in
+  let on_batch ~addr ~blocks =
+    (* The log reuses cleaned segments; drop any stale cached copies. *)
+    Block_cache.invalidate_range bcache addr blocks;
+    Fs_stats.note_written stats Types.Summary ~cleaner:!cleaner_attr ~blocks:1
+  in
+  let log =
+    Log_writer.create layout disk ~pick_clean ~on_append ~on_batch ~cur_seg
+      ~cur_off ~next_seg ~seq
+  in
+  let t =
+    {
+      disk;
+      bcache;
+      layout;
+      config;
+      imap;
+      usage;
+      log;
+      handles = Hashtbl.create 256;
+      dirty_data = Hashtbl.create 256;
+      dirty_count = 0;
+      pending_dirops = [];
+      reusable;
+      reusable_len;
+      cleaner_attr;
+      stats;
+      clock;
+      ops_since_ckpt = 0;
+      blocks_since_ckpt = 0;
+      ckpt_region;
+      in_cleaner = false;
+      in_checkpoint = false;
+      checkpoint_hook = (fun () -> ());
+      cleaning_victims = Hashtbl.create 16;
+      rng = Prng.create ~seed:0x5EED;
+    }
+  in
+  refresh_reusable t;
+  t
+
+let format disk cfg =
+  Config.validate cfg ~disk_blocks:(Disk.nblocks disk);
+  if Disk.block_size disk <> cfg.Config.block_size then
+    invalid_arg "Fs.format: config block size does not match the device";
+  let sb = Superblock.create cfg ~disk_blocks:(Disk.nblocks disk) in
+  Superblock.store sb disk;
+  let layout = sb.Superblock.layout in
+  let imap = Inode_map.create layout in
+  let usage = Seg_usage.create layout in
+  let t =
+    make_t disk sb ~config:cfg ~imap ~usage ~cur_seg:0 ~cur_off:0 ~next_seg:1
+      ~seq:1 ~clock:1.0 ~ckpt_region:0
+  in
+  (* Fresh disk: every segment is writable. *)
+  t.reusable :=
+    List.filter (fun s -> s <> 0 && s <> 1)
+      (List.init layout.Layout.nsegs (fun i -> i));
+  t.reusable_len := List.length !(t.reusable);
+  let ino = Inode_map.allocate t.imap in
+  assert (ino = Types.root_ino);
+  let inode = Inode.create ~ino ~ftype:Types.Directory ~mtime:(tick t) in
+  let h =
+    {
+      inode;
+      fmap = Filemap.create_empty layout inode;
+      inode_dirty = true;
+      content = Some (Directory.to_bytes Directory.empty);
+    }
+  in
+  Hashtbl.replace t.handles ino h;
+  Inode_map.set_location t.imap ino placeholder_iaddr;
+  set_dir_contents t ino Directory.empty;
+  checkpoint t
+
+let mount ?config disk =
+  let sb = Superblock.load disk in
+  let layout = sb.Superblock.layout in
+  let cfg = Option.value ~default:sb.Superblock.config config in
+  if cfg.Config.block_size <> sb.Superblock.config.Config.block_size
+     || cfg.Config.seg_blocks <> sb.Superblock.config.Config.seg_blocks
+     || cfg.Config.max_inodes <> sb.Superblock.config.Config.max_inodes
+  then invalid_arg "Fs.mount: geometry fields cannot be overridden";
+  match Checkpoint.read_latest layout disk with
+  | None -> Types.corrupt "no valid checkpoint region: not a formatted LFS"
+  | Some (region, ck) ->
+      let read = Disk.read_block disk in
+      let imap =
+        Inode_map.load layout ~read ~block_addrs:ck.Checkpoint.imap_addrs
+      in
+      let usage =
+        Seg_usage.load layout ~read ~block_addrs:ck.Checkpoint.usage_addrs
+      in
+      make_t disk sb ~config:cfg ~imap ~usage ~cur_seg:ck.Checkpoint.cur_seg
+        ~cur_off:ck.Checkpoint.cur_off ~next_seg:ck.Checkpoint.next_seg
+        ~seq:ck.Checkpoint.log_seq
+        ~clock:(ck.Checkpoint.timestamp +. 1.0)
+        ~ckpt_region:(1 - region)
+
+let unmount t = checkpoint t
+
+(* {1 Roll-forward} *)
+
+let recover ?config disk =
+  let sb = Superblock.load disk in
+  let layout = sb.Superblock.layout in
+  let cfg = Option.value ~default:sb.Superblock.config config in
+  match Checkpoint.read_latest layout disk with
+  | None -> Types.corrupt "no valid checkpoint region: not a formatted LFS"
+  | Some (region, ck) ->
+      let scan = Recovery.scan layout disk ~ckpt:ck in
+      let read = Disk.read_block disk in
+      let imap =
+        Inode_map.load layout ~read ~block_addrs:ck.Checkpoint.imap_addrs
+      in
+      let usage =
+        Seg_usage.load layout ~read ~block_addrs:ck.Checkpoint.usage_addrs
+      in
+      let newest_ts =
+        List.fold_left
+          (fun acc w -> Float.max acc w.Recovery.summary.Summary.timestamp)
+          ck.Checkpoint.timestamp scan.Recovery.writes
+      in
+      let t =
+        make_t disk sb ~config:cfg ~imap ~usage
+          ~cur_seg:scan.Recovery.tail_seg ~cur_off:scan.Recovery.tail_off
+          ~next_seg:scan.Recovery.tail_next_seg ~seq:scan.Recovery.next_seq
+          ~clock:(newest_ts +. 1.0)
+          ~ckpt_region:(1 - region)
+      in
+      (* Segments holding post-checkpoint writes look clean in the
+         checkpoint's usage table but contain the data being recovered;
+         they must not be handed out for writing until the adjusted
+         usage table says so. *)
+      let touched = Hashtbl.create 8 in
+      Hashtbl.replace touched scan.Recovery.tail_seg ();
+      List.iter
+        (fun w -> Hashtbl.replace touched w.Recovery.summary.Summary.seg ())
+        scan.Recovery.writes;
+      t.reusable := List.filter (fun s -> not (Hashtbl.mem touched s)) !(t.reusable);
+      t.reusable_len := List.length !(t.reusable);
+      let bs = block_size t in
+      (* Phase 1: the latest recovered copy of each inode wins. *)
+      let recovered : (Types.ino, Types.Iaddr.t) Hashtbl.t = Hashtbl.create 64 in
+      let dirlogs = ref [] in
+      let data_blocks = ref 0 in
+      List.iter
+        (fun w ->
+          List.iteri
+            (fun i (e : Summary.entry) ->
+              let addr = Summary.entry_addr w.Recovery.summary t.layout i in
+              match e.Summary.kind with
+              | Types.Inode_block ->
+                  let payload = List.assoc i w.Recovery.blocks in
+                  for slot = 0 to t.layout.Layout.inodes_per_block - 1 do
+                    match Inode.decode payload ~slot with
+                    | None -> ()
+                    | Some inode ->
+                        Hashtbl.replace recovered inode.Inode.ino
+                          (Types.Iaddr.make ~block:addr ~slot)
+                  done
+              | Types.Data -> incr data_blocks
+              | Types.Dir_log ->
+                  let payload = List.assoc i w.Recovery.blocks in
+                  dirlogs := List.rev_append (Dir_log.decode_block payload) !dirlogs
+              | Types.Indirect | Types.Dindirect | Types.Imap
+              | Types.Seg_usage | Types.Summary ->
+                  ())
+            w.Recovery.summary.Summary.entries)
+        scan.Recovery.writes;
+      let dirlogs = List.rev !dirlogs in
+      (* Phase 2: incorporate each recovered inode and adjust segment
+         utilisations by diffing the old and new block maps. *)
+      let adjust_for_inode ino new_iaddr =
+        let old_iaddr = Inode_map.location t.imap ino in
+        let old_map = Hashtbl.create 64 in
+        (if not (Types.Iaddr.is_nil old_iaddr) then
+           match
+             Inode.decode
+               (read_disk_block t (Types.Iaddr.block old_iaddr))
+               ~slot:(Types.Iaddr.slot old_iaddr)
+           with
+           | None -> ()
+           | Some old_inode ->
+               let old_fmap =
+                 Filemap.load ~read:(read_disk_block t) t.layout old_inode
+               in
+               Filemap.iter_mapped old_fmap (fun i a ->
+                   Hashtbl.replace old_map (`Data i) a);
+               List.iter
+                 (fun (s, a) -> Hashtbl.replace old_map (`Ind s) a)
+                 (Filemap.indirect_blocks old_fmap));
+        (* Old inode slot dies; new one lives. *)
+        if not (Types.Iaddr.is_nil old_iaddr) then
+          Seg_usage.kill t.usage
+            (Layout.seg_of_block t.layout (Types.Iaddr.block old_iaddr))
+            ~bytes:t.layout.Layout.inode_size;
+        Inode_map.set_location t.imap ino new_iaddr;
+        let h = load_handle t ino in
+        Hashtbl.replace t.handles ino h;
+        Seg_usage.add_live t.usage
+          (Layout.seg_of_block t.layout (Types.Iaddr.block new_iaddr))
+          ~bytes:t.layout.Layout.inode_size ~mtime:h.inode.Inode.mtime;
+        let seen = Hashtbl.create 64 in
+        let account key addr =
+          Hashtbl.replace seen key ();
+          let old = Hashtbl.find_opt old_map key in
+          if old <> Some addr then begin
+            (match old with
+            | Some a -> kill_addr t a ~bytes:bs
+            | None -> ());
+            Seg_usage.add_live t.usage
+              (Layout.seg_of_block t.layout addr)
+              ~bytes:bs ~mtime:h.inode.Inode.mtime
+          end
+        in
+        Filemap.iter_mapped h.fmap (fun i a -> account (`Data i) a);
+        List.iter
+          (fun (s, a) -> account (`Ind s) a)
+          (Filemap.indirect_blocks h.fmap);
+        (* Blocks the old inode had but the new one dropped. *)
+        Hashtbl.iter
+          (fun key a -> if not (Hashtbl.mem seen key) then kill_addr t a ~bytes:bs)
+          old_map
+      in
+      (* Process recovered inodes in on-disk order so the inode-block
+         reads stream sequentially instead of seeking per file. *)
+      let recovered_sorted =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare (Types.Iaddr.to_int a) (Types.Iaddr.to_int b))
+          (Hashtbl.fold (fun ino ia acc -> (ino, ia) :: acc) recovered [])
+      in
+      List.iter (fun (ino, ia) -> adjust_for_inode ino ia) recovered_sorted;
+      (* Phase 3: replay the directory operation log (ensure-style, so
+         operations whose effects did reach disk are no-ops). *)
+      let dirops_applied = ref 0 in
+      let inode_live ino =
+        Inode_map.is_allocated t.imap ino
+      in
+      (* An inode number freed and reallocated inside the recovery window
+         appears in the journal twice: records for the dead incarnation
+         must not touch the surviving one.  [reused_after i ino] is true
+         when a later record freshly re-creates [ino]. *)
+      let dirlog_arr = Array.of_list dirlogs in
+      let reused_after i ino =
+        let rec scan j =
+          j < Array.length dirlog_arr
+          &&
+          match dirlog_arr.(j) with
+          | Dir_log.Add { ino = ino'; fresh = true; _ } when ino' = ino -> true
+          | Dir_log.Add _ | Dir_log.Remove _ | Dir_log.Rename _ -> scan (j + 1)
+        in
+        scan (i + 1)
+      in
+      let apply_dirop i op =
+        incr dirops_applied;
+        match op with
+        | Dir_log.Add { dir; name; ino; nlink; fresh = _ } ->
+            if inode_live dir then begin
+              let d = dir_contents t dir in
+              if inode_live ino then begin
+                if Directory.find d name <> Some ino then
+                  set_dir_contents t dir (Directory.replace d name ino);
+                let h = get_handle t ino in
+                if h.inode.Inode.nlink <> nlink then begin
+                  h.inode.Inode.nlink <- nlink;
+                  h.inode_dirty <- true
+                end
+              end
+              else if Directory.find d name = Some ino then
+                (* Create whose inode never reached the log: the paper's
+                   one uncompletable operation — drop the entry. *)
+                set_dir_contents t dir (Directory.remove d name)
+            end
+        | Dir_log.Remove { dir; name; ino; nlink } ->
+            if inode_live dir then begin
+              let d = dir_contents t dir in
+              if Directory.find d name = Some ino then
+                set_dir_contents t dir (Directory.remove d name)
+            end;
+            if inode_live ino && not (reused_after i ino) then begin
+              if nlink <= 0 then delete_file t ino
+              else begin
+                let h = get_handle t ino in
+                if h.inode.Inode.nlink <> nlink then begin
+                  h.inode.Inode.nlink <- nlink;
+                  h.inode_dirty <- true
+                end
+              end
+            end
+        | Dir_log.Rename { odir; oname; ndir; nname; ino } ->
+            if inode_live ino then begin
+              if inode_live odir then begin
+                let d = dir_contents t odir in
+                if Directory.find d oname = Some ino then
+                  set_dir_contents t odir (Directory.remove d oname)
+              end;
+              if inode_live ndir then begin
+                let d = dir_contents t ndir in
+                if Directory.find d nname <> Some ino then
+                  set_dir_contents t ndir (Directory.replace d nname ino)
+              end
+            end
+      in
+      List.iteri apply_dirop dirlogs;
+      (* Phase 4: persist the recovered state. *)
+      refresh_reusable t;
+      checkpoint t;
+      ( t,
+        {
+          writes_replayed = List.length scan.Recovery.writes;
+          inodes_recovered = Hashtbl.length recovered;
+          data_blocks_recovered = !data_blocks;
+          dirops_applied = !dirops_applied;
+          segments_scanned = scan.Recovery.segments_scanned;
+        } )
+
+(* {1 Introspection} *)
+
+let utilization t =
+  let live = ref 0 in
+  for s = 0 to Seg_usage.nsegs t.usage - 1 do
+    live := !live + Seg_usage.live_bytes t.usage s
+  done;
+  float_of_int !live
+  /. float_of_int
+       (Seg_usage.nsegs t.usage * t.layout.Layout.seg_blocks
+      * t.layout.Layout.block_size)
+
+let segment_histogram t ~bins =
+  let cur = Log_writer.current_segment t.log in
+  Seg_usage.utilization_histogram t.usage ~bins ~exclude:(fun s -> s = cur)
+
+type live_breakdown = { by_kind : (Types.block_kind * int) list; total_bytes : int }
+
+let live_breakdown t =
+  flush_internal t ~cleaner:false;
+  let bs = block_size t in
+  let tally = Hashtbl.create 8 in
+  let add kind bytes =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tally kind) in
+    Hashtbl.replace tally kind (cur + bytes)
+  in
+  Inode_map.iter_allocated t.imap (fun ino _ ->
+      add Types.Inode_block t.layout.Layout.inode_size;
+      let h = get_handle t ino in
+      Filemap.iter_mapped h.fmap (fun _ _ -> add Types.Data bs);
+      List.iter
+        (fun (s, _) ->
+          match Filemap.classify_sblockno s with
+          | `Single | `L1 _ -> add Types.Indirect bs
+          | `L2 -> add Types.Dindirect bs
+          | `Data _ -> ())
+        (Filemap.indirect_blocks h.fmap));
+  for i = 0 to Inode_map.nblocks t.imap - 1 do
+    if Inode_map.block_addr t.imap i <> Types.nil_addr then add Types.Imap bs
+  done;
+  for i = 0 to Seg_usage.nblocks t.usage - 1 do
+    if Seg_usage.block_addr t.usage i <> Types.nil_addr then
+      add Types.Seg_usage bs
+  done;
+  let by_kind =
+    List.map
+      (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt tally k)))
+      Types.all_block_kinds
+  in
+  let total_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 by_kind in
+  { by_kind; total_bytes }
+
+let iter_files t f =
+  flush_internal t ~cleaner:false;
+  Inode_map.iter_allocated t.imap (fun ino _ ->
+      let h = get_handle t ino in
+      f ino h.inode)
+
+let with_handle t ino f =
+  let h = get_handle t ino in
+  f h.inode h.fmap
+
+let imap_location t ino = Inode_map.location t.imap ino
+let imap_block_addr t i = Inode_map.block_addr t.imap i
+
+let usage_block_addrs t =
+  List.init (Seg_usage.nblocks t.usage) (Seg_usage.block_addr t.usage)
+
+let segment_live_bytes t s = Seg_usage.live_bytes t.usage s
+let segment_mtime t s = Seg_usage.mtime t.usage s

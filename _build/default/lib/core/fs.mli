@@ -1,0 +1,157 @@
+(** Sprite LFS: the public file-system API.
+
+    All modifications are buffered in the file cache and written to disk
+    sequentially in large log writes ({!Log_writer}); the segment cleaner
+    ({!Cleaner} policies) regenerates empty segments; checkpoints plus
+    roll-forward ({!Recovery}) provide crash recovery.
+
+    Time inside the file system is a logical clock that advances by one
+    tick per mutating operation, which keeps every experiment
+    deterministic. *)
+
+type t
+
+type stat = {
+  st_ino : Types.ino;
+  st_ftype : Types.ftype;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : float;
+  st_atime : float;
+  st_version : int;
+}
+
+(** {1 Lifecycle} *)
+
+val format : Lfs_disk.Disk.t -> Config.t -> unit
+(** Create a fresh file system on the device: superblock, empty inode
+    map and usage table, root directory, initial checkpoint. *)
+
+val mount : ?config:Config.t -> Lfs_disk.Disk.t -> t
+(** Load the latest checkpoint and discard anything after it (how the
+    paper's production systems rebooted).  [config] overrides mount-time
+    policies (cleaning/grouping/thresholds); geometry always comes from
+    the superblock.  Raises {!Types.Corrupt} if no valid checkpoint. *)
+
+type recovery_report = {
+  writes_replayed : int;
+  inodes_recovered : int;
+  data_blocks_recovered : int;
+  dirops_applied : int;
+  segments_scanned : int;
+}
+
+val recover : ?config:Config.t -> Lfs_disk.Disk.t -> t * recovery_report
+(** Mount, then roll the log forward from the checkpoint: reprocess
+    recovered inodes, adjust segment utilisations, replay the directory
+    operation log, and write a fresh checkpoint. *)
+
+val unmount : t -> unit
+(** Flush everything and checkpoint.  The [t] must not be used after. *)
+
+(** {1 Namespace operations} *)
+
+val root : Types.ino
+
+val create : t -> dir:Types.ino -> string -> Types.ino
+(** New empty regular file.  Raises {!Types.Fs_error} if the name exists
+    or [dir] is not a directory. *)
+
+val mkdir : t -> dir:Types.ino -> string -> Types.ino
+val lookup : t -> dir:Types.ino -> string -> Types.ino option
+val readdir : t -> Types.ino -> (string * Types.ino) list
+
+val link : t -> dir:Types.ino -> string -> Types.ino -> unit
+(** Hard link to a regular file. *)
+
+val unlink : t -> dir:Types.ino -> string -> unit
+(** Remove a name; the file dies when its last link goes.  Refuses to
+    unlink directories (use {!rmdir}). *)
+
+val rmdir : t -> dir:Types.ino -> string -> unit
+(** Remove an empty directory. *)
+
+val rename :
+  t -> odir:Types.ino -> string -> ndir:Types.ino -> string -> unit
+(** Atomic rename; an existing target (non-directory) is replaced. *)
+
+(** {1 File IO} *)
+
+val write : t -> Types.ino -> off:int -> bytes -> unit
+val read : t -> Types.ino -> off:int -> len:int -> bytes
+(** Reads past EOF are truncated; holes read as zeros. *)
+
+val truncate : t -> Types.ino -> len:int -> unit
+(** Truncating to zero bumps the file's uid version (Section 3.3). *)
+
+val stat : t -> Types.ino -> stat
+val file_size : t -> Types.ino -> int
+
+(** {1 Paths} — convenience wrappers resolving ["/a/b/c"] from the root *)
+
+val resolve : t -> string -> Types.ino option
+val create_path : t -> string -> Types.ino
+val mkdir_path : t -> string -> Types.ino
+val write_path : t -> string -> bytes -> unit
+(** Create-or-replace the file's entire contents. *)
+
+val read_path : t -> string -> bytes
+
+(** {1 Durability and maintenance} *)
+
+val sync : t -> unit
+(** Flush the file cache to the log (data reaches disk; metadata
+    locations become durable at the next checkpoint). *)
+
+val checkpoint : t -> unit
+(** Flush and write a checkpoint region. *)
+
+val on_checkpoint : t -> (unit -> unit) -> unit
+(** Register a callback invoked after every completed checkpoint,
+    including the automatic ones taken by the cleaner and the
+    interval/volume triggers.  {!Nvram_fs} uses it to discard its
+    journal exactly when the journalled operations become durable. *)
+
+val clean : t -> unit
+(** Run cleaning passes until the clean-segment target is reached;
+    normally automatic, exposed for experiments. *)
+
+val clean_segment_count : t -> int
+
+val drop_caches : t -> unit
+(** Flush, then forget cached inodes, block maps and directory contents,
+    so subsequent operations hit the disk (cold-cache benchmark
+    phases). *)
+
+(** {1 Introspection for benchmarks, fsck and tests} *)
+
+val disk : t -> Lfs_disk.Disk.t
+val layout : t -> Layout.t
+val config : t -> Config.t
+val stats : t -> Fs_stats.t
+val clock : t -> float
+
+val utilization : t -> float
+(** Live bytes / log capacity (disk capacity utilisation). *)
+
+val segment_histogram : t -> bins:int -> Lfs_util.Histogram.t
+(** Per-segment utilisation distribution, excluding the segment being
+    written (Figures 5-6, 10). *)
+
+type live_breakdown = { by_kind : (Types.block_kind * int) list; total_bytes : int }
+
+val live_breakdown : t -> live_breakdown
+(** Walk all live structures and attribute bytes by kind (Table 4's
+    "Live data" column).  Flushes first. *)
+
+val iter_files : t -> (Types.ino -> Inode.t -> unit) -> unit
+(** Visit every allocated inode (flushed state). *)
+
+val with_handle : t -> Types.ino -> (Inode.t -> Filemap.t -> 'a) -> 'a
+(** Read-only access to a file's inode and block map (for fsck). *)
+
+val imap_location : t -> Types.ino -> Types.Iaddr.t
+val imap_block_addr : t -> int -> Types.baddr
+val usage_block_addrs : t -> Types.baddr list
+val segment_live_bytes : t -> int -> int
+val segment_mtime : t -> int -> float

@@ -1,0 +1,81 @@
+type t = {
+  new_by_kind : int array;
+  cleaner_by_kind : int array;
+  mutable cleaner_blocks_read : int;
+  mutable segments_cleaned : int;
+  mutable segments_cleaned_empty : int;
+  mutable cleaned_u_sum : float;
+  mutable cleaned_u_count : int;
+  mutable checkpoints : int;
+}
+
+let nkinds = List.length Types.all_block_kinds
+
+let create () =
+  {
+    new_by_kind = Array.make nkinds 0;
+    cleaner_by_kind = Array.make nkinds 0;
+    cleaner_blocks_read = 0;
+    segments_cleaned = 0;
+    segments_cleaned_empty = 0;
+    cleaned_u_sum = 0.0;
+    cleaned_u_count = 0;
+    checkpoints = 0;
+  }
+
+let reset t =
+  Array.fill t.new_by_kind 0 nkinds 0;
+  Array.fill t.cleaner_by_kind 0 nkinds 0;
+  t.cleaner_blocks_read <- 0;
+  t.segments_cleaned <- 0;
+  t.segments_cleaned_empty <- 0;
+  t.cleaned_u_sum <- 0.0;
+  t.cleaned_u_count <- 0;
+  t.checkpoints <- 0
+
+let note_written t kind ~cleaner ~blocks =
+  let a = if cleaner then t.cleaner_by_kind else t.new_by_kind in
+  let i = Types.block_kind_to_int kind in
+  a.(i) <- a.(i) + blocks
+
+let note_segment_read t ~blocks = t.cleaner_blocks_read <- t.cleaner_blocks_read + blocks
+
+let note_segment_cleaned t ~u =
+  t.segments_cleaned <- t.segments_cleaned + 1;
+  if u = 0.0 then t.segments_cleaned_empty <- t.segments_cleaned_empty + 1
+  else begin
+    t.cleaned_u_sum <- t.cleaned_u_sum +. u;
+    t.cleaned_u_count <- t.cleaned_u_count + 1
+  end
+
+let note_checkpoint t = t.checkpoints <- t.checkpoints + 1
+
+let sum = Array.fold_left ( + ) 0
+let blocks_written_new t = sum t.new_by_kind
+let blocks_written_cleaner t = sum t.cleaner_by_kind
+let blocks_read_cleaner t = t.cleaner_blocks_read
+
+let written_by_kind t kind =
+  let i = Types.block_kind_to_int kind in
+  t.new_by_kind.(i) + t.cleaner_by_kind.(i)
+
+let segments_cleaned t = t.segments_cleaned
+let segments_cleaned_empty t = t.segments_cleaned_empty
+
+let avg_cleaned_u_nonempty t =
+  if t.cleaned_u_count = 0 then 0.0
+  else t.cleaned_u_sum /. float_of_int t.cleaned_u_count
+
+let checkpoints t = t.checkpoints
+
+let write_cost t =
+  let fresh = blocks_written_new t in
+  if fresh = 0 then 1.0
+  else
+    float_of_int (fresh + blocks_written_cleaner t + t.cleaner_blocks_read)
+    /. float_of_int fresh
+
+let log_bandwidth_fraction t kind =
+  let total = blocks_written_new t + blocks_written_cleaner t in
+  if total = 0 then 0.0
+  else float_of_int (written_by_kind t kind) /. float_of_int total

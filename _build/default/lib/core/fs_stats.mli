@@ -1,0 +1,46 @@
+(** Long-term accounting of log traffic and cleaning, powering the write
+    cost of Section 3.4, Table 2's cleaning statistics and Table 4's
+    log-bandwidth breakdown. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val note_written : t -> Types.block_kind -> cleaner:bool -> blocks:int -> unit
+(** Blocks appended to the log, attributed to new data or to the
+    cleaner. *)
+
+val note_segment_read : t -> blocks:int -> unit
+(** A whole victim segment read by the cleaner. *)
+
+val note_segment_cleaned : t -> u:float -> unit
+(** A victim finished; [u] is its utilisation when selected. *)
+
+val note_checkpoint : t -> unit
+
+val blocks_written_new : t -> int
+(** All log blocks written on behalf of new data (including metadata and
+    summary blocks). *)
+
+val blocks_written_cleaner : t -> int
+val blocks_read_cleaner : t -> int
+val written_by_kind : t -> Types.block_kind -> int
+(** Total log blocks of this kind (new + cleaner). *)
+
+val segments_cleaned : t -> int
+val segments_cleaned_empty : t -> int
+
+val avg_cleaned_u_nonempty : t -> float
+(** Mean utilisation of the non-empty segments cleaned (Table 2's "u"
+    column). *)
+
+val checkpoints : t -> int
+
+val write_cost : t -> float
+(** (blocks written + cleaner reads) / new-data blocks, the paper's
+    formula; 1.0 when nothing has been cleaned and no data written. *)
+
+val log_bandwidth_fraction : t -> Types.block_kind -> float
+(** Fraction of all log blocks of the given kind (Table 4, "Log
+    bandwidth" column). *)

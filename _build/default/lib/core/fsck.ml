@@ -1,0 +1,134 @@
+type report = {
+  errors : string list;
+  files : int;
+  directories : int;
+  live_data_blocks : int;
+  live_indirect_blocks : int;
+}
+
+let is_clean r = r.errors = []
+
+let check fs =
+  Fs.sync fs;
+  let layout = Fs.layout fs in
+  let bs = layout.Layout.block_size in
+  let errors = ref [] in
+  let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let files = ref 0 and directories = ref 0 in
+  let live_data = ref 0 and live_indirect = ref 0 in
+  let expected_live = Array.make layout.Layout.nsegs 0 in
+  let owners : (Types.baddr, string) Hashtbl.t = Hashtbl.create 1024 in
+  let claim addr ~bytes what =
+    let seg = Layout.seg_of_block layout addr in
+    if seg < 0 || seg >= layout.Layout.nsegs then
+      error "%s: block %d outside the log area" what addr
+    else begin
+      expected_live.(seg) <- expected_live.(seg) + bytes;
+      (* Inode slots share a block; only whole blocks get uniqueness. *)
+      if bytes = bs then begin
+        (match Hashtbl.find_opt owners addr with
+        | Some other -> error "block %d claimed by both %s and %s" addr other what
+        | None -> ());
+        Hashtbl.replace owners addr what
+      end
+    end
+  in
+  (* Inodes, block maps, data blocks. *)
+  let allocated = ref [] in
+  Fs.iter_files fs (fun ino inode ->
+      allocated := ino :: !allocated;
+      if inode.Inode.ino <> ino then
+        error "inode %d stores number %d" ino inode.Inode.ino;
+      (match inode.Inode.ftype with
+      | Types.Regular -> incr files
+      | Types.Directory -> incr directories);
+      let iaddr = Fs.imap_location fs ino in
+      claim (Types.Iaddr.block iaddr) ~bytes:layout.Layout.inode_size
+        (Printf.sprintf "inode %d" ino);
+      Fs.with_handle fs ino (fun inode fmap ->
+          let max_blocks = (inode.Inode.size + bs - 1) / bs in
+          Filemap.iter_mapped fmap (fun blockno addr ->
+              incr live_data;
+              if blockno >= max_blocks then
+                error "inode %d: block %d beyond size %d" ino blockno
+                  inode.Inode.size;
+              claim addr ~bytes:bs (Printf.sprintf "data %d.%d" ino blockno));
+          List.iter
+            (fun (sblockno, addr) ->
+              incr live_indirect;
+              claim addr ~bytes:bs
+                (Printf.sprintf "indirect %d.%d" ino sblockno))
+            (Filemap.indirect_blocks fmap)));
+  (* Inode map and usage table blocks. *)
+  for i = 0 to layout.Layout.imap_blocks - 1 do
+    let addr = Fs.imap_block_addr fs i in
+    if addr <> Types.nil_addr then
+      claim addr ~bytes:bs (Printf.sprintf "imap block %d" i)
+  done;
+  List.iteri
+    (fun i addr ->
+      if addr <> Types.nil_addr then
+        claim addr ~bytes:bs (Printf.sprintf "usage block %d" i))
+    (Fs.usage_block_addrs fs);
+  (* Usage-table accounting must match the recomputation exactly. *)
+  for s = 0 to layout.Layout.nsegs - 1 do
+    let actual = Fs.segment_live_bytes fs s in
+    if actual <> expected_live.(s) then
+      error "segment %d: usage table says %d live bytes, walk found %d" s
+        actual expected_live.(s)
+  done;
+  (* Directory tree: reachability, link counts, parse. *)
+  let refcounts : (Types.ino, int) Hashtbl.t = Hashtbl.create 256 in
+  let visited : (Types.ino, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec walk dir =
+    if Hashtbl.mem visited dir then error "directory %d visited twice (cycle)" dir
+    else begin
+      Hashtbl.replace visited dir ();
+      match Fs.readdir fs dir with
+      | entries ->
+          List.iter
+            (fun (name, ino) ->
+              (match Directory.check_name name with
+              | () -> ()
+              | exception Types.Fs_error m -> error "bad name in dir %d: %s" dir m);
+              let prev = Option.value ~default:0 (Hashtbl.find_opt refcounts ino) in
+              Hashtbl.replace refcounts ino (prev + 1);
+              match (Fs.stat fs ino).Fs.st_ftype with
+              | Types.Directory -> walk ino
+              | Types.Regular -> ()
+              | exception Types.Fs_error m ->
+                  error "entry %d/%s -> missing inode %d: %s" dir name ino m)
+            entries
+      | exception Types.Corrupt m -> error "directory %d unreadable: %s" dir m
+    end
+  in
+  Hashtbl.replace refcounts Types.root_ino 1;
+  walk Types.root_ino;
+  List.iter
+    (fun ino ->
+      let st = Fs.stat fs ino in
+      let refs = Option.value ~default:0 (Hashtbl.find_opt refcounts ino) in
+      (match st.Fs.st_ftype with
+      | Types.Regular ->
+          if refs = 0 then error "inode %d allocated but unreachable" ino
+      | Types.Directory ->
+          if not (Hashtbl.mem visited ino) then
+            error "directory %d allocated but unreachable" ino);
+      if st.Fs.st_nlink <> refs then
+        error "inode %d: nlink %d but %d directory entries" ino st.Fs.st_nlink
+          refs)
+    !allocated;
+  {
+    errors = List.rev !errors;
+    files = !files;
+    directories = !directories;
+    live_data_blocks = !live_data;
+    live_indirect_blocks = !live_indirect;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "fsck: %d files, %d dirs, %d data blocks, %d indirect"
+    r.files r.directories r.live_data_blocks r.live_indirect_blocks;
+  if r.errors = [] then Format.fprintf ppf " — clean"
+  else
+    List.iter (fun e -> Format.fprintf ppf "@.  ERROR: %s" e) r.errors

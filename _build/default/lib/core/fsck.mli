@@ -1,0 +1,32 @@
+(** Offline consistency checker.
+
+    Walks the mounted file system and validates every cross-structure
+    invariant; used heavily by the test suite (after random operation
+    sequences, cleaning and crash recovery) to prove that the accounting
+    the cleaner depends on is exact.
+
+    Checks:
+    - every allocated inode decodes and carries its own number;
+    - the directory tree is acyclic from the root, every allocated inode
+      is reachable, and reference counts equal the number of directory
+      entries naming the inode;
+    - directory payloads parse;
+    - file sizes bound their block maps;
+    - no two live blocks share a disk address, and live blocks lie inside
+      the log area;
+    - the segment usage table's live-byte counts exactly match a
+      recomputation from the reachable structures. *)
+
+type report = {
+  errors : string list;
+  files : int;
+  directories : int;
+  live_data_blocks : int;
+  live_indirect_blocks : int;
+}
+
+val check : Fs.t -> report
+(** Flushes, then validates.  [report.errors = []] means consistent. *)
+
+val is_clean : report -> bool
+val pp_report : Format.formatter -> report -> unit

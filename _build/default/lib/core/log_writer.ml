@@ -1,0 +1,141 @@
+module Disk = Lfs_disk.Disk
+
+type payload = Bytes of bytes | Lazy of (unit -> bytes)
+
+type pending = {
+  kind : Types.block_kind;
+  ino : Types.ino;
+  blockno : int;
+  version : int;
+  mtime : float;
+  payload : payload;
+}
+
+type t = {
+  layout : Layout.t;
+  disk : Disk.t;
+  pick_clean : exclude:int list -> int;
+  on_append : Types.block_kind -> seg:int -> mtime:float -> unit;
+  on_batch : addr:int -> blocks:int -> unit;
+  max_batch : int;
+  mutable cur_seg : int;
+  mutable cur_off : int;  (* next free slot, counting queued blocks *)
+  mutable next_seg : int;
+  mutable seq : int;
+  mutable batch : pending list;  (* newest first *)
+  mutable batch_count : int;
+  mutable batch_slot : int;      (* slot reserved for the batch summary *)
+  mutable timestamp : float;
+}
+
+let create layout disk ~pick_clean ~on_append ~on_batch ~cur_seg ~cur_off
+    ~next_seg ~seq =
+  {
+    layout;
+    disk;
+    pick_clean;
+    on_append;
+    on_batch;
+    max_batch = Summary.max_entries ~block_size:layout.Layout.block_size;
+    cur_seg;
+    cur_off;
+    next_seg;
+    seq;
+    batch = [];
+    batch_count = 0;
+    batch_slot = -1;
+    timestamp = 0.0;
+  }
+
+let current_segment t = t.cur_seg
+let current_offset t = t.cur_off
+let reserved_segment t = t.next_seg
+let seq t = t.seq
+let pending_blocks t = t.batch_count
+
+let segment_bytes_remaining t =
+  (t.layout.Layout.seg_blocks - t.cur_off) * t.layout.Layout.block_size
+
+let render = function Bytes b -> b | Lazy f -> f ()
+
+(* Write the queued batch (summary + payloads) as one sequential IO. *)
+let sync t =
+  if t.batch_count > 0 then begin
+    let bs = t.layout.Layout.block_size in
+    let pendings = List.rev t.batch in
+    let payload = Bytes.create (t.batch_count * bs) in
+    List.iteri
+      (fun i p ->
+        let b = render p.payload in
+        if Bytes.length b <> bs then
+          invalid_arg "Log_writer: payload is not exactly one block";
+        Bytes.blit b 0 payload (i * bs) bs)
+      pendings;
+    let entries =
+      List.map
+        (fun p ->
+          {
+            Summary.kind = p.kind;
+            ino = p.ino;
+            blockno = p.blockno;
+            version = p.version;
+            mtime = p.mtime;
+          })
+        pendings
+    in
+    let summary =
+      {
+        Summary.seq = t.seq;
+        seg = t.cur_seg;
+        slot = t.batch_slot;
+        next_seg = t.next_seg;
+        timestamp = t.timestamp;
+        payload_sum = Summary.payload_checksum payload;
+        entries;
+      }
+    in
+    let sum_block = Summary.encode ~block_size:bs summary in
+    let buf = Bytes.create ((t.batch_count + 1) * bs) in
+    Bytes.blit sum_block 0 buf 0 bs;
+    Bytes.blit payload 0 buf bs (Bytes.length payload);
+    let addr = Layout.seg_first_block t.layout t.cur_seg + t.batch_slot in
+    Disk.write_blocks t.disk addr buf;
+    t.on_batch ~addr ~blocks:(t.batch_count + 1);
+    t.seq <- t.seq + 1;
+    t.batch <- [];
+    t.batch_count <- 0;
+    t.batch_slot <- -1
+  end
+
+let advance_segment t =
+  assert (t.batch_count = 0);
+  let from = t.next_seg in
+  let fresh = t.pick_clean ~exclude:[ t.cur_seg; from ] in
+  t.cur_seg <- from;
+  t.cur_off <- 0;
+  t.next_seg <- fresh
+
+(* An open batch needs one more payload slot; a new batch additionally
+   needs its summary slot. *)
+let ensure_room t =
+  let need = if t.batch_count = 0 then 2 else 1 in
+  if t.cur_off + need > t.layout.Layout.seg_blocks then begin
+    sync t;
+    advance_segment t
+  end
+
+let append t ~kind ~ino ~blockno ~version ~mtime payload =
+  ensure_room t;
+  if t.batch_count = 0 then begin
+    t.batch_slot <- t.cur_off;
+    t.cur_off <- t.cur_off + 1
+  end;
+  let addr = Layout.seg_first_block t.layout t.cur_seg + t.cur_off in
+  t.cur_off <- t.cur_off + 1;
+  t.batch <- { kind; ino; blockno; version; mtime; payload } :: t.batch;
+  t.batch_count <- t.batch_count + 1;
+  if mtime > t.timestamp then t.timestamp <- mtime;
+  t.on_append kind ~seg:t.cur_seg ~mtime;
+  if t.batch_count >= t.max_batch || t.cur_off >= t.layout.Layout.seg_blocks
+  then sync t;
+  addr

@@ -1,0 +1,67 @@
+(** The log appender.
+
+    Buffers blocks destined for the current segment and writes each batch
+    as a single large sequential transfer preceded by its summary block —
+    this is where "many small synchronous random writes become large
+    asynchronous sequential transfers".  Batches are bounded by the
+    summary's entry capacity and by the end of the segment (a
+    partial-segment write, Section 3.2).
+
+    Addresses are assigned at {!append} time so callers can update their
+    maps immediately; payloads may be supplied lazily and are rendered at
+    batch-write time (the inode map and segment usage table exploit this:
+    their blocks self-describe accounting that the append itself
+    changes).
+
+    The writer always holds a reservation for the next segment of the log
+    thread ({!reserved_segment}); every summary records it, which is how
+    roll-forward follows the log across segment boundaries. *)
+
+type payload = Bytes of bytes | Lazy of (unit -> bytes)
+
+type t
+
+val create :
+  Layout.t ->
+  Lfs_disk.Disk.t ->
+  pick_clean:(exclude:int list -> int) ->
+  on_append:(Types.block_kind -> seg:int -> mtime:float -> unit) ->
+  on_batch:(addr:int -> blocks:int -> unit) ->
+  cur_seg:int ->
+  cur_off:int ->
+  next_seg:int ->
+  seq:int ->
+  t
+(** [pick_clean ~exclude] must return a clean segment not in [exclude]
+    (raising {!Types.Fs_error} when none remains).  [on_append] is called
+    for every payload block as it is placed (for usage accounting);
+    [on_batch]
+    after each physical batch write with its disk address and total
+    block count including the summary. *)
+
+val append :
+  t ->
+  kind:Types.block_kind ->
+  ino:Types.ino ->
+  blockno:int ->
+  version:int ->
+  mtime:float ->
+  payload ->
+  Types.baddr
+(** Queue one block for the log and return its (final) disk address. *)
+
+val sync : t -> unit
+(** Write any buffered batch to disk. *)
+
+val current_segment : t -> int
+val current_offset : t -> int
+(** Next free slot in the current segment ({b including} queued blocks). *)
+
+val reserved_segment : t -> int
+val seq : t -> int
+(** Sequence number the next batch will carry. *)
+
+val pending_blocks : t -> int
+(** Queued payload blocks not yet written. *)
+
+val segment_bytes_remaining : t -> int

@@ -1,0 +1,49 @@
+type record =
+  | Create of { dir : Types.ino; name : string; ino : Types.ino }
+  | Mkdir of { dir : Types.ino; name : string; ino : Types.ino }
+  | Link of { dir : Types.ino; name : string; ino : Types.ino }
+  | Unlink of { dir : Types.ino; name : string; ino : Types.ino }
+  | Rmdir of { dir : Types.ino; name : string; ino : Types.ino }
+  | Rename of {
+      odir : Types.ino;
+      oname : string;
+      ndir : Types.ino;
+      nname : string;
+      ino : Types.ino;
+    }
+  | Write of { ino : Types.ino; off : int; data : bytes }
+  | Truncate of { ino : Types.ino; len : int }
+
+type t = {
+  capacity : int;
+  mutable rev_records : record list;
+  mutable used : int;
+}
+
+let header_bytes = 16
+
+let record_bytes = function
+  | Create { name; _ } | Mkdir { name; _ } | Link { name; _ }
+  | Unlink { name; _ } | Rmdir { name; _ } ->
+      header_bytes + String.length name
+  | Rename { oname; nname; _ } ->
+      header_bytes + String.length oname + String.length nname
+  | Write { data; _ } -> header_bytes + Bytes.length data
+  | Truncate _ -> header_bytes
+
+let create ?(capacity_bytes = 8 * 1024 * 1024) () =
+  { capacity = capacity_bytes; rev_records = []; used = 0 }
+
+let append t r =
+  t.rev_records <- r :: t.rev_records;
+  t.used <- t.used + record_bytes r
+
+let records t = List.rev t.rev_records
+
+let clear t =
+  t.rev_records <- [];
+  t.used <- 0
+
+let used_bytes t = t.used
+let capacity_bytes t = t.capacity
+let is_full t = t.used >= t.capacity - 65536

@@ -1,0 +1,49 @@
+(** A battery-backed operation journal.
+
+    Section 2.1 of the paper: write-buffering trades crash-loss for
+    throughput, and "for applications that require better crash
+    recovery, non-volatile RAM may be used for the write buffer".  This
+    module models that NVRAM as an ordered journal of logical operations
+    that survives power loss independently of the disk; {!Nvram_fs}
+    journals every mutation into it and replays the journal after
+    roll-forward, eliminating the lost-seconds window entirely. *)
+
+type record =
+  | Create of { dir : Types.ino; name : string; ino : Types.ino }
+  | Mkdir of { dir : Types.ino; name : string; ino : Types.ino }
+  | Link of { dir : Types.ino; name : string; ino : Types.ino }
+  | Unlink of { dir : Types.ino; name : string; ino : Types.ino }
+  | Rmdir of { dir : Types.ino; name : string; ino : Types.ino }
+  | Rename of {
+      odir : Types.ino;
+      oname : string;
+      ndir : Types.ino;
+      nname : string;
+      ino : Types.ino;
+    }
+      (** [ino] identifies which incarnation the operation applied to,
+          so replay never unlinks or moves a file re-created under the
+          same name later in the journal *)
+  | Write of { ino : Types.ino; off : int; data : bytes }
+  | Truncate of { ino : Types.ino; len : int }
+
+type t
+
+val create : ?capacity_bytes:int -> unit -> t
+(** Default capacity 8 MB — the paper-era size of an NVRAM card. *)
+
+val append : t -> record -> unit
+val records : t -> record list
+(** Oldest first. *)
+
+val clear : t -> unit
+(** Called once the journalled operations are durable on disk. *)
+
+val used_bytes : t -> int
+val capacity_bytes : t -> int
+
+val is_full : t -> bool
+(** The next append may not fit: the caller should checkpoint the file
+    system and {!clear}. *)
+
+val record_bytes : record -> int

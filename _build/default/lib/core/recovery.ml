@@ -1,0 +1,121 @@
+module Disk = Lfs_disk.Disk
+
+type write = { summary : Summary.t; blocks : (int * bytes) list }
+
+type result = {
+  writes : write list;
+  tail_seg : int;
+  tail_off : int;
+  tail_next_seg : int;
+  next_seq : int;
+  segments_scanned : int;
+}
+
+(* Whether entry [i] of a summary must be loaded during the scan:
+   recovery reprocesses inodes and directory-log records; data blocks
+   stay where they are and are only referenced by address. *)
+let needs_payload (e : Summary.entry) =
+  match e.Summary.kind with
+  | Types.Inode_block | Types.Dir_log -> true
+  | Types.Data | Types.Indirect | Types.Dindirect | Types.Imap
+  | Types.Seg_usage | Types.Summary ->
+      false
+
+let load_blocks layout disk s =
+  List.concat
+    (List.mapi
+       (fun i e ->
+         if needs_payload e then
+           [ (i, Disk.read_block disk (Summary.entry_addr s layout i)) ]
+         else [])
+       s.Summary.entries)
+
+let scan layout disk ~ckpt =
+  let seg_blocks = layout.Layout.seg_blocks in
+  let writes = ref [] in
+  let tail_seg = ref ckpt.Checkpoint.cur_seg in
+  let tail_off = ref ckpt.Checkpoint.cur_off in
+  let tail_next_seg = ref ckpt.Checkpoint.next_seg in
+  let next_seq = ref ckpt.Checkpoint.log_seq in
+  let segments_scanned = ref 0 in
+  let last_summary = ref None in
+  let visited = Hashtbl.create 16 in
+  (* last_seq grows strictly along the walk; summaries written before the
+     checkpoint (or left over from a segment's previous life) fail the
+     monotonicity test or the self-identification test and end the
+     walk. *)
+  let rec walk_segment seg slot last_seq =
+    if Hashtbl.mem visited (seg, slot) then ()
+    else begin
+      Hashtbl.replace visited (seg, slot) ();
+      if slot <= seg_blocks - 2 then begin
+        let first = Layout.seg_first_block layout seg in
+        let sum_block = Disk.read_block disk (first + slot) in
+        match Summary.decode sum_block with
+        | None -> ()
+        | Some s ->
+            if s.Summary.seg <> seg || s.Summary.slot <> slot then ()
+            else if s.Summary.seq <= last_seq then ()
+            else begin
+              let n = List.length s.Summary.entries in
+              if slot + 1 + n > seg_blocks then ()
+              else begin
+                if s.Summary.seq >= ckpt.Checkpoint.log_seq then begin
+                  writes :=
+                    { summary = s; blocks = load_blocks layout disk s }
+                    :: !writes;
+                  last_summary := Some s
+                end;
+                tail_seg := seg;
+                tail_off := Summary.next_slot s;
+                tail_next_seg := s.Summary.next_seg;
+                next_seq := s.Summary.seq + 1;
+                let next = Summary.next_slot s in
+                if next <= seg_blocks - 2 then walk_segment seg next s.Summary.seq
+                else begin
+                  (* Segment exhausted: follow the log thread. *)
+                  incr segments_scanned;
+                  if
+                    s.Summary.next_seg >= 0
+                    && s.Summary.next_seg < layout.Layout.nsegs
+                  then walk_segment s.Summary.next_seg 0 s.Summary.seq
+                end
+              end
+            end
+      end
+    end
+  in
+  (* Start from the head of the checkpoint's tail segment: writes earlier
+     in that segment predate the checkpoint and are skipped by the seq
+     filter, but they carry the chain to the post-checkpoint tail. *)
+  incr segments_scanned;
+  walk_segment ckpt.Checkpoint.cur_seg 0 0;
+  (* The device persists writes in order, so only the final log write can
+     be torn; verify its payload checksum and drop it if it did not
+     complete (its summary reached the medium but some payload blocks did
+     not). *)
+  (match !last_summary with
+  | None -> ()
+  | Some s ->
+      let n = List.length s.Summary.entries in
+      let payload =
+        Disk.read_blocks disk
+          (Layout.seg_first_block layout s.Summary.seg + s.Summary.slot + 1)
+          n
+      in
+      if Summary.payload_checksum payload <> s.Summary.payload_sum then begin
+        writes :=
+          List.filter (fun w -> w.summary.Summary.seq <> s.Summary.seq) !writes;
+        tail_seg := s.Summary.seg;
+        tail_off := s.Summary.slot;
+        next_seq := s.Summary.seq;
+        tail_next_seg := s.Summary.next_seg
+      end);
+  {
+    writes = List.rev !writes;
+    tail_seg = !tail_seg;
+    tail_off = !tail_off;
+    tail_next_seg = !tail_next_seg;
+    next_seq = !next_seq;
+    segments_scanned = !segments_scanned;
+  }

@@ -1,0 +1,38 @@
+(** Crash recovery: the log scan behind roll-forward (Section 4.2).
+
+    Starting from the checkpoint's log position, the scan walks summary
+    blocks — within a segment by hopping over each write's payload, and
+    across segments by following the [next_seg] pointer every summary
+    records.  A write is accepted only if its summary is intact, its
+    sequence number strictly increases, and its self-identification
+    (segment, slot) matches where it was found.
+
+    Only inode-block and directory-log payloads are read (data blocks
+    are referenced in place), which is what makes recovery time scale
+    with the number of files recovered rather than bytes written
+    (Table 3).  Because the device persists blocks in order, only the
+    final log write can be torn; its payload checksum is verified and
+    the write dropped if it did not complete.
+
+    The scan is read-only; {!Fs.recover} applies the results. *)
+
+type write = {
+  summary : Summary.t;
+  blocks : (int * bytes) list;
+      (** payloads of the inode-block and dir-log entries, keyed by
+          entry index within the summary *)
+}
+
+type result = {
+  writes : write list;
+      (** valid log writes with [seq >= ] the checkpoint's [log_seq], in
+          log order — the data roll-forward must reprocess *)
+  tail_seg : int;       (** where the log writer should resume *)
+  tail_off : int;
+  tail_next_seg : int;  (** reservation in force at the tail *)
+  next_seq : int;       (** sequence number for the next write *)
+  segments_scanned : int;
+}
+
+val scan : Layout.t -> Lfs_disk.Disk.t -> ckpt:Checkpoint.t -> result
+(** Follow the log from [ckpt]'s position until it ends. *)

@@ -1,0 +1,16 @@
+(** The superblock: static configuration at a fixed location (block 0).
+
+    It records the geometry needed to interpret the rest of the disk; it
+    is written once by {!Fs.format} and never modified (Table 1:
+    "Superblock — holds static configuration information"). *)
+
+type t = { config : Config.t; layout : Layout.t }
+
+val create : Config.t -> disk_blocks:int -> t
+
+val store : t -> Lfs_disk.Disk.t -> unit
+(** Serialise to block 0. *)
+
+val load : Lfs_disk.Disk.t -> t
+(** Read block 0 and validate magic / checksum / geometry against the
+    device.  Raises {!Types.Corrupt} on mismatch. *)

@@ -1,0 +1,87 @@
+type ino = int
+type baddr = int
+
+let nil_addr = -1
+let root_ino = 1
+
+module Iaddr = struct
+  type t = int
+
+  (* block * 256 + slot; slots per block are bounded by block_size /
+     inode_size which is well under 256 for any sane geometry. *)
+  let slots_shift = 8
+  let nil = -1
+  let is_nil t = t < 0
+  let make ~block ~slot =
+    assert (slot >= 0 && slot < 1 lsl slots_shift);
+    (block lsl slots_shift) lor slot
+
+  let block t = t lsr slots_shift
+  let slot t = t land ((1 lsl slots_shift) - 1)
+  let to_int t = t
+  let of_int i = i
+  let equal = Int.equal
+
+  let pp ppf t =
+    if is_nil t then Format.pp_print_string ppf "<nil>"
+    else Format.fprintf ppf "%d.%d" (block t) (slot t)
+end
+
+type block_kind =
+  | Data
+  | Indirect
+  | Dindirect
+  | Inode_block
+  | Imap
+  | Seg_usage
+  | Summary
+  | Dir_log
+
+let block_kind_to_int = function
+  | Data -> 0
+  | Indirect -> 1
+  | Dindirect -> 2
+  | Inode_block -> 3
+  | Imap -> 4
+  | Seg_usage -> 5
+  | Summary -> 6
+  | Dir_log -> 7
+
+let block_kind_of_int = function
+  | 0 -> Data
+  | 1 -> Indirect
+  | 2 -> Dindirect
+  | 3 -> Inode_block
+  | 4 -> Imap
+  | 5 -> Seg_usage
+  | 6 -> Summary
+  | 7 -> Dir_log
+  | n -> invalid_arg (Printf.sprintf "block_kind_of_int: %d" n)
+
+let block_kind_name = function
+  | Data -> "data"
+  | Indirect -> "indirect"
+  | Dindirect -> "dindirect"
+  | Inode_block -> "inode"
+  | Imap -> "imap"
+  | Seg_usage -> "seg-usage"
+  | Summary -> "summary"
+  | Dir_log -> "dir-log"
+
+let all_block_kinds =
+  [ Data; Indirect; Dindirect; Inode_block; Imap; Seg_usage; Summary; Dir_log ]
+
+type ftype = Regular | Directory
+
+let ftype_to_int = function Regular -> 0 | Directory -> 1
+
+let ftype_of_int = function
+  | 0 -> Regular
+  | 1 -> Directory
+  | n -> invalid_arg (Printf.sprintf "ftype_of_int: %d" n)
+
+exception Corrupt of string
+exception Fs_error of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+let fs_error fmt = Format.kasprintf (fun s -> raise (Fs_error s)) fmt

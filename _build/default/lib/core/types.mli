@@ -1,0 +1,61 @@
+(** Shared primitive types of the log-structured file system. *)
+
+type ino = int
+(** Inode number.  [root_ino] is the root directory; 0 is never used. *)
+
+type baddr = int
+(** Disk block address.  {!nil_addr} marks "no block". *)
+
+val nil_addr : baddr
+val root_ino : ino
+
+(** Address of an inode *inside* an inode block: block address plus slot
+    index.  Packed into a single int for the inode map. *)
+module Iaddr : sig
+  type t
+
+  val nil : t
+  val is_nil : t -> bool
+  val make : block:baddr -> slot:int -> t
+  val block : t -> baddr
+  val slot : t -> int
+  val to_int : t -> int
+  val of_int : int -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The kind of every block written to the log; recorded in segment
+    summaries and used for the Table 4 bandwidth accounting. *)
+type block_kind =
+  | Data           (** file contents *)
+  | Indirect       (** single-indirect pointer block *)
+  | Dindirect      (** double-indirect pointer block *)
+  | Inode_block    (** packed inodes *)
+  | Imap           (** inode-map block *)
+  | Seg_usage      (** segment-usage-table block *)
+  | Summary        (** segment summary block *)
+  | Dir_log        (** directory operation log block *)
+
+val block_kind_to_int : block_kind -> int
+val block_kind_of_int : int -> block_kind
+(** Raises [Invalid_argument] on an unknown tag (corrupt summary). *)
+
+val block_kind_name : block_kind -> string
+val all_block_kinds : block_kind list
+
+type ftype = Regular | Directory
+
+val ftype_to_int : ftype -> int
+val ftype_of_int : int -> ftype
+
+exception Corrupt of string
+(** Raised when an on-disk structure fails validation (bad magic,
+    checksum mismatch, impossible field). *)
+
+exception Fs_error of string
+(** Raised on API misuse or unsatisfiable requests (no such file, disk
+    full, name exists...). *)
+
+val corrupt : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val fs_error : ('a, Format.formatter, unit, 'b) format4 -> 'a

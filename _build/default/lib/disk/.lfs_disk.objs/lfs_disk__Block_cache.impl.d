@@ -1,0 +1,1 @@
+lib/disk/block_cache.ml: Bytes Disk Hashtbl

@@ -1,0 +1,1 @@
+lib/disk/block_cache.mli: Disk

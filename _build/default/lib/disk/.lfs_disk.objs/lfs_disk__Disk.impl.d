@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Array Bytes Fun Geometry Io_stats Printf

@@ -1,0 +1,1 @@
+lib/disk/io_stats.ml: Format

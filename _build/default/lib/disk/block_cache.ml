@@ -1,0 +1,105 @@
+(* Exact LRU: an intrusive doubly-linked list threaded through the
+   entries plus a hash table for lookup. *)
+
+type node = {
+  addr : int;
+  mutable data : bytes;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | Some _ | None ->
+      unlink t n;
+      push_front t n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.addr
+
+let insert t addr data =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table addr with
+    | Some n ->
+        n.data <- data;
+        touch t n
+    | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let n = { addr; data; prev = None; next = None } in
+        Hashtbl.replace t.table addr n;
+        push_front t n)
+  end
+
+let read t disk addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      touch t n;
+      Bytes.copy n.data
+  | None ->
+      t.misses <- t.misses + 1;
+      let b = Disk.read_block disk addr in
+      insert t addr (Bytes.copy b);
+      b
+
+let put t addr data = insert t addr (Bytes.copy data)
+
+let invalidate t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table addr
+  | None -> ()
+
+let invalidate_range t addr n =
+  for a = addr to addr + n - 1 do
+    invalidate t a
+  done
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let hits t = t.hits
+let misses t = t.misses

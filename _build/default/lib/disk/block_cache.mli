@@ -1,0 +1,25 @@
+(** An LRU buffer cache over single-block reads.
+
+    Models the main-memory file cache of Section 2.1: repeated reads of
+    hot metadata blocks (packed inodes, directories, indirect blocks)
+    cost no disk time.  Writers must call {!put} (write-through update)
+    or {!invalidate} so the cache never returns stale data. *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity in blocks.  A zero capacity disables caching. *)
+
+val read : t -> Disk.t -> int -> bytes
+(** [read t disk addr] returns a copy of the block, from cache when
+    possible. *)
+
+val put : t -> int -> bytes -> unit
+(** Record the new contents of a block just written. *)
+
+val invalidate : t -> int -> unit
+val invalidate_range : t -> int -> int -> unit
+val clear : t -> unit
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,172 @@
+type t = {
+  geometry : Geometry.t;
+  data : bytes array;
+  stats : Io_stats.t;
+  mutable head : int;  (* block index just past the previous transfer *)
+  mutable crash_countdown : int option;  (* blocks until power cut *)
+  mutable crashed : bool;
+}
+
+exception Crashed
+
+let create geometry =
+  {
+    geometry;
+    data = Array.init geometry.Geometry.blocks (fun _ -> Bytes.make geometry.Geometry.block_size '\000');
+    stats = Io_stats.create ();
+    head = -1;
+    crash_countdown = None;
+    crashed = false;
+  }
+
+let geometry t = t.geometry
+let block_size t = t.geometry.Geometry.block_size
+let nblocks t = t.geometry.Geometry.blocks
+let stats t = t.stats
+
+let check_range t addr n what =
+  if addr < 0 || n < 0 || addr + n > nblocks t then
+    invalid_arg
+      (Printf.sprintf "Disk.%s: blocks [%d, %d) out of range [0, %d)" what addr
+         (addr + n) (nblocks t))
+
+let charge t ~addr ~n =
+  let reposition =
+    if addr = t.head then 0.0
+    else begin
+      t.stats.Io_stats.seeks <- t.stats.Io_stats.seeks + 1;
+      let distance_blocks =
+        if t.head < 0 then nblocks t / 3 else abs (addr - t.head)
+      in
+      Geometry.seek_time t.geometry ~distance_blocks
+      +. t.geometry.Geometry.rotational_latency_s
+    end
+  in
+  let transfer =
+    if t.geometry.Geometry.bandwidth_bytes_per_s = infinity then 0.0
+    else float_of_int (n * block_size t) /. t.geometry.Geometry.bandwidth_bytes_per_s
+  in
+  t.stats.Io_stats.busy_s <-
+    t.stats.Io_stats.busy_s +. reposition +. transfer
+    +. t.geometry.Geometry.per_io_overhead_s;
+  t.head <- addr + n
+
+let ensure_alive t = if t.crashed then raise Crashed
+
+let read_blocks t addr n =
+  ensure_alive t;
+  check_range t addr n "read_blocks";
+  charge t ~addr ~n;
+  t.stats.Io_stats.reads <- t.stats.Io_stats.reads + 1;
+  t.stats.Io_stats.blocks_read <- t.stats.Io_stats.blocks_read + n;
+  let bs = block_size t in
+  let out = Bytes.create (n * bs) in
+  for i = 0 to n - 1 do
+    Bytes.blit t.data.(addr + i) 0 out (i * bs) bs
+  done;
+  out
+
+let read_block t addr = read_blocks t addr 1
+
+(* How many of the next [n] blocks may still be persisted before the
+   armed crash triggers.  Returns [n] when no crash is armed. *)
+let writable_prefix t n =
+  match t.crash_countdown with
+  | None -> n
+  | Some k -> min k n
+
+let consume_countdown t n =
+  match t.crash_countdown with
+  | None -> ()
+  | Some k ->
+      let k = k - n in
+      if k <= 0 then begin
+        t.crash_countdown <- None;
+        t.crashed <- true
+      end
+      else t.crash_countdown <- Some k
+
+let write_blocks t addr b =
+  ensure_alive t;
+  let bs = block_size t in
+  if Bytes.length b mod bs <> 0 then
+    invalid_arg "Disk.write_blocks: buffer is not a whole number of blocks";
+  let n = Bytes.length b / bs in
+  check_range t addr n "write_blocks";
+  charge t ~addr ~n;
+  t.stats.Io_stats.writes <- t.stats.Io_stats.writes + 1;
+  t.stats.Io_stats.blocks_written <- t.stats.Io_stats.blocks_written + n;
+  let persist = writable_prefix t n in
+  for i = 0 to persist - 1 do
+    Bytes.blit b (i * bs) t.data.(addr + i) 0 bs
+  done;
+  consume_countdown t n;
+  if t.crashed then raise Crashed
+
+let write_block t addr b =
+  if Bytes.length b <> block_size t then
+    invalid_arg "Disk.write_block: buffer is not exactly one block";
+  write_blocks t addr b
+
+let zero_blocks t addr n =
+  check_range t addr n "zero_blocks";
+  for i = 0 to n - 1 do
+    Bytes.fill t.data.(addr + i) 0 (block_size t) '\000'
+  done
+
+let plan_crash t ~after_blocks =
+  assert (after_blocks >= 0);
+  t.crash_countdown <- Some after_blocks
+
+let cancel_crash t = t.crash_countdown <- None
+let is_crashed t = t.crashed
+
+let reboot t =
+  t.crashed <- false;
+  t.crash_countdown <- None;
+  t.head <- -1
+
+let snapshot t =
+  {
+    geometry = t.geometry;
+    data = Array.map Bytes.copy t.data;
+    stats = Io_stats.copy t.stats;
+    head = t.head;
+    crash_countdown = t.crash_countdown;
+    crashed = t.crashed;
+  }
+
+let restore t ~from =
+  if t.geometry <> from.geometry then
+    invalid_arg "Disk.restore: geometry mismatch";
+  Array.iteri (fun i b -> Bytes.blit b 0 t.data.(i) 0 (Bytes.length b)) from.data;
+  let s = t.stats and s' = from.stats in
+  s.Io_stats.reads <- s'.Io_stats.reads;
+  s.Io_stats.writes <- s'.Io_stats.writes;
+  s.Io_stats.blocks_read <- s'.Io_stats.blocks_read;
+  s.Io_stats.blocks_written <- s'.Io_stats.blocks_written;
+  s.Io_stats.seeks <- s'.Io_stats.seeks;
+  s.Io_stats.busy_s <- s'.Io_stats.busy_s;
+  t.head <- from.head;
+  t.crash_countdown <- from.crash_countdown;
+  t.crashed <- from.crashed
+
+let save_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Array.iter (fun b -> output_bytes oc b) t.data)
+
+let load_file geometry path =
+  let expected = Geometry.capacity_bytes geometry in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      if in_channel_length ic <> expected then
+        invalid_arg
+          (Printf.sprintf "Disk.load_file: %s is %d bytes, geometry wants %d"
+             path (in_channel_length ic) expected);
+      let t = create geometry in
+      Array.iter (fun b -> really_input ic b 0 (Bytes.length b)) t.data;
+      t)

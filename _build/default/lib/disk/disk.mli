@@ -1,0 +1,72 @@
+(** A simulated block device.
+
+    Stores block contents in memory, charges modelled time for every
+    transfer ({!Geometry}), and keeps cumulative {!Io_stats}.  Sequential
+    accesses (starting exactly where the previous transfer ended) cost no
+    seek — this is the property log-structured writing exploits.
+
+    Crash injection: {!plan_crash} arms a countdown of blocks after which
+    the device "loses power": the offending write is torn (a prefix may
+    reach the medium) and {!Crashed} is raised.  All subsequent IO raises
+    {!Crashed} until {!reboot}.  This lets tests cut power at any point
+    of a checkpoint or segment write and exercise recovery. *)
+
+type t
+
+exception Crashed
+(** Raised by IO once an armed crash has triggered (and by the write that
+    triggers it). *)
+
+val create : Geometry.t -> t
+(** A fresh device with all blocks zeroed. *)
+
+val geometry : t -> Geometry.t
+val block_size : t -> int
+val nblocks : t -> int
+
+val stats : t -> Io_stats.t
+(** Live view of the cumulative statistics (mutated by every IO). *)
+
+val read_block : t -> int -> bytes
+(** [read_block d addr] returns a copy of block [addr]. *)
+
+val write_block : t -> int -> bytes -> unit
+(** [write_block d addr b] stores a copy of [b] (must be exactly one
+    block) at [addr]. *)
+
+val read_blocks : t -> int -> int -> bytes
+(** [read_blocks d addr n] reads [n] contiguous blocks as one transfer
+    (one seek at most). *)
+
+val write_blocks : t -> int -> bytes -> unit
+(** [write_blocks d addr b] writes [Bytes.length b / block_size]
+    contiguous blocks as one transfer. *)
+
+val zero_blocks : t -> int -> int -> unit
+(** [zero_blocks d addr n] clears blocks without charging IO time (used
+    by mkfs). *)
+
+val plan_crash : t -> after_blocks:int -> unit
+(** Arm a power cut after [after_blocks] more blocks have been written.
+    The triggering write persists only its first [after_blocks] remaining
+    blocks (a torn write). *)
+
+val cancel_crash : t -> unit
+val is_crashed : t -> bool
+
+val reboot : t -> unit
+(** Clear the crashed state; contents are whatever survived. *)
+
+val snapshot : t -> t
+(** Deep copy (contents and stats); the copy is independent. *)
+
+val restore : t -> from:t -> unit
+(** Overwrite contents and stats of [t] with those of [from].  The two
+    devices must have identical geometry. *)
+
+val save_file : t -> string -> unit
+(** Persist contents to a raw image file. *)
+
+val load_file : Geometry.t -> string -> t
+(** Load a raw image produced by {!save_file}; the file size must match
+    the geometry's capacity. *)

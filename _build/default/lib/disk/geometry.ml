@@ -1,0 +1,67 @@
+type t = {
+  block_size : int;
+  blocks : int;
+  avg_seek_s : float;
+  rotational_latency_s : float;
+  bandwidth_bytes_per_s : float;
+  per_io_overhead_s : float;
+}
+
+let capacity_bytes g = g.block_size * g.blocks
+
+let wren_iv ~blocks =
+  {
+    block_size = 4096;
+    blocks;
+    avg_seek_s = 0.0175;
+    rotational_latency_s = 0.0083;
+    bandwidth_bytes_per_s = 1.3e6;
+    per_io_overhead_s = 0.002;
+  }
+
+let modern_hdd ~blocks =
+  {
+    block_size = 4096;
+    blocks;
+    avg_seek_s = 0.0042;
+    rotational_latency_s = 0.00417;
+    bandwidth_bytes_per_s = 200.0e6;
+    per_io_overhead_s = 0.0001;
+  }
+
+let instant ~blocks =
+  {
+    block_size = 4096;
+    blocks;
+    avg_seek_s = 0.0;
+    rotational_latency_s = 0.0;
+    bandwidth_bytes_per_s = infinity;
+    per_io_overhead_s = 0.0;
+  }
+
+let seek_time g ~distance_blocks =
+  if distance_blocks = 0 then 0.0
+  else begin
+    let frac = Float.min 1.0 (float_of_int distance_blocks /. float_of_int g.blocks) in
+    let min_s = g.avg_seek_s *. 0.15 in
+    let max_s = g.avg_seek_s *. 1.75 in
+    (* E[sqrt |U1 - U2|] = 8/15, so a uniformly random seek costs
+       min + (max-min) * 8/15 = avg. *)
+    min_s +. ((max_s -. min_s) *. sqrt frac)
+  end
+
+let io_time g ~seeks ~bytes =
+  let transfer =
+    if g.bandwidth_bytes_per_s = infinity then 0.0
+    else float_of_int bytes /. g.bandwidth_bytes_per_s
+  in
+  (float_of_int seeks *. (g.avg_seek_s +. g.rotational_latency_s)) +. transfer
+
+let pp ppf g =
+  Format.fprintf ppf
+    "%d blocks x %d B (%.1f MB), seek %.1f ms, rot %.1f ms, bw %.1f MB/s"
+    g.blocks g.block_size
+    (float_of_int (capacity_bytes g) /. 1e6)
+    (g.avg_seek_s *. 1e3)
+    (g.rotational_latency_s *. 1e3)
+    (g.bandwidth_bytes_per_s /. 1e6)

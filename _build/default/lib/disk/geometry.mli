@@ -1,0 +1,44 @@
+(** Disk geometry and performance parameters.
+
+    The timing model charges three costs, mirroring the way the paper
+    reasons about disks (Section 2.1): a seek whenever an access is not
+    sequential with the previous one, half a rotation of latency after
+    each seek, and transfer time proportional to bytes moved. *)
+
+type t = {
+  block_size : int;          (** bytes per block (the FS allocation unit) *)
+  blocks : int;              (** total blocks on the device *)
+  avg_seek_s : float;        (** average seek time, seconds *)
+  rotational_latency_s : float;  (** average rotational delay, seconds *)
+  bandwidth_bytes_per_s : float; (** sustained transfer bandwidth *)
+  per_io_overhead_s : float;
+      (** fixed controller/command overhead charged once per operation;
+          this is what makes many small transfers slower than one large
+          one even when they are perfectly sequential *)
+}
+
+val capacity_bytes : t -> int
+
+val wren_iv : blocks:int -> t
+(** The disk used in the paper's evaluation (Section 5.1): 1.3 MB/s
+    maximum transfer bandwidth, 17.5 ms average seek, 4 KB blocks.
+    Rotational latency is 8.3 ms (3600 RPM half-rotation). *)
+
+val modern_hdd : blocks:int -> t
+(** A 2020s 7200 RPM drive (200 MB/s, 4.2 ms seek) for what-if runs; the
+    seek/bandwidth ratio is even more LFS-favourable than the Wren IV. *)
+
+val instant : blocks:int -> t
+(** Zero-cost timing, for unit tests that only care about contents. *)
+
+val io_time : t -> seeks:int -> bytes:int -> float
+(** [io_time g ~seeks ~bytes] is the modelled time to perform [seeks]
+    average-cost repositionings and transfer [bytes] bytes. *)
+
+val seek_time : t -> distance_blocks:int -> float
+(** Distance-dependent seek cost: zero for a sequential access, roughly
+    [0.15 * avg] for a one-cylinder hop, rising with the square root of
+    the distance (the classic seek curve) so that a uniformly random
+    seek averages [avg_seek_s]. *)
+
+val pp : Format.formatter -> t -> unit

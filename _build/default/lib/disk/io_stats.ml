@@ -1,0 +1,48 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable blocks_read : int;
+  mutable blocks_written : int;
+  mutable seeks : int;
+  mutable busy_s : float;
+}
+
+let create () =
+  { reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; seeks = 0; busy_s = 0.0 }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.blocks_read <- 0;
+  t.blocks_written <- 0;
+  t.seeks <- 0;
+  t.busy_s <- 0.0
+
+let copy t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    blocks_read = t.blocks_read;
+    blocks_written = t.blocks_written;
+    seeks = t.seeks;
+    busy_s = t.busy_s;
+  }
+
+let diff now before =
+  {
+    reads = now.reads - before.reads;
+    writes = now.writes - before.writes;
+    blocks_read = now.blocks_read - before.blocks_read;
+    blocks_written = now.blocks_written - before.blocks_written;
+    seeks = now.seeks - before.seeks;
+    busy_s = now.busy_s -. before.busy_s;
+  }
+
+let bytes_read ~block_size t = t.blocks_read * block_size
+let bytes_written ~block_size t = t.blocks_written * block_size
+let total_ios t = t.reads + t.writes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "reads=%d (%d blk) writes=%d (%d blk) seeks=%d busy=%.3fs" t.reads
+    t.blocks_read t.writes t.blocks_written t.seeks t.busy_s

@@ -1,0 +1,28 @@
+(** Cumulative IO accounting for a block device.
+
+    Time is the modelled disk busy time; callers compare it against a CPU
+    model to derive elapsed time (Section 5.1's "disk was 17% busy"
+    analysis). *)
+
+type t = {
+  mutable reads : int;           (** read operations *)
+  mutable writes : int;          (** write operations *)
+  mutable blocks_read : int;
+  mutable blocks_written : int;
+  mutable seeks : int;           (** non-sequential repositionings *)
+  mutable busy_s : float;        (** total modelled device busy time *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff now before] is the per-field difference: activity since
+    [before] was captured with {!copy}. *)
+
+val bytes_read : block_size:int -> t -> int
+val bytes_written : block_size:int -> t -> int
+val total_ios : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ffs/ffs.ml: Array Bitmap Bytes Hashtbl Lfs_core Lfs_disk Lfs_util List String

@@ -1,0 +1,1 @@
+lib/ffs/ffs.mli: Lfs_core Lfs_disk

@@ -1,0 +1,46 @@
+type t = { data : Bytes.t; bits : int }
+
+let create ~bits = { data = Bytes.make ((bits + 7) / 8) '\000'; bits }
+
+let of_bytes b ~bits = { data = Bytes.sub b 0 ((bits + 7) / 8); bits }
+
+let to_bytes t ~block_size =
+  let b = Bytes.make block_size '\000' in
+  Bytes.blit t.data 0 b 0 (Bytes.length t.data);
+  b
+
+let bits t = t.bits
+
+let check t i =
+  if i < 0 || i >= t.bits then invalid_arg (Printf.sprintf "Bitmap: bit %d" i)
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.data (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  check t i;
+  Bytes.set t.data (i / 8)
+    (Char.chr (Char.code (Bytes.get t.data (i / 8)) lor (1 lsl (i mod 8))))
+
+let clear t i =
+  check t i;
+  Bytes.set t.data (i / 8)
+    (Char.chr (Char.code (Bytes.get t.data (i / 8)) land lnot (1 lsl (i mod 8)) land 0xff))
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.bits - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let find_free_from t hint =
+  let hint = if t.bits = 0 then 0 else ((hint mod t.bits) + t.bits) mod t.bits in
+  let rec scan tried i =
+    if tried >= t.bits then None
+    else
+      let i = if i >= t.bits then 0 else i in
+      if not (get t i) then Some i else scan (tried + 1) (i + 1)
+  in
+  scan 0 hint

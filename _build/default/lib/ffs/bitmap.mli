@@ -1,0 +1,20 @@
+(** A block-backed allocation bitmap (one per cylinder group). *)
+
+type t
+
+val create : bits:int -> t
+(** All bits clear (free). *)
+
+val of_bytes : bytes -> bits:int -> t
+val to_bytes : t -> block_size:int -> bytes
+
+val bits : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val popcount : t -> int
+(** Number of set (allocated) bits. *)
+
+val find_free_from : t -> int -> int option
+(** First clear bit at index >= the hint, wrapping around; [None] when
+    the bitmap is full. *)

@@ -1,0 +1,714 @@
+module Disk = Lfs_disk.Disk
+module Block_cache = Lfs_disk.Block_cache
+module Codec = Lfs_util.Bytes_codec
+module Types = Lfs_core.Types
+module Inode = Lfs_core.Inode
+module Directory = Lfs_core.Directory
+
+type config = {
+  block_size : int;
+  cg_blocks : int;
+  inodes_per_cg : int;
+  write_buffer_blocks : int;
+  cache_blocks : int;
+  sync_double_inode_on_create : bool;
+  cluster_writes : bool;
+}
+
+let default_config =
+  {
+    block_size = 4096;
+    cg_blocks = 2048;          (* 8 MB cylinder groups *)
+    inodes_per_cg = 2048;
+    write_buffer_blocks = 256;
+    cache_blocks = 4096;
+    sync_double_inode_on_create = true;
+    cluster_writes = false;
+  }
+
+type layout = {
+  cfg : config;
+  ncg : int;
+  itable_blocks : int;   (* inode-table blocks per group *)
+  data_start : int;      (* first data block within a group *)
+  inodes_per_block : int;
+}
+
+type handle = {
+  inode : Inode.t;
+  fmap : Lfs_core.Filemap.t;
+  mutable content : bytes option;  (* directories *)
+}
+
+type t = {
+  disk : Disk.t;
+  bcache : Block_cache.t;
+  layout : layout;
+  lfs_layout : Lfs_core.Layout.t;  (* only for Filemap geometry *)
+  block_bitmaps : Bitmap.t array;  (* per group, cached *)
+  bitmap_dirty : bool array;
+  inode_free : Bitmap.t array;     (* per group, in memory only *)
+  handles : (Types.ino, handle) Hashtbl.t;
+  dirty_data : (Types.ino * int, bytes) Hashtbl.t;
+  mutable dirty_count : int;
+  mutable clock : float;
+  mutable next_dir_cg : int;
+}
+
+let root = Types.root_ino
+
+let disk t = t.disk
+
+let magic = 0x4646_5331 (* "FFS1" *)
+
+let compute_layout cfg ~disk_blocks =
+  if cfg.block_size < 512 || cfg.block_size land (cfg.block_size - 1) <> 0 then
+    invalid_arg "Ffs: bad block size";
+  let inodes_per_block = cfg.block_size / 128 in
+  let itable_blocks = (cfg.inodes_per_cg + inodes_per_block - 1) / inodes_per_block in
+  if cfg.cg_blocks < itable_blocks + 8 then invalid_arg "Ffs: groups too small";
+  let ncg = (disk_blocks - 1) / cfg.cg_blocks in
+  if ncg < 1 then invalid_arg "Ffs: disk too small for one cylinder group";
+  { cfg; ncg; itable_blocks; data_start = 1 + itable_blocks; inodes_per_block }
+
+(* Disk addresses. *)
+let cg_first l cg = 1 + (cg * l.cfg.cg_blocks)
+let bitmap_addr l cg = cg_first l cg
+let itable_addr l cg = cg_first l cg + 1
+
+let ino_cg l ino = (ino - 1) / l.cfg.inodes_per_cg
+let ino_index l ino = (ino - 1) mod l.cfg.inodes_per_cg
+let ino_of l cg index = 1 + (cg * l.cfg.inodes_per_cg) + index
+
+let ino_block l ino =
+  itable_addr l (ino_cg l ino) + (ino_index l ino / l.inodes_per_block)
+
+let ino_slot l ino = ino_index l ino mod l.inodes_per_block
+
+let cg_of_block l addr = (addr - 1) / l.cfg.cg_blocks
+let block_index_in_cg l addr = (addr - 1) mod l.cfg.cg_blocks
+
+(* A fake LFS layout so Lfs_core.Filemap (which only needs block_size,
+   addrs_per_block and the max-file bound) can serve as FFS's block map
+   machinery too. *)
+let filemap_layout cfg =
+  {
+    Lfs_core.Layout.block_size = cfg.block_size;
+    seg_blocks = cfg.cg_blocks;
+    max_inodes = 1;
+    nsegs = 1;
+    seg_start = 1;
+    ckpt_blocks = 0;
+    ckpt_a = 0;
+    ckpt_b = 0;
+    imap_blocks = 0;
+    usage_blocks = 0;
+    inode_size = 128;
+    inodes_per_block = cfg.block_size / 128;
+    imap_entries_per_block = 1;
+    usage_entries_per_block = 1;
+    addrs_per_block = cfg.block_size / 8;
+  }
+
+let tick t =
+  t.clock <- t.clock +. 1.0;
+  t.clock
+
+(* {1 Synchronous metadata IO} *)
+
+let cached_read t addr = Block_cache.read t.bcache t.disk addr
+
+let write_through t addr b =
+  Disk.write_block t.disk addr b;
+  Block_cache.put t.bcache addr b
+
+let write_inode t (inode : Inode.t) =
+  let addr = ino_block t.layout inode.Inode.ino in
+  let b = cached_read t addr in
+  Inode.encode inode b ~slot:(ino_slot t.layout inode.Inode.ino);
+  write_through t addr b
+
+let clear_inode t ino =
+  let addr = ino_block t.layout ino in
+  let b = cached_read t addr in
+  Inode.clear_slot b ~slot:(ino_slot t.layout ino);
+  write_through t addr b
+
+let read_inode t ino =
+  let b = cached_read t (ino_block t.layout ino) in
+  match Inode.decode b ~slot:(ino_slot t.layout ino) with
+  | None -> Types.fs_error "ffs: no such inode %d" ino
+  | Some inode ->
+      if inode.Inode.ino <> ino then
+        Types.corrupt "ffs: inode %d slot holds %d" ino inode.Inode.ino;
+      inode
+
+(* {1 Allocation} *)
+
+let mark_bitmap_dirty t cg = t.bitmap_dirty.(cg) <- true
+
+let alloc_block t ~near =
+  let l = t.layout in
+  let start_cg, hint =
+    if near >= 1 then (cg_of_block l near, block_index_in_cg l near + 1)
+    else (0, l.data_start)
+  in
+  let rec try_cg attempt =
+    if attempt >= l.ncg then Types.fs_error "ffs: disk full"
+    else
+      let cg = (start_cg + attempt) mod l.ncg in
+      let hint = if attempt = 0 then hint else l.data_start in
+      match Bitmap.find_free_from t.block_bitmaps.(cg) hint with
+      | Some i when i >= l.data_start ->
+          Bitmap.set t.block_bitmaps.(cg) i;
+          mark_bitmap_dirty t cg;
+          cg_first l cg + i
+      | Some i ->
+          (* Wrapped into the metadata area: skip past it. *)
+          (match Bitmap.find_free_from t.block_bitmaps.(cg) l.data_start with
+          | Some j when j >= l.data_start ->
+              Bitmap.set t.block_bitmaps.(cg) j;
+              mark_bitmap_dirty t cg;
+              cg_first l cg + j
+          | Some _ | None ->
+              ignore i;
+              try_cg (attempt + 1))
+      | None -> try_cg (attempt + 1)
+  in
+  try_cg 0
+
+let free_block t addr =
+  let l = t.layout in
+  let cg = cg_of_block l addr in
+  Bitmap.clear t.block_bitmaps.(cg) (block_index_in_cg l addr);
+  mark_bitmap_dirty t cg
+
+let alloc_inode t ~cg =
+  let l = t.layout in
+  let rec try_cg attempt =
+    if attempt >= l.ncg then Types.fs_error "ffs: out of inodes"
+    else
+      let cg = (cg + attempt) mod l.ncg in
+      match Bitmap.find_free_from t.inode_free.(cg) 0 with
+      | Some i ->
+          Bitmap.set t.inode_free.(cg) i;
+          ino_of l cg i
+      | None -> try_cg (attempt + 1)
+  in
+  try_cg 0
+
+(* {1 Handles} *)
+
+let get_handle t ino =
+  match Hashtbl.find_opt t.handles ino with
+  | Some h -> h
+  | None ->
+      let inode = read_inode t ino in
+      let fmap =
+        Lfs_core.Filemap.load ~read:(cached_read t) t.lfs_layout inode
+      in
+      let h = { inode; fmap; content = None } in
+      Hashtbl.replace t.handles ino h;
+      h
+
+(* Flush a handle's block map: indirect blocks are written synchronously
+   (they are metadata), then the inode. *)
+let flush_fmap_and_inode t h =
+  Lfs_core.Filemap.flush h.fmap h.inode
+    ~alloc:(fun ~kind:_ ~blockno:_ payload ->
+      let addr = alloc_block t ~near:(ino_block t.layout h.inode.Inode.ino) in
+      write_through t addr payload;
+      addr)
+    ~free:(fun addr -> free_block t addr);
+  write_inode t h.inode
+
+(* {1 Data IO} *)
+
+let read_file_block t h ino blockno =
+  match Hashtbl.find_opt t.dirty_data (ino, blockno) with
+  | Some b -> Bytes.copy b
+  | None ->
+      let addr = Lfs_core.Filemap.get h.fmap blockno in
+      if addr = Types.nil_addr then Bytes.make t.layout.cfg.block_size '\000'
+      else cached_read t addr
+
+let flush_data t =
+  if Hashtbl.length t.dirty_data > 0 then begin
+    let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.dirty_data [] in
+    let items = List.sort compare items in
+    let touched = Hashtbl.create 16 in
+    List.iter
+      (fun ((ino, blockno), b) ->
+        let h = get_handle t ino in
+        let addr =
+          match Lfs_core.Filemap.get h.fmap blockno with
+          | a when a <> Types.nil_addr -> a  (* update in place *)
+          | _ ->
+              let near =
+                if blockno > 0 then Lfs_core.Filemap.get h.fmap (blockno - 1)
+                else Types.nil_addr
+              in
+              let near =
+                if near <> Types.nil_addr then near
+                else ino_block t.layout ino
+              in
+              let a = alloc_block t ~near in
+              Lfs_core.Filemap.set h.fmap blockno a;
+              a
+        in
+        write_through t addr b;
+        Hashtbl.replace touched ino ();
+        Hashtbl.remove t.dirty_data (ino, blockno))
+      items;
+    t.dirty_count <- 0;
+    Hashtbl.iter (fun ino () -> flush_fmap_and_inode t (get_handle t ino)) touched
+  end
+
+(* Clustered flush: allocate as before, then coalesce disk-contiguous
+   runs into single transfers (McVoy & Kleiman's extent-like writes). *)
+let flush_data_clustered t =
+  if Hashtbl.length t.dirty_data > 0 then begin
+    let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.dirty_data [] in
+    let items = List.sort compare items in
+    let touched = Hashtbl.create 16 in
+    (* Pass 1: allocation, collecting (addr, bytes) pairs. *)
+    let placed =
+      List.map
+        (fun ((ino, blockno), b) ->
+          let h = get_handle t ino in
+          let addr =
+            match Lfs_core.Filemap.get h.fmap blockno with
+            | a when a <> Types.nil_addr -> a
+            | _ ->
+                let near =
+                  if blockno > 0 then Lfs_core.Filemap.get h.fmap (blockno - 1)
+                  else Types.nil_addr
+                in
+                let near = if near <> Types.nil_addr then near else ino_block t.layout ino in
+                let a = alloc_block t ~near in
+                Lfs_core.Filemap.set h.fmap blockno a;
+                a
+          in
+          Hashtbl.replace touched ino ();
+          Hashtbl.remove t.dirty_data (ino, blockno);
+          (addr, b))
+        items
+    in
+    t.dirty_count <- 0;
+    (* Pass 2: write contiguous runs as single transfers. *)
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) placed in
+    let flush_run run =
+      match List.rev run with
+      | [] -> ()
+      | (first_addr, _) :: _ as ordered ->
+          let bs = t.layout.cfg.block_size in
+          let buf = Bytes.create (List.length ordered * bs) in
+          List.iteri (fun i (_, b) -> Bytes.blit b 0 buf (i * bs) bs) ordered;
+          Disk.write_blocks t.disk first_addr buf;
+          List.iter (fun (a, b) -> Block_cache.put t.bcache a b) ordered
+    in
+    let rec group run last = function
+      | [] -> flush_run run
+      | (addr, b) :: rest ->
+          if addr = last + 1 then group ((addr, b) :: run) addr rest
+          else begin
+            flush_run run;
+            group [ (addr, b) ] addr rest
+          end
+    in
+    (match sorted with
+    | [] -> ()
+    | (addr, b) :: rest -> group [ (addr, b) ] addr rest);
+    Hashtbl.iter (fun ino () -> flush_fmap_and_inode t (get_handle t ino)) touched
+  end
+
+let flush_bitmaps t =
+  Array.iteri
+    (fun cg dirty ->
+      if dirty then begin
+        Disk.write_block t.disk
+          (bitmap_addr t.layout cg)
+          (Bitmap.to_bytes t.block_bitmaps.(cg)
+             ~block_size:t.layout.cfg.block_size);
+        t.bitmap_dirty.(cg) <- false
+      end)
+    t.bitmap_dirty
+
+let sync t =
+  if t.layout.cfg.cluster_writes then flush_data_clustered t else flush_data t;
+  flush_bitmaps t
+
+let put_dirty_block t ino blockno b =
+  if not (Hashtbl.mem t.dirty_data (ino, blockno)) then
+    t.dirty_count <- t.dirty_count + 1;
+  Hashtbl.replace t.dirty_data (ino, blockno) b;
+  if t.dirty_count >= t.layout.cfg.write_buffer_blocks then
+    if t.layout.cfg.cluster_writes then flush_data_clustered t else flush_data t
+
+let write t ino ~off data =
+  let bs = t.layout.cfg.block_size in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    let h = get_handle t ino in
+    let first = off / bs and last = (off + len - 1) / bs in
+    for blockno = first to last do
+      let block_start = blockno * bs in
+      let lo = max off block_start in
+      let hi = min (off + len) (block_start + bs) in
+      let b =
+        if lo = block_start && hi = block_start + bs then
+          Bytes.sub data (lo - off) bs
+        else begin
+          let b = read_file_block t h ino blockno in
+          Bytes.blit data (lo - off) b (lo - block_start) (hi - lo);
+          b
+        end
+      in
+      put_dirty_block t ino blockno b;
+      h.inode.Inode.size <- max h.inode.Inode.size hi
+    done;
+    h.inode.Inode.mtime <- tick t
+  end
+
+let read t ino ~off ~len =
+  let h = get_handle t ino in
+  let bs = t.layout.cfg.block_size in
+  let len = max 0 (min len (h.inode.Inode.size - off)) in
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let blockno = abs / bs in
+    let in_block = abs mod bs in
+    let n = min (bs - in_block) (len - !pos) in
+    let b = read_file_block t h ino blockno in
+    Bytes.blit b in_block out !pos n;
+    pos := !pos + n
+  done;
+  out
+
+let truncate t ino ~len =
+  let h = get_handle t ino in
+  let bs = t.layout.cfg.block_size in
+  let keep = (len + bs - 1) / bs in
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun (i, blockno) _ -> if i = ino && blockno >= keep then doomed := blockno :: !doomed)
+    t.dirty_data;
+  List.iter
+    (fun blockno ->
+      Hashtbl.remove t.dirty_data (ino, blockno);
+      t.dirty_count <- t.dirty_count - 1)
+    !doomed;
+  Lfs_core.Filemap.truncate h.fmap ~blocks:keep ~free:(fun a -> free_block t a);
+  h.inode.Inode.size <- min h.inode.Inode.size len;
+  h.inode.Inode.mtime <- tick t;
+  flush_fmap_and_inode t h
+
+let file_size t ino = (get_handle t ino).inode.Inode.size
+
+(* {1 Directories: data and inode written synchronously} *)
+
+let dir_contents t ino =
+  let h = get_handle t ino in
+  (match h.inode.Inode.ftype with
+  | Types.Directory -> ()
+  | Types.Regular -> Types.fs_error "ffs: inode %d is not a directory" ino);
+  match h.content with
+  | Some b -> Directory.of_bytes b
+  | None ->
+      let b = read t ino ~off:0 ~len:h.inode.Inode.size in
+      h.content <- Some b;
+      Directory.of_bytes b
+
+let set_dir_contents t ino d =
+  let h = get_handle t ino in
+  let bs = t.layout.cfg.block_size in
+  let fresh = Directory.to_bytes d in
+  let old = match h.content with Some b -> b | None -> Bytes.create 0 in
+  let nblocks = (Bytes.length fresh + bs - 1) / bs in
+  for blockno = 0 to nblocks - 1 do
+    let lo = blockno * bs in
+    let hi = min (Bytes.length fresh) (lo + bs) in
+    let changed =
+      hi > Bytes.length old
+      || not (Bytes.equal (Bytes.sub fresh lo (hi - lo)) (Bytes.sub old lo (hi - lo)))
+    in
+    if changed then begin
+      let b = Bytes.make bs '\000' in
+      Bytes.blit fresh lo b 0 (hi - lo);
+      (* Synchronous directory-data write. *)
+      let addr =
+        match Lfs_core.Filemap.get h.fmap blockno with
+        | a when a <> Types.nil_addr -> a
+        | _ ->
+            let a = alloc_block t ~near:(ino_block t.layout ino) in
+            Lfs_core.Filemap.set h.fmap blockno a;
+            a
+      in
+      write_through t addr b
+    end
+  done;
+  if Bytes.length fresh < h.inode.Inode.size then
+    Lfs_core.Filemap.truncate h.fmap ~blocks:nblocks
+      ~free:(fun a -> free_block t a);
+  h.inode.Inode.size <- Bytes.length fresh;
+  h.inode.Inode.mtime <- tick t;
+  h.content <- Some fresh;
+  flush_fmap_and_inode t h
+
+let lookup t ~dir name = Directory.find (dir_contents t dir) name
+let readdir t ino = Directory.entries (dir_contents t ino)
+
+let create_node t ~dir name ~ftype =
+  Directory.check_name name;
+  let d = dir_contents t dir in
+  if Directory.mem d name then Types.fs_error "ffs: name %S exists" name;
+  let cg =
+    match ftype with
+    | Types.Regular -> ino_cg t.layout dir
+    | Types.Directory ->
+        (* Spread directories across groups, as FFS does. *)
+        t.next_dir_cg <- (t.next_dir_cg + 1) mod t.layout.ncg;
+        t.next_dir_cg
+  in
+  let ino = alloc_inode t ~cg in
+  let inode = Inode.create ~ino ~ftype ~mtime:(tick t) in
+  let h =
+    {
+      inode;
+      fmap = Lfs_core.Filemap.create_empty t.lfs_layout inode;
+      content =
+        (match ftype with
+        | Types.Directory -> Some (Directory.to_bytes Directory.empty)
+        | Types.Regular -> None);
+    }
+  in
+  Hashtbl.replace t.handles ino h;
+  (* Synchronous inode write(s): FFS writes new inodes twice. *)
+  write_inode t inode;
+  if t.layout.cfg.sync_double_inode_on_create then write_inode t inode;
+  (* Synchronous directory data + directory inode writes. *)
+  set_dir_contents t dir (Directory.add d name ino);
+  (match ftype with
+  | Types.Directory -> set_dir_contents t ino Directory.empty
+  | Types.Regular -> ());
+  ino
+
+let create t ~dir name = create_node t ~dir name ~ftype:Types.Regular
+let mkdir t ~dir name = create_node t ~dir name ~ftype:Types.Directory
+
+let unlink t ~dir name =
+  let d = dir_contents t dir in
+  match Directory.find d name with
+  | None -> Types.fs_error "ffs: no such entry %S" name
+  | Some ino ->
+      let h = get_handle t ino in
+      (match h.inode.Inode.ftype with
+      | Types.Directory ->
+          if not (Directory.is_empty (dir_contents t ino)) then
+            Types.fs_error "ffs: directory %S not empty" name
+      | Types.Regular -> ());
+      set_dir_contents t dir (Directory.remove d name);
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun (i, blockno) _ -> if i = ino then doomed := blockno :: !doomed)
+        t.dirty_data;
+      List.iter
+        (fun blockno ->
+          Hashtbl.remove t.dirty_data (ino, blockno);
+          t.dirty_count <- t.dirty_count - 1)
+        !doomed;
+      Lfs_core.Filemap.iter_mapped h.fmap (fun _ a -> free_block t a);
+      List.iter (fun (_, a) -> free_block t a)
+        (Lfs_core.Filemap.indirect_blocks h.fmap);
+      clear_inode t ino;
+      Bitmap.clear t.inode_free.(ino_cg t.layout ino) (ino_index t.layout ino);
+      Hashtbl.remove t.handles ino
+
+(* {1 Paths} *)
+
+let split_path path = List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let resolve t path =
+  let rec go dir = function
+    | [] -> Some dir
+    | name :: rest -> (
+        match lookup t ~dir name with None -> None | Some ino -> go ino rest)
+  in
+  go root (split_path path)
+
+let parent_and_leaf t path =
+  match List.rev (split_path path) with
+  | [] -> Types.fs_error "ffs: path %S has no leaf" path
+  | leaf :: rev_dirs -> (
+      match
+        List.fold_left
+          (fun acc name ->
+            match acc with None -> None | Some dir -> lookup t ~dir name)
+          (Some root) (List.rev rev_dirs)
+      with
+      | None -> Types.fs_error "ffs: path %S: missing directory" path
+      | Some dir -> (dir, leaf))
+
+let create_path t path =
+  let dir, leaf = parent_and_leaf t path in
+  create t ~dir leaf
+
+let mkdir_path t path =
+  let dir, leaf = parent_and_leaf t path in
+  mkdir t ~dir leaf
+
+let write_path t path data =
+  let dir, leaf = parent_and_leaf t path in
+  let ino =
+    match lookup t ~dir leaf with Some ino -> ino | None -> create t ~dir leaf
+  in
+  truncate t ino ~len:0;
+  write t ino ~off:0 data
+
+let read_path t path =
+  match resolve t path with
+  | None -> Types.fs_error "ffs: no such path %S" path
+  | Some ino -> read t ino ~off:0 ~len:(file_size t ino)
+
+(* {1 Lifecycle} *)
+
+let store_super cfg disk =
+  let b = Bytes.make cfg.block_size '\000' in
+  let c = Codec.writer b in
+  Codec.put_u32 c magic;
+  Codec.put_int c cfg.block_size;
+  Codec.put_int c cfg.cg_blocks;
+  Codec.put_int c cfg.inodes_per_cg;
+  Codec.put_int c cfg.write_buffer_blocks;
+  Codec.put_int c cfg.cache_blocks;
+  Codec.put_u8 c (if cfg.sync_double_inode_on_create then 1 else 0);
+  Codec.put_u8 c (if cfg.cluster_writes then 1 else 0);
+  Disk.write_block disk 0 b
+
+let load_super disk =
+  let b = Disk.read_block disk 0 in
+  let c = Codec.reader b in
+  if Codec.get_u32 c <> magic then Types.corrupt "ffs: bad superblock magic";
+  let block_size = Codec.get_int c in
+  let cg_blocks = Codec.get_int c in
+  let inodes_per_cg = Codec.get_int c in
+  let write_buffer_blocks = Codec.get_int c in
+  let cache_blocks = Codec.get_int c in
+  let sync_double_inode_on_create = Codec.get_u8 c = 1 in
+  let cluster_writes = Codec.get_u8 c = 1 in
+  { block_size; cg_blocks; inodes_per_cg; write_buffer_blocks; cache_blocks;
+    sync_double_inode_on_create; cluster_writes }
+
+let make disk cfg =
+  let l = compute_layout cfg ~disk_blocks:(Disk.nblocks disk) in
+  {
+    disk;
+    bcache = Block_cache.create ~capacity:cfg.cache_blocks;
+    layout = l;
+    lfs_layout = filemap_layout cfg;
+    block_bitmaps = Array.init l.ncg (fun _ -> Bitmap.create ~bits:cfg.cg_blocks);
+    bitmap_dirty = Array.make l.ncg false;
+    inode_free = Array.init l.ncg (fun _ -> Bitmap.create ~bits:cfg.inodes_per_cg);
+    handles = Hashtbl.create 256;
+    dirty_data = Hashtbl.create 256;
+    dirty_count = 0;
+    clock = 1.0;
+    next_dir_cg = 0;
+  }
+
+let format disk cfg =
+  if Disk.block_size disk <> cfg.block_size then
+    invalid_arg "Ffs.format: block size mismatch";
+  store_super cfg disk;
+  let t = make disk cfg in
+  (* Reserve each group's metadata blocks in its bitmap and zero the
+     inode tables. *)
+  Array.iteri
+    (fun cg bm ->
+      for i = 0 to t.layout.data_start - 1 do
+        Bitmap.set bm i
+      done;
+      Disk.zero_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks;
+      t.bitmap_dirty.(cg) <- true)
+    t.block_bitmaps;
+  (* Root directory in group 0. *)
+  Bitmap.set t.inode_free.(0) (ino_index t.layout root);
+  let inode = Inode.create ~ino:root ~ftype:Types.Directory ~mtime:(tick t) in
+  let h =
+    {
+      inode;
+      fmap = Lfs_core.Filemap.create_empty t.lfs_layout inode;
+      content = Some (Directory.to_bytes Directory.empty);
+    }
+  in
+  Hashtbl.replace t.handles root h;
+  write_inode t inode;
+  set_dir_contents t root Directory.empty;
+  sync t
+
+let mount disk =
+  let cfg = load_super disk in
+  let t = make disk cfg in
+  (* Bitmaps from disk; inode-free maps by scanning the inode tables. *)
+  Array.iteri
+    (fun cg bm ->
+      let b = Disk.read_block disk (bitmap_addr t.layout cg) in
+      let loaded = Bitmap.of_bytes b ~bits:cfg.cg_blocks in
+      for i = 0 to cfg.cg_blocks - 1 do
+        if Bitmap.get loaded i then Bitmap.set bm i
+      done)
+    t.block_bitmaps;
+  Array.iteri
+    (fun cg free ->
+      let table =
+        Disk.read_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks
+      in
+      for idx = 0 to cfg.inodes_per_cg - 1 do
+        let block = idx / t.layout.inodes_per_block in
+        let slot = idx mod t.layout.inodes_per_block in
+        let view = Bytes.sub table (block * cfg.block_size) cfg.block_size in
+        match Inode.decode view ~slot with
+        | Some _ -> Bitmap.set free idx
+        | None -> ()
+        | exception Types.Corrupt _ -> ()
+      done)
+    t.inode_free;
+  t
+
+let free_blocks t =
+  let total = ref 0 in
+  Array.iter
+    (fun bm -> total := !total + (Bitmap.bits bm - Bitmap.popcount bm))
+    t.block_bitmaps;
+  !total
+
+let fsck_scan t =
+  let l = t.layout in
+  for cg = 0 to l.ncg - 1 do
+    ignore (Disk.read_block t.disk (bitmap_addr l cg));
+    let table = Disk.read_blocks t.disk (itable_addr l cg) l.itable_blocks in
+    for idx = 0 to l.cfg.inodes_per_cg - 1 do
+      let block = idx / l.inodes_per_block in
+      let slot = idx mod l.inodes_per_block in
+      let view = Bytes.sub table (block * l.cfg.block_size) l.cfg.block_size in
+      match Inode.decode view ~slot with
+      | None -> ()
+      | Some inode ->
+          (* Walk the block pointers, as fsck does to rebuild the
+             allocation picture; this reads the indirect blocks. *)
+          ignore
+            (Lfs_core.Filemap.load ~read:(Disk.read_block t.disk) t.lfs_layout
+               inode)
+      | exception Types.Corrupt _ -> ()
+    done
+  done
+
+let drop_caches t =
+  sync t;
+  Block_cache.clear t.bcache;
+  let keep = Hashtbl.create 1 in
+  Hashtbl.iter (fun ino h -> if ino = root then Hashtbl.replace keep ino h) t.handles;
+  Hashtbl.reset t.handles;
+  Hashtbl.iter (fun ino h -> h.content <- None; Hashtbl.replace t.handles ino h) keep

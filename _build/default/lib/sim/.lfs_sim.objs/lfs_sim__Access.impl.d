@@ -1,0 +1,1 @@
+lib/sim/access.ml: Lfs_util Printf

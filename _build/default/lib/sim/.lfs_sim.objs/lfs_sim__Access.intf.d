@@ -1,0 +1,1 @@
+lib/sim/access.mli: Lfs_util

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Access Array Config_sim Float Lfs_util List

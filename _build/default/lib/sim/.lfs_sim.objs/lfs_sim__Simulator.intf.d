@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Access Config_sim Lfs_util

@@ -1,0 +1,1 @@
+lib/sim/write_cost.ml: Array

@@ -1,0 +1,32 @@
+module Prng = Lfs_util.Prng
+
+type t =
+  | Uniform
+  | Hot_cold of { hot_fraction : float; hot_traffic : float }
+  | Cyclic
+
+let default_hot_cold = Hot_cold { hot_fraction = 0.1; hot_traffic = 0.9 }
+
+let sampler t ~nfiles prng =
+  assert (nfiles > 0);
+  match t with
+  | Uniform -> fun () -> Prng.int prng nfiles
+  | Cyclic ->
+      let next = ref 0 in
+      fun () ->
+        let f = !next in
+        next := (f + 1) mod nfiles;
+        f
+  | Hot_cold { hot_fraction; hot_traffic } ->
+      let nhot = max 1 (int_of_float (hot_fraction *. float_of_int nfiles)) in
+      let ncold = max 1 (nfiles - nhot) in
+      fun () ->
+        if Prng.bernoulli prng ~p:hot_traffic then Prng.int prng nhot
+        else nhot + Prng.int prng ncold
+
+let name = function
+  | Uniform -> "uniform"
+  | Cyclic -> "cyclic"
+  | Hot_cold { hot_fraction; hot_traffic } ->
+      Printf.sprintf "hot-and-cold %.0f/%.0f" (hot_traffic *. 100.0)
+        (hot_fraction *. 100.0)

@@ -1,0 +1,23 @@
+(** File access patterns of the Section 3.5 simulator. *)
+
+type t =
+  | Uniform
+      (** every file equally likely at every step *)
+  | Hot_cold of { hot_fraction : float; hot_traffic : float }
+      (** [hot_fraction] of the files receive [hot_traffic] of the
+          writes; the paper's default is 10% of files getting 90% of
+          writes.  Within each group the choice is uniform. *)
+  | Cyclic
+      (** files overwritten round-robin in creation order — the
+          log-structured best case: by the time the log wraps around,
+          every block of the oldest segment is dead, so cleaning is
+          free (write cost 1.0) *)
+
+val default_hot_cold : t
+(** The paper's 90/10 pattern. *)
+
+val sampler : t -> nfiles:int -> Lfs_util.Prng.t -> unit -> int
+(** [sampler t ~nfiles prng] returns a generator of file indices in
+    [\[0, nfiles)].  Hot files occupy the low indices. *)
+
+val name : t -> string

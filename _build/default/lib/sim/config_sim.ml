@@ -1,0 +1,10 @@
+type selection = Greedy | Cost_benefit
+type grouping = In_order | Age_sort
+
+let selection_name = function
+  | Greedy -> "greedy"
+  | Cost_benefit -> "cost-benefit"
+
+let grouping_name = function In_order -> "in-order" | Age_sort -> "age-sort"
+
+let benefit_cost ~u ~age = (1.0 -. u) *. age /. (1.0 +. u)

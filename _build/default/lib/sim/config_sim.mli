@@ -1,0 +1,16 @@
+(** Cleaning-policy knobs of the simulator (kept separate from
+    {!Lfs_core.Config} so the simulator has no dependency on the full
+    file system). *)
+
+type selection =
+  | Greedy        (** least-utilised segments first *)
+  | Cost_benefit  (** max (1-u)*age/(1+u) *)
+
+type grouping =
+  | In_order  (** live blocks rewritten in the order encountered *)
+  | Age_sort  (** live blocks sorted by age before rewriting *)
+
+val selection_name : selection -> string
+val grouping_name : grouping -> string
+
+val benefit_cost : u:float -> age:float -> float

@@ -1,0 +1,11 @@
+let lfs ~u =
+  assert (u >= 0.0 && u < 1.0);
+  if u = 0.0 then 1.0 else 2.0 /. (1.0 -. u)
+
+let ffs_today = 10.0
+let ffs_improved = 4.0
+
+let series ?(points = 20) () =
+  Array.init points (fun i ->
+      let u = 0.95 *. float_of_int i /. float_of_int (points - 1) in
+      (u, lfs ~u))

@@ -1,0 +1,17 @@
+(** The analytic write-cost model of Section 3.4 (formula 1 and the FFS
+    reference points of Figure 3). *)
+
+val lfs : u:float -> float
+(** [2 / (1 - u)]: cost of writing new data when segments cleaned have
+    utilisation [u]; 1.0 when [u = 0] (empty segments are not read). *)
+
+val ffs_today : float
+(** Unix FFS on small-file workloads uses 5-10% of disk bandwidth; the
+    paper plots a write cost of 10. *)
+
+val ffs_improved : float
+(** FFS with logging, delayed writes and request sorting: about 25% of
+    bandwidth, a write cost of 4. *)
+
+val series : ?points:int -> unit -> (float * float) array
+(** [(u, lfs ~u)] samples across [0, 0.95] for plotting Figure 3. *)

@@ -1,0 +1,1 @@
+lib/util/bytes_codec.ml: Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/bytes_codec.mli:

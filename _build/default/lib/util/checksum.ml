@@ -1,0 +1,14 @@
+let base = 65521
+
+let adler32 ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  let a = ref 1 and bsum = ref 0 in
+  for i = pos to pos + len - 1 do
+    a := (!a + Char.code (Bytes.unsafe_get b i)) mod base;
+    bsum := (!bsum + !a) mod base
+  done;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int !bsum) 16)
+    (Int32.of_int !a)
+
+let adler32_string s = adler32 (Bytes.unsafe_of_string s)

@@ -1,0 +1,9 @@
+(** Adler-32 checksums protecting on-disk metadata blocks (checkpoint
+    regions and segment summaries), so torn or stale writes are detected
+    during recovery instead of silently corrupting the file system. *)
+
+val adler32 : ?pos:int -> ?len:int -> bytes -> int32
+(** Checksum of [len] bytes of [b] starting at [pos] (defaults: whole
+    buffer). *)
+
+val adler32_string : string -> int32

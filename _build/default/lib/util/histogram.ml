@@ -1,0 +1,42 @@
+type t = { counts : float array; mutable total : float }
+
+let create ~bins =
+  assert (bins > 0);
+  { counts = Array.make bins 0.0; total = 0.0 }
+
+let clamp x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let bin_of t x =
+  let n = Array.length t.counts in
+  let i = int_of_float (clamp x *. float_of_int n) in
+  if i >= n then n - 1 else i
+
+let add_weighted t x w =
+  t.counts.(bin_of t x) <- t.counts.(bin_of t x) +. w;
+  t.total <- t.total +. w
+
+let add t x = add_weighted t x 1.0
+
+let bins t = Array.length t.counts
+let total t = t.total
+
+let fraction t i =
+  if t.total = 0.0 then 0.0 else t.counts.(i) /. t.total
+
+let bin_center t i =
+  let n = float_of_int (Array.length t.counts) in
+  (float_of_int i +. 0.5) /. n
+
+let to_series t =
+  Array.init (Array.length t.counts) (fun i -> (bin_center t i, fraction t i))
+
+let merge a b =
+  assert (Array.length a.counts = Array.length b.counts);
+  let counts = Array.mapi (fun i c -> c +. b.counts.(i)) a.counts in
+  { counts; total = a.total +. b.total }
+
+let pp ppf t =
+  Array.iteri
+    (fun i _ ->
+      Format.fprintf ppf "%.3f %.5f@." (bin_center t i) (fraction t i))
+    t.counts

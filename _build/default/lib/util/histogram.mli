@@ -1,0 +1,32 @@
+(** Fixed-bin histograms over [\[0, 1\]], used for the segment-utilisation
+    distributions of Figures 5, 6 and 10. *)
+
+type t
+
+val create : bins:int -> t
+(** [create ~bins] makes an empty histogram with [bins] equal-width bins
+    covering [\[0, 1\]].  Requires [bins > 0]. *)
+
+val add : t -> float -> unit
+(** [add t x] records [x]; values are clamped into [\[0, 1\]]. *)
+
+val add_weighted : t -> float -> float -> unit
+(** [add_weighted t x w] records [x] with weight [w]. *)
+
+val bins : t -> int
+val total : t -> float
+
+val fraction : t -> int -> float
+(** [fraction t i] is the weight in bin [i] divided by the total weight
+    (0 when the histogram is empty). *)
+
+val bin_center : t -> int -> float
+(** Mid-point of bin [i] on the x axis. *)
+
+val to_series : t -> (float * float) array
+(** [(x, fraction)] pairs for plotting, one per bin. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; both histograms must have the same number of bins. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type series = { label : string; points : (float * float) array }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let finite x = Float.is_finite x
+
+let bounds ?(y_max = infinity) series =
+  let x_min = ref infinity and x_max = ref neg_infinity in
+  let y_min = ref infinity and y_hi = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          if finite x && finite y then begin
+            if x < !x_min then x_min := x;
+            if x > !x_max then x_max := x;
+            let y = Float.min y y_max in
+            if y < !y_min then y_min := y;
+            if y > !y_hi then y_hi := y
+          end)
+        s.points)
+    series;
+  if not (finite !x_min) then (0.0, 1.0, 0.0, 1.0)
+  else begin
+    let y_min = Float.min !y_min 0.0 in
+    let x_max = if !x_max = !x_min then !x_min +. 1.0 else !x_max in
+    let y_hi = if !y_hi = y_min then y_min +. 1.0 else !y_hi in
+    (!x_min, x_max, y_min, y_hi)
+  end
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "") ?(y_label = "")
+    ?(y_max = infinity) ~title series =
+  let x_min, x_max, y_min, y_hi = bounds ~y_max series in
+  let canvas = Array.make_matrix height width ' ' in
+  let plot_series idx s =
+    let glyph = glyphs.(idx mod Array.length glyphs) in
+    Array.iter
+      (fun (x, y) ->
+        if finite x && finite y then begin
+          let y = Float.min y y_max in
+          let cx =
+            int_of_float
+              ((x -. x_min) /. (x_max -. x_min) *. float_of_int (width - 1))
+          in
+          let cy =
+            int_of_float
+              ((y -. y_min) /. (y_hi -. y_min) *. float_of_int (height - 1))
+          in
+          let cy = height - 1 - cy in
+          if cx >= 0 && cx < width && cy >= 0 && cy < height then
+            canvas.(cy).(cx) <- glyph
+        end)
+      s.points
+  in
+  List.iteri plot_series series;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  for row = 0 to height - 1 do
+    let y_val =
+      y_hi -. (float_of_int row /. float_of_int (height - 1) *. (y_hi -. y_min))
+    in
+    Buffer.add_string buf (Printf.sprintf "%8.2f |" y_val);
+    Buffer.add_string buf (String.init width (fun c -> canvas.(row).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 9 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%9s %-8.2f%s%8.2f\n" "" x_min
+       (String.make (max 1 (width - 16)) ' ')
+       x_max);
+  if x_label <> "" then
+    Buffer.add_string buf (Printf.sprintf "%*s%s\n" ((width / 2) + 5) "" x_label);
+  List.iteri
+    (fun idx s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %s\n" glyphs.(idx mod Array.length glyphs) s.label))
+    series;
+  Buffer.contents buf
+
+let print ?width ?height ?x_label ?y_label ?y_max ~title series =
+  print_string (render ?width ?height ?x_label ?y_label ?y_max ~title series)

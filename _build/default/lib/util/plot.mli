@@ -1,0 +1,34 @@
+(** Terminal line plots for figure reproduction.
+
+    Each figure in the paper's evaluation is rendered as an ASCII chart so
+    [bench/main.exe] output can be compared to the paper at a glance.
+    Multiple series share one canvas; each series is drawn with its own
+    glyph and listed in a legend. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;  (** (x, y), need not be sorted *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?y_max:float ->
+  title:string ->
+  series list ->
+  string
+(** Render the series onto a [width] x [height] character canvas with
+    axes, tick labels and a legend.  [y_max] clamps the y range (useful
+    when a series diverges, e.g. write cost as u -> 1). *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?y_max:float ->
+  title:string ->
+  series list ->
+  unit

@@ -1,0 +1,64 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let normalize ncols row =
+  let n = List.length row in
+  if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+
+let render ?title ~header ?align rows =
+  let ncols = List.length header in
+  let rows = List.map (normalize ncols) rows in
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let a = List.nth align i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  emit_row header;
+  rule ();
+  List.iter emit_row rows;
+  rule ();
+  Buffer.contents buf
+
+let print ?title ~header ?align rows =
+  print_string (render ?title ~header ?align rows)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

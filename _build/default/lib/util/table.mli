@@ -1,0 +1,25 @@
+(** ASCII table rendering for benchmark reports. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string ->
+  header:string list ->
+  ?align:align list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the rows out in a box-drawn table.  Column
+    widths adapt to the contents; [align] defaults to left for the first
+    column and right for the rest.  Rows shorter than the header are
+    padded with empty cells. *)
+
+val print :
+  ?title:string ->
+  header:string list ->
+  ?align:align list ->
+  string list list ->
+  unit
+(** Same as {!render} but writes to standard output. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Compact float formatting for cells (default 2 decimals). *)

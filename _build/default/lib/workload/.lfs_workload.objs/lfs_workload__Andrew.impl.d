@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: Bytes Cpu_model Fsops Lfs_disk List Printf

@@ -1,0 +1,1 @@
+lib/workload/andrew.mli: Cpu_model Fsops

@@ -1,0 +1,1 @@
+lib/workload/cpu_model.ml: Float

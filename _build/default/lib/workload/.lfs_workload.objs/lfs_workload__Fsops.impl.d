@@ -1,0 +1,1 @@
+lib/workload/fsops.ml: Lfs_core Lfs_disk Lfs_ffs

@@ -1,0 +1,1 @@
+lib/workload/fsops.mli: Lfs_core Lfs_disk Lfs_ffs

@@ -1,0 +1,1 @@
+lib/workload/largefile.ml: Bytes Cpu_model Fsops Lfs_disk Lfs_util

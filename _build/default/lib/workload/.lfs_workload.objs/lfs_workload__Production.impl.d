@@ -1,0 +1,1 @@
+lib/workload/production.ml: Array Bytes Float Hashtbl Lfs_core Lfs_disk Lfs_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/production.mli: Lfs_core Lfs_util

@@ -1,0 +1,1 @@
+lib/workload/recovery_bench.ml: Bytes Cpu_model Lfs_core Lfs_disk List Printf

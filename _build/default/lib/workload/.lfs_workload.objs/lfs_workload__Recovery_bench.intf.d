@@ -1,0 +1,1 @@
+lib/workload/recovery_bench.mli: Cpu_model

@@ -1,0 +1,1 @@
+lib/workload/smallfile.ml: Bytes Cpu_model Float Fsops Lfs_disk List Printf

@@ -1,0 +1,1 @@
+lib/workload/smallfile.mli: Cpu_model Fsops

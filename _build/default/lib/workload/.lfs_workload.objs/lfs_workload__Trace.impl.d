@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Bytes Char Filename Fsops Fun Hashtbl Lfs_util List Printf String

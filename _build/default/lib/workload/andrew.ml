@@ -1,0 +1,123 @@
+module Io_stats = Lfs_disk.Io_stats
+module Disk = Lfs_disk.Disk
+
+type phase = Mkdir | Copy | Stat | Read | Compile
+
+let phase_name = function
+  | Mkdir -> "mkdir"
+  | Copy -> "copy"
+  | Stat -> "stat"
+  | Read -> "read"
+  | Compile -> "compile"
+
+type phase_result = {
+  phase : phase;
+  elapsed_s : float;
+  cpu_s : float;
+  disk_s : float;
+}
+
+type result = {
+  fs_name : string;
+  phases : phase_result list;
+  total_s : float;
+  cpu_utilization : float;
+}
+
+type params = {
+  dirs : int;
+  files : int;
+  file_bytes : int;
+  compile_cpu_s_per_file : float;
+  cpu : Cpu_model.t;
+}
+
+let default_params =
+  {
+    dirs = 20;
+    files = 70;
+    file_bytes = 4096;
+    compile_cpu_s_per_file = 1.0;
+    cpu = Cpu_model.sun4_260;
+  }
+
+let src p i = Printf.sprintf "/src/d%d/f%d.c" (i mod p.dirs) i
+let obj p i = Printf.sprintf "/obj/d%d/f%d.o" (i mod p.dirs) i
+
+let run p (fs : Fsops.t) =
+  let blocks_per_file = max 1 ((p.file_bytes + 4095) / 4096) in
+  let measure phase ~ops ~blocks ~extra_cpu body =
+    let before = Io_stats.copy (Disk.stats fs.Fsops.disk) in
+    body ();
+    fs.Fsops.sync ();
+    let disk_s =
+      (Io_stats.diff (Disk.stats fs.Fsops.disk) before).Io_stats.busy_s
+    in
+    let cpu_s = Cpu_model.cost p.cpu ~ops ~blocks +. extra_cpu in
+    let elapsed_s =
+      Cpu_model.elapsed ~sync:(not fs.Fsops.async_writes) ~cpu_s ~disk_s
+    in
+    { phase; elapsed_s; cpu_s; disk_s }
+  in
+  let payload = Bytes.make p.file_bytes 'a' in
+  let mkdir =
+    measure Mkdir ~ops:(2 * p.dirs) ~blocks:0 ~extra_cpu:0.0 (fun () ->
+        ignore (fs.Fsops.mkdir_path "/src");
+        ignore (fs.Fsops.mkdir_path "/obj");
+        for d = 0 to p.dirs - 1 do
+          ignore (fs.Fsops.mkdir_path (Printf.sprintf "/src/d%d" d));
+          ignore (fs.Fsops.mkdir_path (Printf.sprintf "/obj/d%d" d))
+        done)
+  in
+  let copy =
+    measure Copy ~ops:p.files
+      ~blocks:(p.files * blocks_per_file)
+      ~extra_cpu:0.0
+      (fun () ->
+        for i = 0 to p.files - 1 do
+          let ino = fs.Fsops.create_path (src p i) in
+          fs.Fsops.write ino ~off:0 payload
+        done)
+  in
+  let stat =
+    measure Stat ~ops:p.files ~blocks:0 ~extra_cpu:0.0 (fun () ->
+        for i = 0 to p.files - 1 do
+          match fs.Fsops.resolve (src p i) with
+          | Some ino -> ignore (fs.Fsops.file_size ino)
+          | None -> failwith "andrew: missing source"
+        done)
+  in
+  let read =
+    measure Read ~ops:p.files
+      ~blocks:(p.files * blocks_per_file)
+      ~extra_cpu:0.0
+      (fun () ->
+        for i = 0 to p.files - 1 do
+          match fs.Fsops.resolve (src p i) with
+          | Some ino -> ignore (fs.Fsops.read ino ~off:0 ~len:p.file_bytes)
+          | None -> failwith "andrew: missing source"
+        done)
+  in
+  let compile =
+    (* Read each source, burn compiler CPU, write the object. *)
+    measure Compile ~ops:(2 * p.files)
+      ~blocks:(2 * p.files * blocks_per_file)
+      ~extra_cpu:(float_of_int p.files *. p.compile_cpu_s_per_file)
+      (fun () ->
+        for i = 0 to p.files - 1 do
+          (match fs.Fsops.resolve (src p i) with
+          | Some ino -> ignore (fs.Fsops.read ino ~off:0 ~len:p.file_bytes)
+          | None -> failwith "andrew: missing source");
+          let ino = fs.Fsops.create_path (obj p i) in
+          fs.Fsops.write ino ~off:0 payload
+        done)
+  in
+  let phases = [ mkdir; copy; stat; read; compile ] in
+  let total_s = List.fold_left (fun acc r -> acc +. r.elapsed_s) 0.0 phases in
+  let cpu_total = List.fold_left (fun acc r -> acc +. r.cpu_s) 0.0 phases in
+  {
+    fs_name = fs.Fsops.name;
+    phases;
+    total_s;
+    cpu_utilization = (if total_s > 0.0 then cpu_total /. total_s else 0.0);
+  }

@@ -1,0 +1,41 @@
+(** A modified-Andrew-style benchmark.
+
+    Section 5 of the paper notes that on the modified Andrew benchmark
+    Sprite LFS is only ~20% faster than SunOS, because the benchmark has
+    a CPU utilisation over 80% — disk storage management barely matters
+    when the machine is compute-bound.  This module reproduces that
+    observation: a five-phase workload (make directories, copy a source
+    tree, stat everything, read everything, "compile") where the compile
+    phase burns modelled CPU. *)
+
+type phase = Mkdir | Copy | Stat | Read | Compile
+
+val phase_name : phase -> string
+
+type phase_result = {
+  phase : phase;
+  elapsed_s : float;
+  cpu_s : float;
+  disk_s : float;
+}
+
+type result = {
+  fs_name : string;
+  phases : phase_result list;
+  total_s : float;
+  cpu_utilization : float;  (** total CPU / total elapsed *)
+}
+
+type params = {
+  dirs : int;
+  files : int;
+  file_bytes : int;
+  compile_cpu_s_per_file : float;  (** the compute that dominates *)
+  cpu : Cpu_model.t;
+}
+
+val default_params : params
+(** 20 directories, 70 x 4 KB files, 1 s of compile CPU per file
+    (Sun-4-era cc), calibrated so the whole run is >80% CPU-bound. *)
+
+val run : params -> Fsops.t -> result

@@ -1,0 +1,12 @@
+type t = { speed : float; per_op_s : float; per_block_s : float }
+
+let sun4_260 = { speed = 1.0; per_op_s = 0.0045; per_block_s = 0.0006 }
+
+let scale t k = { t with speed = t.speed *. k }
+
+let cost t ~ops ~blocks =
+  ((float_of_int ops *. t.per_op_s) +. (float_of_int blocks *. t.per_block_s))
+  /. t.speed
+
+let elapsed ~sync ~cpu_s ~disk_s =
+  if sync then cpu_s +. disk_s else Float.max cpu_s disk_s

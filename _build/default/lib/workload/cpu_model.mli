@@ -1,0 +1,27 @@
+(** CPU-time model for the benchmark harness.
+
+    The paper's testbed was a Sun-4/260 (8.7 integer SPECmarks); Sprite
+    LFS saturated that CPU while keeping the disk 17% busy, which is how
+    Figure 8(b) projects performance onto faster machines.  We model CPU
+    time as a fixed cost per file-system operation plus a cost per block
+    moved, divided by a speed multiplier. *)
+
+type t = {
+  speed : float;        (** 1.0 = Sun-4/260 *)
+  per_op_s : float;     (** syscall + name lookup + metadata handling *)
+  per_block_s : float;  (** copying / checksumming one 4 KB block *)
+}
+
+val sun4_260 : t
+(** Calibrated so the LFS small-file create phase is CPU-bound at
+    roughly the paper's ~180 files/sec. *)
+
+val scale : t -> float -> t
+(** [scale t k] models a machine [k] times faster. *)
+
+val cost : t -> ops:int -> blocks:int -> float
+(** Modelled CPU seconds. *)
+
+val elapsed : sync:bool -> cpu_s:float -> disk_s:float -> float
+(** Wall time: synchronous IO serialises with the CPU ([cpu + disk]);
+    asynchronous IO overlaps ([max cpu disk]). *)

@@ -1,0 +1,60 @@
+module Disk = Lfs_disk.Disk
+module Fs = Lfs_core.Fs
+module Ffs = Lfs_ffs.Ffs
+
+type t = {
+  name : string;
+  async_writes : bool;
+  disk : Lfs_disk.Disk.t;
+  create_path : string -> Lfs_core.Types.ino;
+  mkdir_path : string -> Lfs_core.Types.ino;
+  resolve : string -> Lfs_core.Types.ino option;
+  unlink : dir:Lfs_core.Types.ino -> string -> unit;
+  write : Lfs_core.Types.ino -> off:int -> bytes -> unit;
+  read : Lfs_core.Types.ino -> off:int -> len:int -> bytes;
+  file_size : Lfs_core.Types.ino -> int;
+  sync : unit -> unit;
+  drop_caches : unit -> unit;
+}
+
+let of_lfs fs =
+  {
+    name = "Sprite LFS";
+    async_writes = true;
+    disk = Fs.disk fs;
+    create_path = Fs.create_path fs;
+    mkdir_path = Fs.mkdir_path fs;
+    resolve = Fs.resolve fs;
+    unlink = (fun ~dir name -> Fs.unlink fs ~dir name);
+    write = (fun ino ~off b -> Fs.write fs ino ~off b);
+    read = (fun ino ~off ~len -> Fs.read fs ino ~off ~len);
+    file_size = Fs.file_size fs;
+    sync = (fun () -> Fs.sync fs);
+    drop_caches = (fun () -> Fs.drop_caches fs);
+  }
+
+let of_ffs fs =
+  {
+    name = "SunOS FFS";
+    async_writes = false;
+    disk = Ffs.disk fs;
+    create_path = Ffs.create_path fs;
+    mkdir_path = Ffs.mkdir_path fs;
+    resolve = Ffs.resolve fs;
+    unlink = (fun ~dir name -> Ffs.unlink fs ~dir name);
+    write = (fun ino ~off b -> Ffs.write fs ino ~off b);
+    read = (fun ino ~off ~len -> Ffs.read fs ino ~off ~len);
+    file_size = Ffs.file_size fs;
+    sync = (fun () -> Ffs.sync fs);
+    drop_caches = (fun () -> Ffs.drop_caches fs);
+  }
+
+let fresh_lfs ?(config = Lfs_core.Config.default) geometry =
+  let disk = Disk.create geometry in
+  Fs.format disk config;
+  of_lfs (Fs.mount disk)
+
+let fresh_ffs ?(config = Ffs.default_config) geometry =
+  let disk = Disk.create geometry in
+  Ffs.format disk config;
+  of_ffs (Ffs.mount disk)

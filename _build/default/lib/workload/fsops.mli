@@ -1,0 +1,28 @@
+(** A common driver interface over {!Lfs_core.Fs} and {!Lfs_ffs.Ffs} so
+    every benchmark runs identically against both systems. *)
+
+type t = {
+  name : string;
+  async_writes : bool;
+      (** writes are buffered and overlap with the CPU (LFS); false
+          means metadata IO serialises with the caller (FFS) *)
+  disk : Lfs_disk.Disk.t;
+  create_path : string -> Lfs_core.Types.ino;
+  mkdir_path : string -> Lfs_core.Types.ino;
+  resolve : string -> Lfs_core.Types.ino option;
+  unlink : dir:Lfs_core.Types.ino -> string -> unit;
+  write : Lfs_core.Types.ino -> off:int -> bytes -> unit;
+  read : Lfs_core.Types.ino -> off:int -> len:int -> bytes;
+  file_size : Lfs_core.Types.ino -> int;
+  sync : unit -> unit;
+  drop_caches : unit -> unit;
+}
+
+val of_lfs : Lfs_core.Fs.t -> t
+val of_ffs : Lfs_ffs.Ffs.t -> t
+
+val fresh_lfs :
+  ?config:Lfs_core.Config.t -> Lfs_disk.Geometry.t -> t
+(** Create a disk with the given geometry, format it as LFS, mount. *)
+
+val fresh_ffs : ?config:Lfs_ffs.Ffs.config -> Lfs_disk.Geometry.t -> t

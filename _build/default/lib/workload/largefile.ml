@@ -1,0 +1,96 @@
+module Io_stats = Lfs_disk.Io_stats
+module Disk = Lfs_disk.Disk
+module Prng = Lfs_util.Prng
+
+type phase = Seq_write | Seq_read | Rand_write | Rand_read | Reread
+
+let phase_name = function
+  | Seq_write -> "write seq"
+  | Seq_read -> "read seq"
+  | Rand_write -> "write rand"
+  | Rand_read -> "read rand"
+  | Reread -> "reread seq"
+
+type phase_result = {
+  phase : phase;
+  kbytes_per_sec : float;
+  cpu_s : float;
+  disk_s : float;
+  elapsed_s : float;
+}
+
+type result = { fs_name : string; phases : phase_result list }
+
+type params = { file_mb : int; chunk : int; cpu : Cpu_model.t; seed : int }
+
+let default_params =
+  { file_mb = 16; chunk = 8192; cpu = Cpu_model.sun4_260; seed = 7 }
+
+let run p (fs : Fsops.t) =
+  let total = p.file_mb * 1024 * 1024 in
+  let nchunks = total / p.chunk in
+  let blocks_per_chunk = (p.chunk + 4095) / 4096 in
+  let payload = Bytes.make p.chunk 'L' in
+  let prng = Prng.create ~seed:p.seed in
+  let ino = fs.Fsops.create_path "/big" in
+  let phase_of name ~write body =
+    let before = Io_stats.copy (Disk.stats fs.Fsops.disk) in
+    body ();
+    fs.Fsops.sync ();
+    let after = Disk.stats fs.Fsops.disk in
+    let disk_s = (Io_stats.diff after before).Io_stats.busy_s in
+    let cpu_s =
+      Cpu_model.cost p.cpu ~ops:nchunks ~blocks:(nchunks * blocks_per_chunk)
+    in
+    (* Data writes are asynchronous on both systems (SunOS buffers file
+       data too); FFS's synchronous-metadata penalty is already in its
+       disk time.  Reads always wait for the disk. *)
+    let elapsed_s = Cpu_model.elapsed ~sync:(not write) ~cpu_s ~disk_s in
+    {
+      phase = name;
+      kbytes_per_sec = float_of_int total /. 1024.0 /. elapsed_s;
+      cpu_s;
+      disk_s;
+      elapsed_s;
+    }
+  in
+  let seq_write =
+    phase_of Seq_write ~write:true (fun () ->
+        for i = 0 to nchunks - 1 do
+          fs.Fsops.write ino ~off:(i * p.chunk) payload
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let seq_read =
+    phase_of Seq_read ~write:false (fun () ->
+        for i = 0 to nchunks - 1 do
+          ignore (fs.Fsops.read ino ~off:(i * p.chunk) ~len:p.chunk)
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let rand_write =
+    phase_of Rand_write ~write:true (fun () ->
+        for _ = 0 to nchunks - 1 do
+          let i = Prng.int prng nchunks in
+          fs.Fsops.write ino ~off:(i * p.chunk) payload
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let rand_read =
+    phase_of Rand_read ~write:false (fun () ->
+        for _ = 0 to nchunks - 1 do
+          let i = Prng.int prng nchunks in
+          ignore (fs.Fsops.read ino ~off:(i * p.chunk) ~len:p.chunk)
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let reread =
+    phase_of Reread ~write:false (fun () ->
+        for i = 0 to nchunks - 1 do
+          ignore (fs.Fsops.read ino ~off:(i * p.chunk) ~len:p.chunk)
+        done)
+  in
+  {
+    fs_name = fs.Fsops.name;
+    phases = [ seq_write; seq_read; rand_write; rand_read; reread ];
+  }

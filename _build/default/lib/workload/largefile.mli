@@ -1,0 +1,31 @@
+(** The large-file micro-benchmark of Figure 9: write a large file
+    sequentially, read it sequentially, write the same volume randomly,
+    read randomly, and finally read sequentially again (the re-read that
+    punishes LFS when temporal locality differs from logical
+    locality). *)
+
+type phase = Seq_write | Seq_read | Rand_write | Rand_read | Reread
+
+val phase_name : phase -> string
+
+type phase_result = {
+  phase : phase;
+  kbytes_per_sec : float;
+  cpu_s : float;
+  disk_s : float;
+  elapsed_s : float;
+}
+
+type result = { fs_name : string; phases : phase_result list }
+
+type params = {
+  file_mb : int;      (** the paper uses 100 MB; scale down for speed *)
+  chunk : int;        (** IO unit in bytes (the paper's 8 KB) *)
+  cpu : Cpu_model.t;
+  seed : int;
+}
+
+val default_params : params
+(** 16 MB file, 8 KB transfers. *)
+
+val run : params -> Fsops.t -> result

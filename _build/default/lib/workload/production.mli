@@ -1,0 +1,64 @@
+(** Long-running synthetic workloads modelled on the five production
+    file systems of Table 2 (/user6, /pcs, /src/kernel, /tmp, /swap2).
+
+    Each spec reproduces the characteristics the paper says drive real
+    cleaning costs below the simulator's predictions: realistic file
+    sizes written and deleted as a whole (locality within segments), a
+    hot/cold split much colder than the simulator's (files that are
+    almost never written), and for /swap2 large sparse files written
+    non-sequentially.  Disk sizes are scaled down ~20x to keep runs
+    fast; utilisations, file sizes and traffic ratios match the paper.
+
+    The run drives a real {!Lfs_core.Fs} on a simulated disk and reports
+    the cleaning statistics of Table 2 plus the artefacts needed for
+    Figure 10 and Table 4. *)
+
+type spec = {
+  name : string;
+  disk_mb : int;
+  seg_kb : int;
+  mean_file_kb : float;
+  target_util : float;         (** paper's "In Use" column *)
+  traffic_to_disk_ratio : float;  (** total write traffic / disk size *)
+  hot_fraction : float;
+  hot_traffic : float;
+  frozen_fraction : float;
+      (** files written once and never again — the paper: "cold segments
+          in reality are much colder than in the simulations" *)
+  whole_file_writes : bool;    (** false = sparse random writes (swap) *)
+  create_delete_fraction : float;
+  checkpoint_interval_ops : int;
+  seed : int;
+}
+
+val user6 : spec
+val pcs : spec
+val src_kernel : spec
+val tmp : spec
+val swap2 : spec
+val all : spec list
+
+type result = {
+  spec : spec;
+  avg_file_size : float;        (** bytes, measured *)
+  in_use : float;               (** measured utilisation *)
+  segments_cleaned : int;
+  cleaner_blocks_read : int;
+  empty_fraction : float;       (** segments cleaned that were empty *)
+  avg_nonempty_u : float;       (** Table 2's "u" column *)
+  write_cost : float;
+  histogram : Lfs_util.Histogram.t;  (** Figure 10 *)
+  live_breakdown : (Lfs_core.Types.block_kind * float) list;
+      (** fraction of live bytes by kind (Table 4 left column) *)
+  log_bandwidth : (Lfs_core.Types.block_kind * float) list;
+      (** fraction of log blocks by kind (Table 4 right column) *)
+}
+
+val run :
+  ?scale:float ->
+  ?policy:Lfs_core.Config.cleaning_policy ->
+  ?cleaner_read:Lfs_core.Config.cleaner_read_policy ->
+  spec ->
+  result
+(** [scale] further multiplies the disk size (default 1.0); [policy]
+    and [cleaner_read] override the cleaning policies for ablations. *)

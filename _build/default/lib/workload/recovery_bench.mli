@@ -1,0 +1,23 @@
+(** The crash-recovery timing experiment of Table 3: write one, ten or
+    fifty megabytes of fixed-size files with checkpoints disabled, crash,
+    and time the roll-forward. *)
+
+type params = {
+  file_kb : int;       (** 1, 10 or 100 in the paper *)
+  data_mb : int;       (** 1, 10 or 50 *)
+  disk_mb : int;
+  cpu : Cpu_model.t;
+}
+
+type result = {
+  params : params;
+  recovery_s : float;       (** modelled disk time + CPU time *)
+  files_recovered : int;
+  writes_replayed : int;
+  segments_scanned : int;
+}
+
+val run : params -> result
+
+val table3 : ?disk_mb:int -> unit -> (int * int * result) list
+(** The full 3x3 grid: [(file_kb, data_mb, result)]. *)

@@ -1,0 +1,100 @@
+module Io_stats = Lfs_disk.Io_stats
+module Disk = Lfs_disk.Disk
+
+type phase = Create | Read | Delete
+
+let phase_name = function
+  | Create -> "create"
+  | Read -> "read"
+  | Delete -> "delete"
+
+type phase_result = {
+  phase : phase;
+  files_per_sec : float;
+  cpu_s : float;
+  disk_s : float;
+  elapsed_s : float;
+  disk_busy_frac : float;
+}
+
+type result = { fs_name : string; phases : phase_result list }
+
+type params = {
+  nfiles : int;
+  file_size : int;
+  files_per_dir : int;
+  cpu : Cpu_model.t;
+}
+
+let default_params =
+  { nfiles = 10_000; file_size = 1024; files_per_dir = 100; cpu = Cpu_model.sun4_260 }
+
+let path p i = Printf.sprintf "/d%d/f%d" (i / p.files_per_dir) i
+
+let measure_phase p (fs : Fsops.t) phase ~ops ~blocks body =
+  let before = Io_stats.copy (Disk.stats fs.Fsops.disk) in
+  body ();
+  fs.Fsops.sync ();
+  let after = Disk.stats fs.Fsops.disk in
+  let disk_s = (Io_stats.diff after before).Io_stats.busy_s in
+  let cpu_s = Cpu_model.cost p.cpu ~ops ~blocks in
+  let sync =
+    match phase with
+    | Read -> true  (* reads always wait for the disk *)
+    | Create | Delete -> not fs.Fsops.async_writes
+  in
+  let elapsed_s = Cpu_model.elapsed ~sync ~cpu_s ~disk_s in
+  {
+    phase;
+    files_per_sec = float_of_int p.nfiles /. elapsed_s;
+    cpu_s;
+    disk_s;
+    elapsed_s;
+    disk_busy_frac = (if elapsed_s > 0.0 then disk_s /. elapsed_s else 0.0);
+  }
+
+let run p (fs : Fsops.t) =
+  let ndirs = ((p.nfiles + p.files_per_dir - 1) / p.files_per_dir) in
+  for d = 0 to ndirs - 1 do
+    ignore (fs.Fsops.mkdir_path (Printf.sprintf "/d%d" d))
+  done;
+  fs.Fsops.sync ();
+  let payload = Bytes.make p.file_size 'a' in
+  let blocks_per_file = max 1 ((p.file_size + 4095) / 4096) in
+  let create =
+    measure_phase p fs Create ~ops:p.nfiles ~blocks:(p.nfiles * blocks_per_file)
+      (fun () ->
+        for i = 0 to p.nfiles - 1 do
+          let ino = fs.Fsops.create_path (path p i) in
+          fs.Fsops.write ino ~off:0 payload
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let read =
+    measure_phase p fs Read ~ops:p.nfiles ~blocks:(p.nfiles * blocks_per_file)
+      (fun () ->
+        for i = 0 to p.nfiles - 1 do
+          match fs.Fsops.resolve (path p i) with
+          | Some ino -> ignore (fs.Fsops.read ino ~off:0 ~len:p.file_size)
+          | None -> failwith "smallfile: file vanished"
+        done)
+  in
+  fs.Fsops.drop_caches ();
+  let delete =
+    measure_phase p fs Delete ~ops:p.nfiles ~blocks:0 (fun () ->
+        for i = 0 to p.nfiles - 1 do
+          match fs.Fsops.resolve (Printf.sprintf "/d%d" (i / p.files_per_dir)) with
+          | Some dir -> fs.Fsops.unlink ~dir (Printf.sprintf "f%d" i)
+          | None -> failwith "smallfile: directory vanished"
+        done)
+  in
+  { fs_name = fs.Fsops.name; phases = [ create; read; delete ] }
+
+let predict_create p result ~cpu_multiple =
+  match List.find_opt (fun r -> r.phase = Create) result.phases with
+  | None -> invalid_arg "predict_create: no create phase"
+  | Some r ->
+      let cpu_s = r.cpu_s /. cpu_multiple in
+      let sync = r.elapsed_s > Float.max r.cpu_s r.disk_s +. 1e-9 in
+      let elapsed = Cpu_model.elapsed ~sync ~cpu_s ~disk_s:r.disk_s in
+      float_of_int p.nfiles /. elapsed

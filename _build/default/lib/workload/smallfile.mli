@@ -1,0 +1,39 @@
+(** The small-file micro-benchmark of Figure 8: create N small files
+    (spread across directories), read them back in creation order, then
+    delete them.
+
+    Between phases the file cache is dropped and the disk statistics are
+    snapshotted, so each phase reports its own disk time; CPU time comes
+    from {!Cpu_model}.  Figure 8(a) is [files_per_sec] of each phase;
+    Figure 8(b) is {!predict_create} at CPU multiples. *)
+
+type phase = Create | Read | Delete
+
+val phase_name : phase -> string
+
+type phase_result = {
+  phase : phase;
+  files_per_sec : float;
+  cpu_s : float;
+  disk_s : float;
+  elapsed_s : float;
+  disk_busy_frac : float;  (** disk_s / elapsed — 17% vs 85% in 5.1 *)
+}
+
+type result = { fs_name : string; phases : phase_result list }
+
+type params = {
+  nfiles : int;
+  file_size : int;    (** bytes; the paper uses 1 KB *)
+  files_per_dir : int;
+  cpu : Cpu_model.t;
+}
+
+val default_params : params
+(** 10000 x 1 KB files, 100 per directory, Sun-4/260 CPU. *)
+
+val run : params -> Fsops.t -> result
+
+val predict_create : params -> result -> cpu_multiple:float -> float
+(** Files/sec the create phase would reach with a CPU [cpu_multiple]
+    times faster and the same disk (Figure 8(b)). *)

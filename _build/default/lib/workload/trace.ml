@@ -1,0 +1,177 @@
+module Prng = Lfs_util.Prng
+module Codec = Lfs_util.Bytes_codec
+
+type op =
+  | Mkdir of string
+  | Create of string
+  | Write of { path : string; off : int; len : int; seed : int }
+  | Read of { path : string; off : int; len : int }
+  | Unlink of string
+  | Sync
+
+type t = op list
+
+let payload ~len ~seed =
+  let prng = Prng.create ~seed in
+  Bytes.init len (fun _ -> Char.chr (32 + Prng.int prng 95))
+
+let record_random ~ops ?(files = 20) ?(dirs = 4) ~seed () =
+  let prng = Prng.create ~seed in
+  let dir_names = List.init dirs (fun d -> Printf.sprintf "/t%d" d) in
+  let path () =
+    Printf.sprintf "/t%d/f%d" (Prng.int prng dirs) (Prng.int prng files)
+  in
+  let live : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let trace = ref (List.rev_map (fun d -> Mkdir d) dir_names) in
+  for _ = 1 to ops do
+    let p = path () in
+    let op =
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 | 3 ->
+          let len = 1 + Prng.int prng 30_000 in
+          let seed = Prng.int prng 1_000_000 in
+          if not (Hashtbl.mem live p) then begin
+            Hashtbl.replace live p len;
+            [ Write { path = p; off = 0; len; seed }; Create p ]
+          end
+          else begin
+            Hashtbl.replace live p len;
+            [ Write { path = p; off = 0; len; seed } ]
+          end
+      | 4 -> (
+          match Hashtbl.find_opt live p with
+          | Some size ->
+              let off = Prng.int prng (max 1 size) in
+              let len = 1 + Prng.int prng 4096 in
+              Hashtbl.replace live p (max size (off + len));
+              [ Write { path = p; off; len; seed = Prng.int prng 1_000_000 } ]
+          | None -> [])
+      | 5 | 6 -> (
+          match Hashtbl.find_opt live p with
+          | Some size -> [ Read { path = p; off = 0; len = min size 8192 } ]
+          | None -> [])
+      | 7 ->
+          if Hashtbl.mem live p then begin
+            Hashtbl.remove live p;
+            [ Unlink p ]
+          end
+          else []
+      | 8 -> [ Sync ]
+      | _ -> []
+    in
+    trace := op @ !trace
+  done;
+  List.rev !trace
+
+let replay trace (fs : Fsops.t) =
+  let apply = function
+    | Mkdir path -> if fs.Fsops.resolve path = None then ignore (fs.Fsops.mkdir_path path)
+    | Create path ->
+        if fs.Fsops.resolve path = None then ignore (fs.Fsops.create_path path)
+    | Write { path; off; len; seed } -> (
+        match fs.Fsops.resolve path with
+        | Some ino -> fs.Fsops.write ino ~off (payload ~len ~seed)
+        | None -> ())
+    | Read { path; off; len } -> (
+        match fs.Fsops.resolve path with
+        | Some ino -> ignore (fs.Fsops.read ino ~off ~len)
+        | None -> ())
+    | Unlink path -> (
+        match (fs.Fsops.resolve path, fs.Fsops.resolve (Filename.dirname path)) with
+        | Some _, Some dir -> fs.Fsops.unlink ~dir (Filename.basename path)
+        | _ -> ())
+    | Sync -> fs.Fsops.sync ()
+  in
+  List.iter apply trace
+
+(* On-disk format: magic, count, then tagged records. *)
+let magic = 0x4C54_5243 (* "LTRC" *)
+
+let encoded_size t =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Mkdir p | Create p | Unlink p -> 1 + 2 + String.length p
+      | Write { path; _ } -> 1 + 2 + String.length path + 24
+      | Read { path; _ } -> 1 + 2 + String.length path + 16
+      | Sync -> 1)
+    8 t
+
+let save t path =
+  let b = Bytes.create (encoded_size t) in
+  let c = Codec.writer b in
+  Codec.put_u32 c magic;
+  Codec.put_u32 c (List.length t);
+  List.iter
+    (fun op ->
+      match op with
+      | Mkdir p ->
+          Codec.put_u8 c 1;
+          Codec.put_string c p
+      | Create p ->
+          Codec.put_u8 c 2;
+          Codec.put_string c p
+      | Write { path; off; len; seed } ->
+          Codec.put_u8 c 3;
+          Codec.put_string c path;
+          Codec.put_int c off;
+          Codec.put_int c len;
+          Codec.put_int c seed
+      | Read { path; off; len } ->
+          Codec.put_u8 c 4;
+          Codec.put_string c path;
+          Codec.put_int c off;
+          Codec.put_int c len
+      | Unlink p ->
+          Codec.put_u8 c 5;
+          Codec.put_string c p
+      | Sync -> Codec.put_u8 c 6)
+    t;
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc b)
+
+let load path =
+  let ic = open_in_bin path in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let b = Bytes.create n in
+        really_input ic b 0 n;
+        b)
+  in
+  let c = Codec.reader b in
+  (try
+     if Codec.get_u32 c <> magic then failwith "Trace.load: bad magic"
+   with Codec.Overflow _ -> failwith "Trace.load: truncated header");
+  let n = Codec.get_u32 c in
+  try
+    List.init n (fun _ ->
+        match Codec.get_u8 c with
+        | 1 -> Mkdir (Codec.get_string c)
+        | 2 -> Create (Codec.get_string c)
+        | 3 ->
+            let path = Codec.get_string c in
+            let off = Codec.get_int c in
+            let len = Codec.get_int c in
+            let seed = Codec.get_int c in
+            Write { path; off; len; seed }
+        | 4 ->
+            let path = Codec.get_string c in
+            let off = Codec.get_int c in
+            let len = Codec.get_int c in
+            Read { path; off; len }
+        | 5 -> Unlink (Codec.get_string c)
+        | 6 -> Sync
+        | tag -> failwith (Printf.sprintf "Trace.load: unknown tag %d" tag))
+  with Codec.Overflow _ -> failwith "Trace.load: truncated record"
+
+let length = List.length
+
+let bytes_written t =
+  List.fold_left
+    (fun acc -> function Write { len; _ } -> acc + len | _ -> acc)
+    0 t

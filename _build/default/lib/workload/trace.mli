@@ -1,0 +1,40 @@
+(** Operation traces: record a workload once, replay it against any file
+    system through the common {!Fsops} driver.
+
+    Traces make cross-system comparisons exact (both systems see the
+    same operation sequence, byte for byte), let a generated workload be
+    saved to disk for later runs, and double as regression fixtures.
+    The format is a self-describing binary stream (see {!save} /
+    {!load}); payload bytes are regenerated from a seed + length so
+    traces stay small. *)
+
+type op =
+  | Mkdir of string
+  | Create of string
+  | Write of { path : string; off : int; len : int; seed : int }
+  | Read of { path : string; off : int; len : int }
+  | Unlink of string
+  | Sync
+
+type t = op list
+
+val record_random :
+  ops:int -> ?files:int -> ?dirs:int -> seed:int -> unit -> t
+(** A reproducible random workload over a bounded namespace: mkdirs
+    first, then a mix of writes, partial writes, reads, deletes and
+    syncs. *)
+
+val replay : t -> Fsops.t -> unit
+(** Run every operation.  Operations against paths that don't exist
+    (e.g. a read after its file was deleted in a hand-edited trace) are
+    skipped. *)
+
+val payload : len:int -> seed:int -> bytes
+(** The deterministic payload associated with a [Write] record. *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** Raises [Failure] on a malformed trace file. *)
+
+val length : t -> int
+val bytes_written : t -> int

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bytes Char Filename Hashtbl Lfs_core Lfs_disk Lfs_util Option Printf

@@ -1,0 +1,1 @@
+test/test_cleaner.ml: Alcotest Array Bytes Helpers Lfs_core Lfs_util List Printf String

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Filename Fun Helpers Lfs_disk Lfs_util Printf Sys

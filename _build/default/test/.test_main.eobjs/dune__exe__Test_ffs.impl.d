@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Bytes Helpers Lfs_core Lfs_disk Lfs_ffs List Printf

@@ -1,0 +1,1 @@
+test/test_filemap.ml: Alcotest Array Hashtbl Helpers Lfs_core List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Helpers Lfs_core Lfs_disk Lfs_util List Printf

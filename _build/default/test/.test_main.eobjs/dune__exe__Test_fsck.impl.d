@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Format Helpers Lfs_core Lfs_disk Option String

@@ -1,0 +1,1 @@
+test/test_log_writer.ml: Alcotest Bytes Hashtbl Helpers Lfs_core Lfs_disk List Option

@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest Bytes Hashtbl Helpers Lfs_core Lfs_disk Lfs_util List Printf String

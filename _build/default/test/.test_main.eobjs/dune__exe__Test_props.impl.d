@@ -1,0 +1,1 @@
+test/test_props.ml: Bytes Char Helpers Lfs_core Lfs_disk List Option Printf QCheck QCheck_alcotest String

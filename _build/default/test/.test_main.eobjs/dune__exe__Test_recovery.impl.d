@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Bytes Char Helpers Lfs_core Lfs_disk Lfs_util List Option Printf String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Lfs_sim Lfs_util List Printf

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Bytes Char Gen Hashtbl Helpers Lfs_core Lfs_disk Lfs_util List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Fun Gen Lfs_util List QCheck QCheck_alcotest String

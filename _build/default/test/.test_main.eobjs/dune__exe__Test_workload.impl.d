@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Filename Fun Helpers Lfs_disk Lfs_sim Lfs_workload List Printf Sys

@@ -1,0 +1,134 @@
+(* Shared fixtures for the test suite. *)
+
+module Disk = Lfs_disk.Disk
+module Geometry = Lfs_disk.Geometry
+module Fs = Lfs_core.Fs
+module Config = Lfs_core.Config
+module Types = Lfs_core.Types
+module Prng = Lfs_util.Prng
+
+(* A small, fast geometry: zero-cost timing, 4 MB disk. *)
+let test_geometry ?(blocks = 1024) () = Geometry.instant ~blocks
+
+let test_config =
+  {
+    Config.default with
+    max_inodes = 512;
+    seg_blocks = 32;
+    write_buffer_blocks = 16;
+    clean_start = 3;
+    clean_stop = 6;
+    segs_per_pass = 3;
+    cache_blocks = 128;
+  }
+
+let fresh_disk ?blocks () = Disk.create (test_geometry ?blocks ())
+
+let fresh_fs ?blocks ?(config = test_config) () =
+  let disk = fresh_disk ?blocks () in
+  Fs.format disk config;
+  (disk, Fs.mount disk)
+
+let fsck_clean fs =
+  let r = Lfs_core.Fsck.check fs in
+  if not (Lfs_core.Fsck.is_clean r) then
+    Alcotest.failf "fsck: %a" Lfs_core.Fsck.pp_report r
+
+let bytes_of_pattern ~seed len =
+  let prng = Prng.create ~seed in
+  Bytes.init len (fun _ -> Char.chr (32 + Prng.int prng 95))
+
+let check_bytes msg expected actual =
+  Alcotest.(check string) msg (Bytes.to_string expected) (Bytes.to_string actual)
+
+(* A random sequence of file-system operations over a bounded namespace,
+   used by integration and property tests.  Returns a model of the
+   expected live files: path -> contents. *)
+let random_ops ?(files = 12) ?(dir_count = 3) ~ops fs prng =
+  let model : (string, bytes) Hashtbl.t = Hashtbl.create 16 in
+  let dirs = Array.init dir_count (fun d -> Printf.sprintf "/dir%d" d) in
+  Array.iter (fun d -> ignore (Fs.mkdir_path fs d)) dirs;
+  let random_path () =
+    Printf.sprintf "%s/f%d" dirs.(Prng.int prng dir_count) (Prng.int prng files)
+  in
+  for _ = 1 to ops do
+    let path = random_path () in
+    match Prng.int prng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        let data = bytes_of_pattern ~seed:(Prng.int prng 10000) (1 + Prng.int prng 60000) in
+        Fs.write_path fs path data;
+        Hashtbl.replace model path data
+    | 5 ->
+        (* Partial overwrite at a random offset. *)
+        (match Fs.resolve fs path with
+        | Some ino ->
+            let size = Fs.file_size fs ino in
+            let off = Prng.int prng (max 1 size) in
+            let patch = bytes_of_pattern ~seed:(Prng.int prng 1000) (1 + Prng.int prng 5000) in
+            Fs.write fs ino ~off patch;
+            let old = Hashtbl.find model path in
+            let newlen = max (Bytes.length old) (off + Bytes.length patch) in
+            let merged = Bytes.make newlen '\000' in
+            Bytes.blit old 0 merged 0 (Bytes.length old);
+            Bytes.blit patch 0 merged off (Bytes.length patch);
+            Hashtbl.replace model path merged
+        | None -> ())
+    | 6 ->
+        (match Fs.resolve fs path with
+        | Some ino ->
+            let size = Fs.file_size fs ino in
+            let len = Prng.int prng (size + 1) in
+            Fs.truncate fs ino ~len;
+            let old = Hashtbl.find model path in
+            Hashtbl.replace model path (Bytes.sub old 0 len)
+        | None -> ())
+    | 7 ->
+        (match Fs.resolve fs path with
+        | Some _ ->
+            let dir =
+              Option.get (Fs.resolve fs (Filename.dirname path))
+            in
+            Fs.unlink fs ~dir (Filename.basename path);
+            Hashtbl.remove model path
+        | None -> ())
+    | 8 ->
+        (* Rename within / across directories. *)
+        (match Fs.resolve fs path with
+        | Some _ ->
+            let dst = random_path () in
+            if dst <> path then begin
+              let odir = Option.get (Fs.resolve fs (Filename.dirname path)) in
+              let ndir = Option.get (Fs.resolve fs (Filename.dirname dst)) in
+              (match
+                 Fs.rename fs ~odir (Filename.basename path) ~ndir
+                   (Filename.basename dst)
+               with
+              | () ->
+                  (match Hashtbl.find_opt model path with
+                  | Some data ->
+                      Hashtbl.remove model path;
+                      Hashtbl.replace model dst data
+                  | None -> ())
+              | exception Types.Fs_error _ -> ())
+            end
+        | None -> ())
+    | _ ->
+        (match Fs.resolve fs path with
+        | Some ino ->
+            let size = Fs.file_size fs ino in
+            ignore (Fs.read fs ino ~off:0 ~len:size)
+        | None -> ())
+  done;
+  model
+
+let check_model fs model =
+  Hashtbl.iter
+    (fun path data ->
+      match Fs.resolve fs path with
+      | None -> Alcotest.failf "model file %s missing" path
+      | Some ino ->
+          let actual = Fs.read fs ino ~off:0 ~len:(Fs.file_size fs ino) in
+          if not (Bytes.equal actual data) then
+            Alcotest.failf "contents of %s differ (len %d vs %d)" path
+              (Bytes.length actual) (Bytes.length data))
+    model

@@ -1,0 +1,288 @@
+(* Tests for the cleaning policies (pure) and the full cleaning machinery
+   under space pressure. *)
+
+module Fs = Lfs_core.Fs
+module Config = Lfs_core.Config
+module Cleaner = Lfs_core.Cleaner
+module Fs_stats = Lfs_core.Fs_stats
+module Prng = Lfs_util.Prng
+
+(* ----- Policy math ----- *)
+
+let cand seg u age = { Cleaner.seg; u; age }
+
+let test_benefit_cost_formula () =
+  Alcotest.(check (float 1e-9)) "(1-u)*age/(1+u)"
+    (0.5 *. 100.0 /. 1.5)
+    (Cleaner.benefit_cost (cand 0 0.5 100.0));
+  Alcotest.(check (float 1e-9)) "full segment worthless" 0.0
+    (Cleaner.benefit_cost (cand 0 1.0 1e9))
+
+let test_greedy_picks_least_utilized () =
+  let cands = [ cand 0 0.9 1.0; cand 1 0.1 1.0; cand 2 0.5 1.0 ] in
+  Alcotest.(check (list int)) "order by u" [ 1; 2 ]
+    (Cleaner.select ~policy:Config.Greedy ~candidates:cands ~count:2 ())
+
+let test_cost_benefit_prefers_old_cold () =
+  (* An old segment at moderate utilisation beats a young empty-ish one
+     (the paper's key insight). *)
+  let old_cold = cand 0 0.75 10_000.0 in
+  let young_hot = cand 1 0.3 10.0 in
+  Alcotest.(check (list int)) "old cold first" [ 0; 1 ]
+    (Cleaner.select ~policy:Config.Cost_benefit
+       ~candidates:[ young_hot; old_cold ] ~count:2 ())
+
+let test_empty_segments_always_first () =
+  let cands = [ cand 0 0.9 1e9; cand 1 0.0 0.0; cand 2 0.2 5.0 ] in
+  List.iter
+    (fun policy ->
+      match Cleaner.select ~policy ~rand:(fun n -> n / 2) ~candidates:cands ~count:1 () with
+      | [ 1 ] -> ()
+      | other ->
+          Alcotest.failf "policy %s picked %s"
+            (Config.cleaning_policy_name policy)
+            (String.concat "," (List.map string_of_int other)))
+    [ Config.Greedy; Config.Cost_benefit; Config.Age_only; Config.Random_victim ]
+
+let test_age_only_policy () =
+  let cands = [ cand 0 0.5 10.0; cand 1 0.5 100.0; cand 2 0.5 50.0 ] in
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 0 ]
+    (Cleaner.select ~policy:Config.Age_only ~candidates:cands ~count:3 ())
+
+let test_select_respects_count () =
+  let cands = List.init 10 (fun i -> cand i 0.5 1.0) in
+  Alcotest.(check int) "count cap" 4
+    (List.length (Cleaner.select ~policy:Config.Greedy ~candidates:cands ~count:4 ()))
+
+let test_random_requires_rand () =
+  match
+    Cleaner.select ~policy:Config.Random_victim
+      ~candidates:[ cand 0 0.5 1.0 ] ~count:1 ()
+  with
+  | _ -> Alcotest.fail "should require ~rand"
+  | exception Invalid_argument _ -> ()
+
+let test_grouping_age_sort () =
+  let items = [ ("young", 5.0); ("ancient", 100.0); ("mid", 50.0) ] in
+  Alcotest.(check (list string)) "oldest first"
+    [ "ancient"; "mid"; "young" ]
+    (Cleaner.order_for_grouping ~grouping:Config.Age_sort items);
+  Alcotest.(check (list string)) "in order preserved"
+    [ "young"; "ancient"; "mid" ]
+    (Cleaner.order_for_grouping ~grouping:Config.In_order items)
+
+(* ----- Full-FS cleaning ----- *)
+
+let churn fs prng ~files ~rounds ~size =
+  for i = 0 to files - 1 do
+    Fs.write_path fs (Printf.sprintf "/f%d" i) (Bytes.make size 'i')
+  done;
+  for _ = 1 to rounds do
+    let i = Prng.int prng files in
+    Fs.write_path fs (Printf.sprintf "/f%d" i)
+      (Bytes.make (size + Prng.int prng 1024) 'c')
+  done
+
+let test_cleaning_triggers_and_reclaims () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  let prng = Prng.create ~seed:5 in
+  churn fs prng ~files:40 ~rounds:200 ~size:60_000;
+  (* Single-block overwrites fragment segments so the cleaner has to
+     read live data, not just reuse self-emptied segments. *)
+  for _ = 1 to 600 do
+    let i = Prng.int prng 40 in
+    match Fs.resolve fs (Printf.sprintf "/f%d" i) with
+    | Some ino ->
+        Fs.write fs ino ~off:(4096 * Prng.int prng 14) (Bytes.make 4096 'z')
+    | None -> ()
+  done;
+  let stats = Fs.stats fs in
+  Alcotest.(check bool) "cleaner ran" true (Fs_stats.segments_cleaned stats > 0);
+  Alcotest.(check bool) "cleaner read segments" true
+    (Fs_stats.blocks_read_cleaner stats > 0);
+  Alcotest.(check bool) "write cost sane" true
+    (Fs_stats.write_cost stats >= 1.0 && Fs_stats.write_cost stats < 20.0);
+  Helpers.fsck_clean fs
+
+let test_contents_survive_cleaning () =
+  let disk, fs = Helpers.fresh_fs ~blocks:2048 () in
+  let keep = Helpers.bytes_of_pattern ~seed:77 45_000 in
+  Fs.write_path fs "/keeper" keep;
+  let prng = Prng.create ~seed:6 in
+  churn fs prng ~files:30 ~rounds:500 ~size:50_000;
+  Helpers.check_bytes "survives in memory" keep (Fs.read_path fs "/keeper");
+  Fs.unmount fs;
+  let fs2 = Fs.mount disk in
+  Helpers.check_bytes "survives remount" keep (Fs.read_path fs2 "/keeper");
+  Helpers.fsck_clean fs2
+
+let run_policy_churn policy =
+  let config = Config.with_policy ~cleaning:policy Helpers.test_config in
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+  let prng = Prng.create ~seed:8 in
+  churn fs prng ~files:35 ~rounds:400 ~size:55_000;
+  Helpers.fsck_clean fs;
+  Fs_stats.write_cost (Fs.stats fs)
+
+let test_all_policies_safe () =
+  List.iter
+    (fun policy -> ignore (run_policy_churn policy))
+    [ Config.Greedy; Config.Cost_benefit; Config.Age_only; Config.Random_victim ]
+
+let test_grouping_policies_safe () =
+  List.iter
+    (fun grouping ->
+      let config = Config.with_policy ~grouping Helpers.test_config in
+      let _, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+      let prng = Prng.create ~seed:9 in
+      churn fs prng ~files:35 ~rounds:300 ~size:55_000;
+      Helpers.fsck_clean fs)
+    [ Config.In_order; Config.Age_sort ]
+
+let test_explicit_clean_call () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  Fs.write_path fs "/a" (Bytes.make 100_000 'a');
+  Fs.write_path fs "/a" (Bytes.make 100_000 'b');
+  Fs.clean fs;
+  Alcotest.(check bool) "clean target reached" true
+    (Fs.clean_segment_count fs >= Helpers.test_config.Config.clean_stop);
+  Helpers.fsck_clean fs
+
+let test_deletion_reclaims_without_cleaning () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  for i = 0 to 9 do
+    Fs.write_path fs (Printf.sprintf "/d%d" i) (Bytes.make 120_000 'd')
+  done;
+  let used_before = Fs.utilization fs in
+  for i = 0 to 9 do
+    Fs.unlink fs ~dir:Fs.root (Printf.sprintf "d%d" i)
+  done;
+  Fs.checkpoint fs;
+  Alcotest.(check bool) "space reclaimed" true (Fs.utilization fs < used_before /. 4.0);
+  Alcotest.(check bool) "empties counted as cleaned" true
+    (Fs_stats.segments_cleaned_empty (Fs.stats fs) > 0);
+  Helpers.fsck_clean fs
+
+let test_segment_histogram_shape () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  let prng = Prng.create ~seed:10 in
+  churn fs prng ~files:30 ~rounds:200 ~size:50_000;
+  Fs.sync fs;
+  let h = Fs.segment_histogram fs ~bins:10 in
+  let sum = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 (Lfs_util.Histogram.to_series h) in
+  Alcotest.(check (float 1e-6)) "fractions sum to 1" 1.0 sum
+
+let test_write_cost_accounting_consistent () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  let prng = Prng.create ~seed:12 in
+  churn fs prng ~files:30 ~rounds:300 ~size:50_000;
+  let s = Fs.stats fs in
+  let manual =
+    float_of_int
+      (Fs_stats.blocks_written_new s + Fs_stats.blocks_written_cleaner s
+     + Fs_stats.blocks_read_cleaner s)
+    /. float_of_int (Fs_stats.blocks_written_new s)
+  in
+  Alcotest.(check (float 1e-9)) "formula matches" manual (Fs_stats.write_cost s)
+
+let test_live_breakdown_sums () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  Fs.write_path fs "/x" (Bytes.make 50_000 'x');
+  let b = Fs.live_breakdown fs in
+  let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 b.Fs.by_kind in
+  Alcotest.(check int) "breakdown total consistent" b.Fs.total_bytes sum;
+  Alcotest.(check bool) "data dominates" true
+    (List.assoc Lfs_core.Types.Data b.Fs.by_kind > b.Fs.total_bytes / 2)
+
+let test_live_blocks_cleaning_safe () =
+  let config = { Helpers.test_config with Config.cleaner_read = Config.Live_blocks } in
+  let disk, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+  let keep = Helpers.bytes_of_pattern ~seed:88 45_000 in
+  Fs.write_path fs "/keeper" keep;
+  let prng = Prng.create ~seed:13 in
+  churn fs prng ~files:35 ~rounds:400 ~size:55_000;
+  Alcotest.(check bool) "cleaner ran" true
+    (Fs_stats.segments_cleaned (Fs.stats fs) > 0);
+  Helpers.check_bytes "contents survive" keep (Fs.read_path fs "/keeper");
+  Helpers.fsck_clean fs;
+  Fs.unmount fs;
+  Helpers.fsck_clean (Fs.mount disk)
+
+let test_live_blocks_reads_less_when_sparse () =
+  (* At low victim utilisation, reading only live blocks moves far less
+     data than whole-segment reads (the paper's Section 3.4 footnote). *)
+  let run cleaner_read =
+    let config = { Helpers.test_config with Config.cleaner_read } in
+    let _, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+    (* Interleave long-lived crumbs with churning files so victim
+       segments keep a little live data instead of self-emptying. *)
+    for i = 0 to 299 do
+      Fs.write_path fs (Printf.sprintf "/stable%d" i) (Bytes.make 4096 's');
+      Fs.write_path fs
+        (Printf.sprintf "/churn%d" (i mod 40))
+        (Bytes.make 16_384 'c')
+    done;
+    Fs.clean fs;
+    Fs_stats.blocks_read_cleaner (Fs.stats fs)
+  in
+  let whole = run Config.Whole_segment in
+  let live = run Config.Live_blocks in
+  Alcotest.(check bool)
+    (Printf.sprintf "live (%d) < whole (%d)" live whole)
+    true (live < whole)
+
+let test_checkpoint_by_blocks () =
+  let config =
+    { Helpers.test_config with Config.checkpoint_interval_blocks = 64 }
+  in
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+  for i = 0 to 9 do
+    Fs.write_path fs (Printf.sprintf "/f%d" i) (Bytes.make 60_000 'b')
+  done;
+  (* 10 x 15 blocks of data >> 64-block interval: several checkpoints. *)
+  Alcotest.(check bool) "volume-triggered checkpoints" true
+    (Fs_stats.checkpoints (Fs.stats fs) >= 2)
+
+let test_checkpoint_by_blocks_bounds_recovery () =
+  let config =
+    { Helpers.test_config with Config.checkpoint_interval_blocks = 64 }
+  in
+  let disk, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+  for i = 0 to 9 do
+    Fs.write_path fs (Printf.sprintf "/f%d" i) (Bytes.make 60_000 'b')
+  done;
+  Fs.sync fs;
+  (* Crash: at most ~interval blocks of log to roll forward. *)
+  let _, report = Fs.recover disk in
+  Alcotest.(check bool)
+    (Printf.sprintf "replayed writes bounded (%d)" report.Fs.writes_replayed)
+    true
+    (report.Fs.writes_replayed <= 6);
+  Helpers.fsck_clean (Fs.mount disk)
+
+let suite =
+  ( "cleaner",
+    [
+      Alcotest.test_case "benefit/cost formula" `Quick test_benefit_cost_formula;
+      Alcotest.test_case "greedy least-utilised" `Quick test_greedy_picks_least_utilized;
+      Alcotest.test_case "cost-benefit old cold" `Quick test_cost_benefit_prefers_old_cold;
+      Alcotest.test_case "empties first" `Quick test_empty_segments_always_first;
+      Alcotest.test_case "age-only" `Quick test_age_only_policy;
+      Alcotest.test_case "count cap" `Quick test_select_respects_count;
+      Alcotest.test_case "random needs rand" `Quick test_random_requires_rand;
+      Alcotest.test_case "grouping" `Quick test_grouping_age_sort;
+      Alcotest.test_case "cleaning triggers" `Quick test_cleaning_triggers_and_reclaims;
+      Alcotest.test_case "contents survive" `Quick test_contents_survive_cleaning;
+      Alcotest.test_case "all policies safe" `Slow test_all_policies_safe;
+      Alcotest.test_case "grouping policies safe" `Slow test_grouping_policies_safe;
+      Alcotest.test_case "explicit clean" `Quick test_explicit_clean_call;
+      Alcotest.test_case "deletion reclaims" `Quick test_deletion_reclaims_without_cleaning;
+      Alcotest.test_case "histogram shape" `Quick test_segment_histogram_shape;
+      Alcotest.test_case "write-cost accounting" `Quick test_write_cost_accounting_consistent;
+      Alcotest.test_case "live breakdown" `Quick test_live_breakdown_sums;
+      Alcotest.test_case "live-blocks cleaning safe" `Quick test_live_blocks_cleaning_safe;
+      Alcotest.test_case "live-blocks reads less" `Quick test_live_blocks_reads_less_when_sparse;
+      Alcotest.test_case "checkpoint by volume" `Quick test_checkpoint_by_blocks;
+      Alcotest.test_case "volume checkpoint bounds recovery" `Quick
+        test_checkpoint_by_blocks_bounds_recovery;
+    ] )

@@ -1,0 +1,262 @@
+(* Tests for the simulated block device: contents, timing model, crash
+   injection, snapshots, and the block cache. *)
+
+module Disk = Lfs_disk.Disk
+module Geometry = Lfs_disk.Geometry
+module Io_stats = Lfs_disk.Io_stats
+module Block_cache = Lfs_disk.Block_cache
+
+let wren = Geometry.wren_iv ~blocks:256
+
+let block c = Bytes.make 4096 c
+
+let test_read_back () =
+  let d = Disk.create wren in
+  Disk.write_block d 5 (block 'a');
+  Helpers.check_bytes "read back" (block 'a') (Disk.read_block d 5);
+  Helpers.check_bytes "other block untouched" (block '\000') (Disk.read_block d 6)
+
+let test_multi_block () =
+  let d = Disk.create wren in
+  let buf = Bytes.cat (block 'x') (block 'y') in
+  Disk.write_blocks d 10 buf;
+  Helpers.check_bytes "first" (block 'x') (Disk.read_block d 10);
+  Helpers.check_bytes "second" (block 'y') (Disk.read_block d 11);
+  Helpers.check_bytes "range read" buf (Disk.read_blocks d 10 2)
+
+let test_bounds_checked () =
+  let d = Disk.create wren in
+  Alcotest.check_raises "write oob" (Invalid_argument "Disk.write_blocks: blocks [256, 257) out of range [0, 256)")
+    (fun () -> Disk.write_block d 256 (block 'z'));
+  (match Disk.read_blocks d 250 10 with
+  | _ -> Alcotest.fail "read past end should raise"
+  | exception Invalid_argument _ -> ())
+
+let test_write_partial_block_rejected () =
+  let d = Disk.create wren in
+  (match Disk.write_blocks d 0 (Bytes.make 100 'p') with
+  | () -> Alcotest.fail "partial block should be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_sequential_cheaper_than_random () =
+  let d1 = Disk.create wren in
+  for i = 0 to 63 do
+    Disk.write_block d1 i (block 's')
+  done;
+  let d2 = Disk.create wren in
+  let p = Lfs_util.Prng.create ~seed:3 in
+  for _ = 0 to 63 do
+    Disk.write_block d2 (Lfs_util.Prng.int p 256) (block 'r')
+  done;
+  let t1 = (Disk.stats d1).Io_stats.busy_s in
+  let t2 = (Disk.stats d2).Io_stats.busy_s in
+  Alcotest.(check bool) "sequential at least 3x cheaper" true (t2 > 3.0 *. t1)
+
+let test_one_big_write_cheaper_than_many () =
+  let d1 = Disk.create wren in
+  Disk.write_blocks d1 0 (Bytes.create (64 * 4096));
+  let d2 = Disk.create wren in
+  for i = 0 to 63 do
+    Disk.write_block d2 i (block 'm')
+  done;
+  Alcotest.(check bool) "batch beats singles" true
+    ((Disk.stats d2).Io_stats.busy_s > (Disk.stats d1).Io_stats.busy_s)
+
+let test_stats_counts () =
+  let d = Disk.create wren in
+  Disk.write_blocks d 0 (Bytes.create (3 * 4096));
+  ignore (Disk.read_blocks d 0 2);
+  let s = Disk.stats d in
+  Alcotest.(check int) "writes" 1 s.Io_stats.writes;
+  Alcotest.(check int) "blocks written" 3 s.Io_stats.blocks_written;
+  Alcotest.(check int) "reads" 1 s.Io_stats.reads;
+  Alcotest.(check int) "blocks read" 2 s.Io_stats.blocks_read
+
+let test_stats_diff () =
+  let d = Disk.create wren in
+  Disk.write_block d 0 (block 'a');
+  let before = Io_stats.copy (Disk.stats d) in
+  Disk.write_block d 1 (block 'b');
+  let delta = Io_stats.diff (Disk.stats d) before in
+  Alcotest.(check int) "one new write" 1 delta.Io_stats.writes
+
+let test_crash_tears_write () =
+  let d = Disk.create wren in
+  Disk.plan_crash d ~after_blocks:1;
+  (match Disk.write_blocks d 0 (Bytes.cat (block 'A') (block 'B')) with
+  | () -> Alcotest.fail "write should crash"
+  | exception Disk.Crashed -> ());
+  Alcotest.(check bool) "device crashed" true (Disk.is_crashed d);
+  Disk.reboot d;
+  Helpers.check_bytes "prefix persisted" (block 'A') (Disk.read_block d 0);
+  Helpers.check_bytes "suffix lost" (block '\000') (Disk.read_block d 1)
+
+let test_crash_blocks_io_until_reboot () =
+  let d = Disk.create wren in
+  Disk.plan_crash d ~after_blocks:0;
+  (match Disk.write_block d 0 (block 'x') with
+  | () -> Alcotest.fail "should crash"
+  | exception Disk.Crashed -> ());
+  (match Disk.read_block d 0 with
+  | _ -> Alcotest.fail "read after crash should raise"
+  | exception Disk.Crashed -> ());
+  Disk.reboot d;
+  ignore (Disk.read_block d 0)
+
+let test_cancel_crash () =
+  let d = Disk.create wren in
+  Disk.plan_crash d ~after_blocks:5;
+  Disk.cancel_crash d;
+  for i = 0 to 9 do
+    Disk.write_block d i (block 'k')
+  done;
+  Alcotest.(check bool) "still alive" false (Disk.is_crashed d)
+
+let test_snapshot_restore () =
+  let d = Disk.create wren in
+  Disk.write_block d 3 (block 'v');
+  let snap = Disk.snapshot d in
+  Disk.write_block d 3 (block 'w');
+  Disk.restore d ~from:snap;
+  Helpers.check_bytes "restored" (block 'v') (Disk.read_block d 3)
+
+let test_snapshot_independent () =
+  let d = Disk.create wren in
+  let snap = Disk.snapshot d in
+  Disk.write_block d 0 (block 'n');
+  Helpers.check_bytes "snapshot unchanged" (block '\000') (Disk.read_block snap 0)
+
+let test_save_load_file () =
+  let d = Disk.create wren in
+  Disk.write_block d 7 (block 'f');
+  let path = Filename.temp_file "lfs_test" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Disk.save_file d path;
+      let d2 = Disk.load_file wren path in
+      Helpers.check_bytes "persisted" (block 'f') (Disk.read_block d2 7))
+
+let test_seek_time_monotone () =
+  let g = wren in
+  Alcotest.(check (float 0.0)) "zero distance" 0.0 (Geometry.seek_time g ~distance_blocks:0);
+  let t1 = Geometry.seek_time g ~distance_blocks:1 in
+  let t2 = Geometry.seek_time g ~distance_blocks:128 in
+  let t3 = Geometry.seek_time g ~distance_blocks:256 in
+  Alcotest.(check bool) "monotone" true (t1 < t2 && t2 < t3);
+  Alcotest.(check bool) "bounded by ~1.8x avg" true (t3 < 2.0 *. g.Geometry.avg_seek_s)
+
+let test_geometry_io_time () =
+  let g = wren in
+  let t = Geometry.io_time g ~seeks:1 ~bytes:1_300_000 in
+  (* One average seek + rotation + 1 second of transfer. *)
+  Alcotest.(check bool) "about 1.03s" true (t > 1.0 && t < 1.1)
+
+let test_cache_hit_costs_nothing () =
+  let d = Disk.create wren in
+  Disk.write_block d 2 (block 'c');
+  let c = Block_cache.create ~capacity:8 in
+  ignore (Block_cache.read c d 2);
+  let busy = (Disk.stats d).Io_stats.busy_s in
+  Helpers.check_bytes "cache hit" (block 'c') (Block_cache.read c d 2);
+  Alcotest.(check (float 0.0)) "no extra disk time" busy (Disk.stats d).Io_stats.busy_s;
+  Alcotest.(check int) "one hit" 1 (Block_cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Block_cache.misses c)
+
+let test_cache_eviction_lru () =
+  let d = Disk.create wren in
+  let c = Block_cache.create ~capacity:2 in
+  ignore (Block_cache.read c d 0);
+  ignore (Block_cache.read c d 1);
+  ignore (Block_cache.read c d 0);  (* touch 0: now 1 is LRU *)
+  ignore (Block_cache.read c d 2);  (* evicts 1 *)
+  ignore (Block_cache.read c d 0);
+  Alcotest.(check int) "0 stayed cached" 2 (Block_cache.hits c);
+  ignore (Block_cache.read c d 1);
+  Alcotest.(check int) "1 was evicted" 4 (Block_cache.misses c)
+
+let test_cache_put_and_invalidate () =
+  let d = Disk.create wren in
+  let c = Block_cache.create ~capacity:4 in
+  Block_cache.put c 5 (block 'p');
+  Helpers.check_bytes "put visible" (block 'p') (Block_cache.read c d 5);
+  Block_cache.invalidate c 5;
+  Disk.write_block d 5 (block 'q');
+  Helpers.check_bytes "invalidate forces re-read" (block 'q') (Block_cache.read c d 5)
+
+let test_cache_returns_copies () =
+  let d = Disk.create wren in
+  let c = Block_cache.create ~capacity:4 in
+  let b = Block_cache.read c d 1 in
+  Bytes.fill b 0 10 'Z';
+  Helpers.check_bytes "cache unpolluted" (block '\000') (Block_cache.read c d 1)
+
+let test_cache_zero_capacity () =
+  let d = Disk.create wren in
+  let c = Block_cache.create ~capacity:0 in
+  Disk.write_block d 0 (block 'z');
+  Helpers.check_bytes "still reads through" (block 'z') (Block_cache.read c d 0);
+  Alcotest.(check int) "never hits" 0 (Block_cache.hits c)
+
+let test_geometry_presets () =
+  let w = Geometry.wren_iv ~blocks:100 in
+  Alcotest.(check int) "wren block size" 4096 w.Geometry.block_size;
+  Alcotest.(check (float 1e-9)) "wren seek" 0.0175 w.Geometry.avg_seek_s;
+  let m = Geometry.modern_hdd ~blocks:100 in
+  Alcotest.(check bool) "modern is faster" true
+    (m.Geometry.bandwidth_bytes_per_s > w.Geometry.bandwidth_bytes_per_s
+    && m.Geometry.avg_seek_s < w.Geometry.avg_seek_s);
+  let i = Geometry.instant ~blocks:100 in
+  Alcotest.(check (float 0.0)) "instant is free" 0.0
+    (Geometry.io_time i ~seeks:10 ~bytes:1_000_000)
+
+let test_geometry_capacity () =
+  Alcotest.(check int) "capacity" (256 * 4096)
+    (Geometry.capacity_bytes (Geometry.wren_iv ~blocks:256))
+
+let test_random_seek_averages_avg () =
+  (* The distance-dependent curve is calibrated so a uniformly random
+     seek costs about avg_seek_s. *)
+  let g = Geometry.wren_iv ~blocks:100_000 in
+  let p = Lfs_util.Prng.create ~seed:77 in
+  let total = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let a = Lfs_util.Prng.int p g.Geometry.blocks in
+    let b = Lfs_util.Prng.int p g.Geometry.blocks in
+    total := !total +. Geometry.seek_time g ~distance_blocks:(abs (a - b))
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f within 10%% of avg" mean)
+    true
+    (mean > 0.9 *. g.Geometry.avg_seek_s && mean < 1.1 *. g.Geometry.avg_seek_s)
+
+let suite =
+  ( "disk",
+    [
+      Alcotest.test_case "read back" `Quick test_read_back;
+      Alcotest.test_case "multi block" `Quick test_multi_block;
+      Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+      Alcotest.test_case "partial block rejected" `Quick test_write_partial_block_rejected;
+      Alcotest.test_case "sequential cheaper" `Quick test_sequential_cheaper_than_random;
+      Alcotest.test_case "batching cheaper" `Quick test_one_big_write_cheaper_than_many;
+      Alcotest.test_case "stats counts" `Quick test_stats_counts;
+      Alcotest.test_case "stats diff" `Quick test_stats_diff;
+      Alcotest.test_case "crash tears write" `Quick test_crash_tears_write;
+      Alcotest.test_case "crash blocks io" `Quick test_crash_blocks_io_until_reboot;
+      Alcotest.test_case "cancel crash" `Quick test_cancel_crash;
+      Alcotest.test_case "snapshot restore" `Quick test_snapshot_restore;
+      Alcotest.test_case "snapshot independent" `Quick test_snapshot_independent;
+      Alcotest.test_case "save/load file" `Quick test_save_load_file;
+      Alcotest.test_case "seek time monotone" `Quick test_seek_time_monotone;
+      Alcotest.test_case "io time model" `Quick test_geometry_io_time;
+      Alcotest.test_case "cache hit free" `Quick test_cache_hit_costs_nothing;
+      Alcotest.test_case "cache LRU eviction" `Quick test_cache_eviction_lru;
+      Alcotest.test_case "cache put/invalidate" `Quick test_cache_put_and_invalidate;
+      Alcotest.test_case "cache returns copies" `Quick test_cache_returns_copies;
+      Alcotest.test_case "cache zero capacity" `Quick test_cache_zero_capacity;
+      Alcotest.test_case "geometry presets" `Quick test_geometry_presets;
+      Alcotest.test_case "geometry capacity" `Quick test_geometry_capacity;
+      Alcotest.test_case "random seek averages" `Quick test_random_seek_averages_avg;
+    ] )

@@ -1,0 +1,255 @@
+(* Unit tests for the log appender: address assignment, batching,
+   partial-segment writes, segment advancement, the on-disk summary
+   chain, and lazy payloads. *)
+
+module Disk = Lfs_disk.Disk
+module Types = Lfs_core.Types
+module Layout = Lfs_core.Layout
+module Summary = Lfs_core.Summary
+module Log_writer = Lfs_core.Log_writer
+
+let layout = Layout.compute Helpers.test_config ~disk_blocks:1024
+(* 32-block segments, 4 KB blocks. *)
+
+type env = {
+  disk : Disk.t;
+  log : Log_writer.t;
+  appended : (Types.block_kind * int * float) list ref;  (* kind, seg, mtime *)
+  batches : (int * int) list ref;  (* addr, blocks *)
+}
+
+let mk_env ?(cur_seg = 0) ?(next_seg = 1) () =
+  let disk = Helpers.fresh_disk () in
+  let appended = ref [] in
+  let batches = ref [] in
+  let next_clean = ref 2 in
+  let log =
+    Log_writer.create layout disk
+      ~pick_clean:(fun ~exclude ->
+        let rec pick () =
+          let s = !next_clean in
+          incr next_clean;
+          if List.mem s exclude then pick () else s
+        in
+        pick ())
+      ~on_append:(fun kind ~seg ~mtime -> appended := (kind, seg, mtime) :: !appended)
+      ~on_batch:(fun ~addr ~blocks -> batches := (addr, blocks) :: !batches)
+      ~cur_seg ~cur_off:0 ~next_seg ~seq:1
+  in
+  { disk; log; appended; batches }
+
+let payload c = Log_writer.Bytes (Bytes.make layout.Layout.block_size c)
+
+let append ?(kind = Types.Data) ?(ino = 7) ?(blockno = 0) ?(mtime = 1.0) env c =
+  Log_writer.append env.log ~kind ~ino ~blockno ~version:0 ~mtime (payload c)
+
+let test_addresses_sequential_in_batch () =
+  let env = mk_env () in
+  let a1 = append env 'a' ~blockno:0 in
+  let a2 = append env 'b' ~blockno:1 in
+  (* Slot 0 is the batch's summary; payloads follow contiguously. *)
+  Alcotest.(check int) "first payload after summary"
+    (Layout.seg_first_block layout 0 + 1) a1;
+  Alcotest.(check int) "contiguous" (a1 + 1) a2
+
+let test_nothing_on_disk_before_sync () =
+  let env = mk_env () in
+  ignore (append env 'x');
+  Alcotest.(check int) "no writes yet" 0 (Disk.stats env.disk).Lfs_disk.Io_stats.writes;
+  Log_writer.sync env.log;
+  Alcotest.(check int) "one batch write" 1 (Disk.stats env.disk).Lfs_disk.Io_stats.writes
+
+let test_batch_is_single_io () =
+  let env = mk_env () in
+  for i = 0 to 9 do
+    ignore (append env 'm' ~blockno:i)
+  done;
+  Log_writer.sync env.log;
+  let s = Disk.stats env.disk in
+  Alcotest.(check int) "one IO" 1 s.Lfs_disk.Io_stats.writes;
+  Alcotest.(check int) "summary + 10 payloads" 11 s.Lfs_disk.Io_stats.blocks_written;
+  (match !(env.batches) with
+  | [ (_, blocks) ] -> Alcotest.(check int) "callback blocks" 11 blocks
+  | l -> Alcotest.failf "expected 1 batch, got %d" (List.length l))
+
+let test_summary_on_disk_decodes () =
+  let env = mk_env () in
+  let a = append env 'p' ~ino:42 ~blockno:5 ~mtime:9.0 in
+  Log_writer.sync env.log;
+  let sum_addr = a - 1 in
+  match Summary.decode (Disk.read_block env.disk sum_addr) with
+  | None -> Alcotest.fail "summary should decode"
+  | Some s ->
+      Alcotest.(check int) "seq" 1 s.Summary.seq;
+      Alcotest.(check int) "seg" 0 s.Summary.seg;
+      Alcotest.(check int) "next_seg pointer" 1 s.Summary.next_seg;
+      (match s.Summary.entries with
+      | [ e ] ->
+          Alcotest.(check int) "ino" 42 e.Summary.ino;
+          Alcotest.(check int) "blockno" 5 e.Summary.blockno;
+          Alcotest.(check (float 0.0)) "mtime" 9.0 e.Summary.mtime
+      | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
+
+let test_payload_checksum_matches () =
+  let env = mk_env () in
+  let a = append env 'q' in
+  Log_writer.sync env.log;
+  let s = Option.get (Summary.decode (Disk.read_block env.disk (a - 1))) in
+  let payload = Disk.read_blocks env.disk a 1 in
+  Alcotest.(check int) "checksum" s.Summary.payload_sum
+    (Summary.payload_checksum payload)
+
+let test_partial_segment_chain () =
+  (* Two syncs produce two summaries chained within one segment. *)
+  let env = mk_env () in
+  let a1 = append env '1' in
+  Log_writer.sync env.log;
+  let a2 = append env '2' in
+  Log_writer.sync env.log;
+  let s1 = Option.get (Summary.decode (Disk.read_block env.disk (a1 - 1))) in
+  Alcotest.(check int) "second write follows first" (Summary.next_slot s1)
+    (a2 - 1 - Layout.seg_first_block layout 0);
+  let s2 = Option.get (Summary.decode (Disk.read_block env.disk (a2 - 1))) in
+  Alcotest.(check bool) "seq grows" true (s2.Summary.seq > s1.Summary.seq)
+
+let test_segment_advance_uses_reservation () =
+  let env = mk_env () in
+  (* Fill segment 0 (31 payload slots + summaries). *)
+  for i = 0 to 40 do
+    ignore (append env 'f' ~blockno:i)
+  done;
+  Log_writer.sync env.log;
+  Alcotest.(check int) "moved to the reserved segment" 1
+    (Log_writer.current_segment env.log);
+  Alcotest.(check bool) "new reservation" true
+    (Log_writer.reserved_segment env.log <> 1)
+
+let test_on_append_accounting () =
+  let env = mk_env () in
+  ignore (append env 'a' ~mtime:3.0);
+  ignore (append env 'b' ~mtime:5.0 ~kind:Types.Indirect);
+  match List.rev !(env.appended) with
+  | [ (Types.Data, 0, 3.0); (Types.Indirect, 0, 5.0) ] -> ()
+  | l -> Alcotest.failf "unexpected accounting (%d entries)" (List.length l)
+
+let test_lazy_payload_rendered_at_sync () =
+  let env = mk_env () in
+  let rendered = ref false in
+  let (_ : Types.baddr) =
+    Log_writer.append env.log ~kind:Types.Imap ~ino:0 ~blockno:0 ~version:0
+      ~mtime:1.0
+      (Log_writer.Lazy
+         (fun () ->
+           rendered := true;
+           Bytes.make layout.Layout.block_size 'L'))
+  in
+  Alcotest.(check bool) "not rendered at append" false !rendered;
+  Log_writer.sync env.log;
+  Alcotest.(check bool) "rendered at sync" true !rendered
+
+let test_wrong_payload_size_rejected () =
+  let env = mk_env () in
+  let (_ : Types.baddr) =
+    Log_writer.append env.log ~kind:Types.Data ~ino:1 ~blockno:0 ~version:0
+      ~mtime:1.0
+      (Log_writer.Bytes (Bytes.make 17 'x'))
+  in
+  match Log_writer.sync env.log with
+  | () -> Alcotest.fail "should reject non-block payload"
+  | exception Invalid_argument _ -> ()
+
+let test_addresses_never_reused_within_segment () =
+  let env = mk_env () in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 25 do
+    let a = append env 'u' ~blockno:i in
+    Alcotest.(check bool) "fresh address" false (Hashtbl.mem seen a);
+    Hashtbl.replace seen a ();
+    if i mod 7 = 0 then Log_writer.sync env.log
+  done
+
+let test_scan_follows_chain_across_segments () =
+  let env = mk_env () in
+  for i = 0 to 70 do
+    ignore (append env 'c' ~blockno:i);
+    if i mod 5 = 0 then Log_writer.sync env.log
+  done;
+  Log_writer.sync env.log;
+  (* Scan the log like recovery would, from a synthetic checkpoint at
+     the very beginning. *)
+  let ckpt =
+    {
+      Lfs_core.Checkpoint.timestamp = 0.0;
+      log_seq = 1;
+      cur_seg = 0;
+      cur_off = 0;
+      next_seg = 1;
+      imap_addrs = [||];
+      usage_addrs = [||];
+    }
+  in
+  let result = Lfs_core.Recovery.scan layout env.disk ~ckpt in
+  let total_entries =
+    List.fold_left
+      (fun acc w ->
+        acc + List.length w.Lfs_core.Recovery.summary.Summary.entries)
+      0 result.Lfs_core.Recovery.writes
+  in
+  Alcotest.(check int) "all 71 blocks found" 71 total_entries;
+  Alcotest.(check int) "writer position recovered"
+    (Log_writer.current_segment env.log)
+    result.Lfs_core.Recovery.tail_seg;
+  Alcotest.(check int) "seq recovered" (Log_writer.seq env.log)
+    result.Lfs_core.Recovery.next_seq
+
+let test_scan_stops_at_stale_summary () =
+  let env = mk_env () in
+  ignore (append env 's');
+  Log_writer.sync env.log;
+  let ckpt =
+    {
+      Lfs_core.Checkpoint.timestamp = 0.0;
+      log_seq = 1;
+      cur_seg = 0;
+      cur_off = 0;
+      next_seg = 1;
+      imap_addrs = [||];
+      usage_addrs = [||];
+    }
+  in
+  (* Plant a stale summary (lower seq) where the chain would continue:
+     the scan must not accept it. *)
+  let stale =
+    Summary.encode ~block_size:layout.Layout.block_size
+      {
+        Summary.seq = 0;
+        seg = 0;
+        slot = 2;
+        next_seg = 5;
+        timestamp = 0.0;
+        payload_sum = Summary.payload_checksum (Bytes.create 0);
+        entries = [];
+      }
+  in
+  Disk.write_block env.disk (Layout.seg_first_block layout 0 + 2) stale;
+  let result = Lfs_core.Recovery.scan layout env.disk ~ckpt in
+  Alcotest.(check int) "only the real write" 1
+    (List.length result.Lfs_core.Recovery.writes)
+
+let suite =
+  ( "log_writer",
+    [
+      Alcotest.test_case "addresses sequential" `Quick test_addresses_sequential_in_batch;
+      Alcotest.test_case "buffered until sync" `Quick test_nothing_on_disk_before_sync;
+      Alcotest.test_case "batch is one IO" `Quick test_batch_is_single_io;
+      Alcotest.test_case "summary decodes" `Quick test_summary_on_disk_decodes;
+      Alcotest.test_case "payload checksum" `Quick test_payload_checksum_matches;
+      Alcotest.test_case "partial-segment chain" `Quick test_partial_segment_chain;
+      Alcotest.test_case "advance uses reservation" `Quick test_segment_advance_uses_reservation;
+      Alcotest.test_case "on_append accounting" `Quick test_on_append_accounting;
+      Alcotest.test_case "lazy payload" `Quick test_lazy_payload_rendered_at_sync;
+      Alcotest.test_case "payload size checked" `Quick test_wrong_payload_size_rejected;
+      Alcotest.test_case "addresses unique" `Quick test_addresses_never_reused_within_segment;
+      Alcotest.test_case "scan follows chain" `Quick test_scan_follows_chain_across_segments;
+      Alcotest.test_case "scan rejects stale" `Quick test_scan_stops_at_stale_summary;
+    ] )

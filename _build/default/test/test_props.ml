@@ -1,0 +1,222 @@
+(* QCheck model properties over arbitrary operation sequences.  Unlike
+   the seeded random_ops tests, these generate the operation list as a
+   first-class value, so failures shrink to a minimal counterexample. *)
+
+module Fs = Lfs_core.Fs
+module Types = Lfs_core.Types
+module Disk = Lfs_disk.Disk
+
+type op =
+  | Write of int * int  (* file index, size *)
+  | Patch of int * int * int  (* file index, offset, size *)
+  | Truncate of int * int
+  | Delete of int
+  | Rename of int * int
+  | Sync
+  | Checkpoint
+
+let nfiles = 8
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun f s -> Write (f, s)) (int_bound (nfiles - 1)) (int_range 1 30_000));
+        (2, map3 (fun f o s -> Patch (f, o, s)) (int_bound (nfiles - 1)) (int_bound 20_000) (int_range 1 4_000));
+        (1, map2 (fun f l -> Truncate (f, l)) (int_bound (nfiles - 1)) (int_bound 20_000));
+        (2, map (fun f -> Delete f) (int_bound (nfiles - 1)));
+        (1, map2 (fun a b -> Rename (a, b)) (int_bound (nfiles - 1)) (int_bound (nfiles - 1)));
+        (1, return Sync);
+        (1, return Checkpoint);
+      ])
+
+let print_op = function
+  | Write (f, s) -> Printf.sprintf "Write(f%d, %d)" f s
+  | Patch (f, o, s) -> Printf.sprintf "Patch(f%d, @%d, %d)" f o s
+  | Truncate (f, l) -> Printf.sprintf "Truncate(f%d, %d)" f l
+  | Delete f -> Printf.sprintf "Delete(f%d)" f
+  | Rename (a, b) -> Printf.sprintf "Rename(f%d, f%d)" a b
+  | Sync -> "Sync"
+  | Checkpoint -> "Checkpoint"
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+let name i = Printf.sprintf "f%d" i
+
+(* Apply one op to the file system and, in parallel, to a trivial
+   in-memory model.  Returns the updated model. *)
+let apply fs model op =
+  let content i = List.assoc_opt (name i) model in
+  let fill len tag = Bytes.make len (Char.chr (65 + (tag mod 26))) in
+  match op with
+  | Write (f, size) ->
+      let data = fill size (f + size) in
+      Fs.write_path fs ("/" ^ name f) data;
+      (name f, data) :: List.remove_assoc (name f) model
+  | Patch (f, off, size) -> (
+      match content f with
+      | None -> model
+      | Some old ->
+          let ino = Option.get (Fs.resolve fs ("/" ^ name f)) in
+          let off = min off (Bytes.length old) in
+          let patch = fill size (f + off) in
+          Fs.write fs ino ~off patch;
+          let len = max (Bytes.length old) (off + size) in
+          let merged = Bytes.make len '\000' in
+          Bytes.blit old 0 merged 0 (Bytes.length old);
+          Bytes.blit patch 0 merged off size;
+          (name f, merged) :: List.remove_assoc (name f) model)
+  | Truncate (f, len) -> (
+      match content f with
+      | None -> model
+      | Some old ->
+          let ino = Option.get (Fs.resolve fs ("/" ^ name f)) in
+          let len = min len (Bytes.length old) in
+          Fs.truncate fs ino ~len;
+          (name f, Bytes.sub old 0 len) :: List.remove_assoc (name f) model)
+  | Delete f -> (
+      match content f with
+      | None -> model
+      | Some _ ->
+          Fs.unlink fs ~dir:Fs.root (name f);
+          List.remove_assoc (name f) model)
+  | Rename (a, b) -> (
+      match content a with
+      | None -> model
+      | Some data ->
+          if a = b then model
+          else begin
+            Fs.rename fs ~odir:Fs.root (name a) ~ndir:Fs.root (name b);
+            (name b, data)
+            :: List.remove_assoc (name a) (List.remove_assoc (name b) model)
+          end)
+  | Sync ->
+      Fs.sync fs;
+      model
+  | Checkpoint ->
+      Fs.checkpoint fs;
+      model
+
+let check_against_model fs model =
+  List.for_all
+    (fun (n, data) ->
+      match Fs.resolve fs ("/" ^ n) with
+      | None -> false
+      | Some ino ->
+          Bytes.equal data (Fs.read fs ino ~off:0 ~len:(Fs.file_size fs ino)))
+    model
+  && List.length (Fs.readdir fs Fs.root) = List.length model
+
+let prop_model_agreement =
+  QCheck.Test.make ~count:60 ~name:"fs agrees with model under arbitrary ops"
+    arb_ops
+    (fun ops ->
+      let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+      let model = List.fold_left (apply fs) [] ops in
+      check_against_model fs model
+      && Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs))
+
+let prop_remount_preserves =
+  QCheck.Test.make ~count:40 ~name:"remount preserves arbitrary op results"
+    arb_ops
+    (fun ops ->
+      let disk, fs = Helpers.fresh_fs ~blocks:2048 () in
+      let model = List.fold_left (apply fs) [] ops in
+      Fs.unmount fs;
+      let fs2 = Fs.mount disk in
+      check_against_model fs2 model)
+
+let prop_recovery_after_sync_preserves =
+  QCheck.Test.make ~count:40
+    ~name:"roll-forward preserves synced arbitrary op results" arb_ops
+    (fun ops ->
+      let disk, fs = Helpers.fresh_fs ~blocks:2048 () in
+      let model = List.fold_left (apply fs) [] ops in
+      Fs.sync fs;
+      (* Crash (abandon the instance), recover, compare. *)
+      let fs2, _ = Fs.recover disk in
+      check_against_model fs2 model
+      && Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2))
+
+(* The same op generator drives the NVRAM-backed FS; a crash may happen
+   at any point (no sync at all) and nothing acknowledged may be lost. *)
+let prop_nvram_no_loss =
+  QCheck.Test.make ~count:40 ~name:"nvram loses nothing across a crash"
+    arb_ops
+    (fun ops ->
+      let disk, fs0 = Helpers.fresh_fs ~blocks:2048 () in
+      let nvram = Lfs_core.Nvram.create () in
+      let nfs = Lfs_core.Nvram_fs.wrap fs0 nvram in
+      let apply_nvram model op =
+        let content i = List.assoc_opt (name i) model in
+        let fill len tag = Bytes.make len (Char.chr (65 + (tag mod 26))) in
+        match op with
+        | Write (f, size) ->
+            let data = fill size (f + size) in
+            Lfs_core.Nvram_fs.write_path nfs ("/" ^ name f) data;
+            (name f, data) :: List.remove_assoc (name f) model
+        | Patch (f, off, size) -> (
+            match content f with
+            | None -> model
+            | Some old ->
+                let ino = Option.get (Lfs_core.Nvram_fs.resolve nfs ("/" ^ name f)) in
+                let off = min off (Bytes.length old) in
+                let patch = fill size (f + off) in
+                Lfs_core.Nvram_fs.write nfs ino ~off patch;
+                let len = max (Bytes.length old) (off + size) in
+                let merged = Bytes.make len '\000' in
+                Bytes.blit old 0 merged 0 (Bytes.length old);
+                Bytes.blit patch 0 merged off size;
+                (name f, merged) :: List.remove_assoc (name f) model)
+        | Truncate (f, len) -> (
+            match content f with
+            | None -> model
+            | Some old ->
+                let ino = Option.get (Lfs_core.Nvram_fs.resolve nfs ("/" ^ name f)) in
+                let len = min len (Bytes.length old) in
+                Lfs_core.Nvram_fs.truncate nfs ino ~len;
+                (name f, Bytes.sub old 0 len) :: List.remove_assoc (name f) model)
+        | Delete f -> (
+            match content f with
+            | None -> model
+            | Some _ ->
+                Lfs_core.Nvram_fs.unlink nfs ~dir:Fs.root (name f);
+                List.remove_assoc (name f) model)
+        | Rename (a, b) -> (
+            match content a with
+            | None -> model
+            | Some data ->
+                if a = b then model
+                else begin
+                  Lfs_core.Nvram_fs.rename nfs ~odir:Fs.root (name a)
+                    ~ndir:Fs.root (name b);
+                  (name b, data)
+                  :: List.remove_assoc (name a) (List.remove_assoc (name b) model)
+                end)
+        | Sync ->
+            Fs.sync fs0;
+            model
+        | Checkpoint ->
+            Lfs_core.Nvram_fs.checkpoint nfs;
+            model
+      in
+      let model = List.fold_left apply_nvram [] ops in
+      (* Power cut with no warning; recover with the journal. *)
+      Disk.reboot disk;
+      let nfs2, _ = Lfs_core.Nvram_fs.recover disk nvram in
+      let fs2 = Lfs_core.Nvram_fs.fs nfs2 in
+      check_against_model fs2 model
+      && Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2))
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest prop_model_agreement;
+      QCheck_alcotest.to_alcotest prop_remount_preserves;
+      QCheck_alcotest.to_alcotest prop_recovery_after_sync_preserves;
+      QCheck_alcotest.to_alcotest prop_nvram_no_loss;
+    ] )

@@ -1,0 +1,233 @@
+(* Tests for the workload layer: the CPU model, the common driver, and
+   the three benchmark workloads at miniature scale. *)
+
+module W = Lfs_workload
+module Cpu = W.Cpu_model
+
+let test_cpu_cost_scales () =
+  let base = Cpu.sun4_260 in
+  let fast = Cpu.scale base 2.0 in
+  Alcotest.(check (float 1e-12)) "2x faster halves cost"
+    (Cpu.cost base ~ops:100 ~blocks:50 /. 2.0)
+    (Cpu.cost fast ~ops:100 ~blocks:50)
+
+let test_cpu_elapsed () =
+  Alcotest.(check (float 1e-12)) "sync adds" 5.0
+    (Cpu.elapsed ~sync:true ~cpu_s:2.0 ~disk_s:3.0);
+  Alcotest.(check (float 1e-12)) "async overlaps" 3.0
+    (Cpu.elapsed ~sync:false ~cpu_s:2.0 ~disk_s:3.0)
+
+let tiny_geom = Lfs_disk.Geometry.wren_iv ~blocks:4096
+
+let test_fsops_lfs_and_ffs_agree () =
+  List.iter
+    (fun (fs : W.Fsops.t) ->
+      ignore (fs.W.Fsops.mkdir_path "/d");
+      let ino = fs.W.Fsops.create_path "/d/f" in
+      fs.W.Fsops.write ino ~off:0 (Bytes.of_string "same api");
+      Alcotest.(check (option int)) "resolve" (Some ino) (fs.W.Fsops.resolve "/d/f");
+      Helpers.check_bytes "read" (Bytes.of_string "same api")
+        (fs.W.Fsops.read ino ~off:0 ~len:8);
+      fs.W.Fsops.sync ();
+      fs.W.Fsops.drop_caches ();
+      Helpers.check_bytes "read after cache drop" (Bytes.of_string "same api")
+        (fs.W.Fsops.read ino ~off:0 ~len:8))
+    [ W.Fsops.fresh_lfs tiny_geom; W.Fsops.fresh_ffs tiny_geom ]
+
+let smallfile_params =
+  { W.Smallfile.default_params with W.Smallfile.nfiles = 300; files_per_dir = 50 }
+
+let test_smallfile_runs_both () =
+  let lfs = W.Smallfile.run smallfile_params (W.Fsops.fresh_lfs tiny_geom) in
+  let ffs = W.Smallfile.run smallfile_params (W.Fsops.fresh_ffs tiny_geom) in
+  List.iter
+    (fun (r : W.Smallfile.result) ->
+      Alcotest.(check int) "three phases" 3 (List.length r.W.Smallfile.phases);
+      List.iter
+        (fun (ph : W.Smallfile.phase_result) ->
+          Alcotest.(check bool) "positive rate" true (ph.W.Smallfile.files_per_sec > 0.0);
+          Alcotest.(check bool) "busy fraction in [0,1]" true
+            (ph.W.Smallfile.disk_busy_frac >= 0.0 && ph.W.Smallfile.disk_busy_frac <= 1.0001))
+        r.W.Smallfile.phases)
+    [ lfs; ffs ];
+  let create (r : W.Smallfile.result) =
+    (List.find (fun p -> p.W.Smallfile.phase = W.Smallfile.Create) r.W.Smallfile.phases)
+      .W.Smallfile.files_per_sec
+  in
+  Alcotest.(check bool) "LFS creates much faster" true (create lfs > 3.0 *. create ffs)
+
+let test_smallfile_prediction_monotone () =
+  let lfs = W.Smallfile.run smallfile_params (W.Fsops.fresh_lfs tiny_geom) in
+  let p1 = W.Smallfile.predict_create smallfile_params lfs ~cpu_multiple:1.0 in
+  let p4 = W.Smallfile.predict_create smallfile_params lfs ~cpu_multiple:4.0 in
+  Alcotest.(check bool) "faster CPU never slower" true (p4 >= p1)
+
+let test_largefile_phases () =
+  let p = { W.Largefile.default_params with W.Largefile.file_mb = 2 } in
+  let geom = Lfs_disk.Geometry.wren_iv ~blocks:4096 in
+  let lfs = W.Largefile.run p (W.Fsops.fresh_lfs geom) in
+  let ffs = W.Largefile.run p (W.Fsops.fresh_ffs geom) in
+  List.iter
+    (fun (r : W.Largefile.result) ->
+      Alcotest.(check int) "five phases" 5 (List.length r.W.Largefile.phases);
+      List.iter
+        (fun (ph : W.Largefile.phase_result) ->
+          Alcotest.(check bool)
+            (W.Largefile.phase_name ph.W.Largefile.phase ^ " positive")
+            true
+            (ph.W.Largefile.kbytes_per_sec > 0.0))
+        r.W.Largefile.phases)
+    [ lfs; ffs ];
+  let rate phase (r : W.Largefile.result) =
+    (List.find (fun p -> p.W.Largefile.phase = phase) r.W.Largefile.phases)
+      .W.Largefile.kbytes_per_sec
+  in
+  Alcotest.(check bool) "LFS wins random writes" true
+    (rate W.Largefile.Rand_write lfs > rate W.Largefile.Rand_write ffs);
+  Alcotest.(check bool) "FFS wins reread after random writes" true
+    (rate W.Largefile.Reread ffs > rate W.Largefile.Reread lfs)
+
+let test_production_tiny_run () =
+  let spec =
+    {
+      W.Production.tmp with
+      W.Production.name = "/test";
+      disk_mb = 8;
+      seg_kb = 128;
+      traffic_to_disk_ratio = 0.5;
+      target_util = 0.3;
+    }
+  in
+  let r = W.Production.run spec in
+  Alcotest.(check bool) "utilisation near target" true
+    (r.W.Production.in_use > 0.2 && r.W.Production.in_use < 0.45);
+  Alcotest.(check bool) "write cost >= 1" true (r.W.Production.write_cost >= 1.0);
+  let live_sum =
+    List.fold_left (fun acc (_, f) -> acc +. f) 0.0 r.W.Production.live_breakdown
+  in
+  Alcotest.(check (float 1e-6)) "live fractions sum to 1" 1.0 live_sum;
+  let bw_sum =
+    List.fold_left (fun acc (_, f) -> acc +. f) 0.0 r.W.Production.log_bandwidth
+  in
+  Alcotest.(check (float 1e-6)) "bandwidth fractions sum to 1" 1.0 bw_sum
+
+let test_recovery_bench_scales_with_files () =
+  let run file_kb =
+    W.Recovery_bench.run
+      { W.Recovery_bench.file_kb; data_mb = 2; disk_mb = 16; cpu = Cpu.sun4_260 }
+  in
+  let small_files = run 1 in
+  let large_files = run 10 in
+  Alcotest.(check bool) "more files recovered" true
+    (small_files.W.Recovery_bench.files_recovered
+    > large_files.W.Recovery_bench.files_recovered);
+  Alcotest.(check bool) "more files take longer" true
+    (small_files.W.Recovery_bench.recovery_s
+    > large_files.W.Recovery_bench.recovery_s)
+
+let test_trace_roundtrip () =
+  let t = W.Trace.record_random ~ops:100 ~seed:5 () in
+  let path = Filename.temp_file "lfs_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.Trace.save t path;
+      let t' = W.Trace.load path in
+      Alcotest.(check int) "same length" (W.Trace.length t) (W.Trace.length t');
+      Alcotest.(check bool) "identical" true (t = t'))
+
+let test_trace_replay_identical_both_systems () =
+  (* The same trace drives LFS and FFS; afterwards the namespaces and
+     contents agree between the two systems. *)
+  let t = W.Trace.record_random ~ops:150 ~seed:6 () in
+  let lfs = W.Fsops.fresh_lfs tiny_geom in
+  let ffs = W.Fsops.fresh_ffs tiny_geom in
+  W.Trace.replay t lfs;
+  W.Trace.replay t ffs;
+  List.iter
+    (fun op ->
+      match op with
+      | W.Trace.Write { path; _ } -> (
+          match (lfs.W.Fsops.resolve path, ffs.W.Fsops.resolve path) with
+          | Some a, Some b ->
+              let la = lfs.W.Fsops.file_size a in
+              let lb = ffs.W.Fsops.file_size b in
+              Alcotest.(check int) (path ^ " same size") la lb;
+              Helpers.check_bytes (path ^ " same content")
+                (lfs.W.Fsops.read a ~off:0 ~len:la)
+                (ffs.W.Fsops.read b ~off:0 ~len:lb)
+          | None, None -> ()
+          | _ -> Alcotest.failf "%s exists in only one system" path)
+      | W.Trace.Mkdir _ | W.Trace.Create _ | W.Trace.Read _
+      | W.Trace.Unlink _ | W.Trace.Sync ->
+          ())
+    t
+
+let test_trace_deterministic () =
+  let a = W.Trace.record_random ~ops:80 ~seed:9 () in
+  let b = W.Trace.record_random ~ops:80 ~seed:9 () in
+  Alcotest.(check bool) "same trace" true (a = b)
+
+let test_trace_load_rejects_garbage () =
+  let path = Filename.temp_file "lfs_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a trace";
+      close_out oc;
+      match W.Trace.load path with
+      | _ -> Alcotest.fail "should reject"
+      | exception Failure _ -> ())
+
+let test_andrew_benchmark () =
+  let p = W.Andrew.default_params in
+  let geom = Lfs_disk.Geometry.wren_iv ~blocks:8192 in
+  let lfs = W.Andrew.run p (W.Fsops.fresh_lfs geom) in
+  let ffs = W.Andrew.run p (W.Fsops.fresh_ffs geom) in
+  Alcotest.(check bool) "LFS faster" true (lfs.W.Andrew.total_s < ffs.W.Andrew.total_s);
+  let speedup = ffs.W.Andrew.total_s /. lfs.W.Andrew.total_s in
+  Alcotest.(check bool)
+    (Printf.sprintf "modest speedup (%.2fx): the benchmark is CPU-bound" speedup)
+    true
+    (speedup < 1.6);
+  Alcotest.(check bool) "LFS CPU-bound" true (lfs.W.Andrew.cpu_utilization > 0.8)
+
+let test_cyclic_pattern_is_free () =
+  (* Round-robin overwrite: the log's oldest segment is fully dead by
+     the time it is needed again, so cleaning costs nothing. *)
+  let r =
+    Lfs_sim.Simulator.run
+      {
+        Lfs_sim.Simulator.default_params with
+        nsegs = 64;
+        blocks_per_seg = 32;
+        utilization = 0.8;
+        pattern = Lfs_sim.Access.Cyclic;
+        warmup_writes = 50_000;
+        measured_writes = 20_000;
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "write cost %.3f ~ 1" r.Lfs_sim.Simulator.write_cost)
+    true
+    (r.Lfs_sim.Simulator.write_cost < 1.05)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "cpu cost scales" `Quick test_cpu_cost_scales;
+      Alcotest.test_case "cpu elapsed" `Quick test_cpu_elapsed;
+      Alcotest.test_case "fsops drivers agree" `Quick test_fsops_lfs_and_ffs_agree;
+      Alcotest.test_case "smallfile both systems" `Slow test_smallfile_runs_both;
+      Alcotest.test_case "smallfile prediction" `Slow test_smallfile_prediction_monotone;
+      Alcotest.test_case "largefile phases" `Slow test_largefile_phases;
+      Alcotest.test_case "production tiny run" `Slow test_production_tiny_run;
+      Alcotest.test_case "recovery bench scaling" `Slow test_recovery_bench_scales_with_files;
+      Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+      Alcotest.test_case "trace replay agreement" `Slow test_trace_replay_identical_both_systems;
+      Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+      Alcotest.test_case "trace rejects garbage" `Quick test_trace_load_rejects_garbage;
+      Alcotest.test_case "cyclic pattern free" `Quick test_cyclic_pattern_is_free;
+      Alcotest.test_case "andrew benchmark" `Slow test_andrew_benchmark;
+    ] )
