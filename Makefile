@@ -1,5 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
+# pipefail so `| tee` in verify cannot mask a failing build or test run.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
 all:
 	dune build @all
 
@@ -27,7 +31,12 @@ verify:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
+ci:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- quick
+
 clean:
 	dune clean
 
-.PHONY: all test bench bench-quick micro examples verify clean
+.PHONY: all test bench bench-quick micro examples verify ci clean

@@ -202,7 +202,7 @@ let fig8_lfs () =
   let geom =
     { (Lfs_disk.Geometry.wren_iv ~blocks:131072) with block_size = 1024 }
   in
-  let disk = Lfs_disk.Disk.create geom in
+  let disk = Lfs_disk.Vdev.of_disk (Lfs_disk.Disk.create geom) in
   let config =
     {
       Lfs_core.Config.default with
@@ -503,12 +503,12 @@ let fsckcmp () =
   header
     "Recovery vs fsck - LFS roll-forward against a full Unix      consistency scan"
     "Section 4: Unix must scan all metadata on disk (tens of minutes,      growing with disk size); LFS examines only the log written since      the last checkpoint";
-  let busy disk = (Lfs_disk.Disk.stats disk).Lfs_disk.Io_stats.busy_s in
+  let busy disk = (Lfs_disk.Vdev.stats disk).Lfs_disk.Io_stats.busy_s in
   let fill_paths = 200 in
   let row disk_mb =
     let blocks = disk_mb * 256 in
     (* FFS: populate, then time the full fsck scan. *)
-    let ffs_disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks) in
+    let ffs_disk = Lfs_disk.Vdev.of_disk (Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks)) in
     Lfs_ffs.Ffs.format ffs_disk Lfs_ffs.Ffs.default_config;
     let ffs = Lfs_ffs.Ffs.mount ffs_disk in
     for i = 0 to fill_paths - 1 do
@@ -521,7 +521,7 @@ let fsckcmp () =
     let ffs_fsck_s = busy ffs_disk -. t0 in
     (* LFS: same fill, checkpoint, 2 MB of post-checkpoint work, crash,
        time the roll-forward. *)
-    let lfs_disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks) in
+    let lfs_disk = Lfs_disk.Vdev.of_disk (Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks)) in
     Lfs_core.Fs.format lfs_disk
       { Lfs_core.Config.default with max_inodes = 4096 };
     let lfs = Lfs_core.Fs.mount lfs_disk in
@@ -691,13 +691,76 @@ let ablate () =
        [ 25; 100; 500; 2000 ])
 
 (* ------------------------------------------------------------------ *)
+(* Vdev_stripe: log bandwidth vs spindle count                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's large-write regime is bandwidth-limited (Section 5.1);
+   striping the log across N disks multiplies that bandwidth because
+   every segment-sized transfer fans out into one contiguous transfer
+   per spindle.  Modelled elapsed time is the busiest spindle (they
+   work in parallel); the aggregated Io_stats come from the stripe's
+   own Io_stats.merge-based [stats]. *)
+let stripe () =
+  header "Vdev_stripe - modelled log-write bandwidth vs spindle count"
+    "RAID-0 under the log: sequential-log bandwidth scales with the     number of spindles";
+  let data_mb = if !quick then 16 else 48 in
+  let chunk = Bytes.make (1024 * 1024) 'w' in
+  let row n =
+    let disks =
+      Array.init n (fun _ ->
+          Lfs_disk.Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:32768))
+    in
+    let dev = Lfs_disk.Vdev_stripe.create (Array.map Lfs_disk.Vdev.of_disk disks) in
+    let config =
+      { Lfs_core.Config.default with write_buffer_blocks = 256; max_inodes = 4096 }
+    in
+    Lfs_core.Fs.format dev config;
+    let fs = Lfs_core.Fs.mount dev in
+    let before = Lfs_disk.Io_stats.copy (Lfs_disk.Vdev.stats dev) in
+    let before_busy =
+      Array.map (fun d -> (Lfs_disk.Disk.stats d).Lfs_disk.Io_stats.busy_s) disks
+    in
+    let ino = Lfs_core.Fs.create_path fs "/big" in
+    for i = 0 to data_mb - 1 do
+      Lfs_core.Fs.write fs ino ~off:(i * 1024 * 1024) chunk;
+      if i mod 8 = 7 then Lfs_core.Fs.sync fs
+    done;
+    Lfs_core.Fs.sync fs;
+    let agg = Lfs_disk.Io_stats.diff (Lfs_disk.Vdev.stats dev) before in
+    let elapsed =
+      (* spindles run in parallel: the busiest one bounds completion *)
+      Array.to_list disks
+      |> List.mapi (fun i d ->
+             (Lfs_disk.Disk.stats d).Lfs_disk.Io_stats.busy_s -. before_busy.(i))
+      |> List.fold_left Float.max 0.0
+    in
+    let mb_written =
+      float_of_int (Lfs_disk.Io_stats.bytes_written ~block_size:4096 agg)
+      /. (1024.0 *. 1024.0)
+    in
+    Printf.printf "  N=%d aggregated: %s\n" n
+      (Format.asprintf "%a" Lfs_disk.Io_stats.pp agg);
+    [
+      string_of_int n;
+      Printf.sprintf "%.0f MB" mb_written;
+      Printf.sprintf "%.1f s" elapsed;
+      Printf.sprintf "%.2f MB/s" (mb_written /. elapsed);
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Log-write bandwidth, %d MB of large-file writes" data_mb)
+    ~header:[ "spindles"; "log written"; "elapsed (busiest disk)"; "bandwidth" ]
+    (List.map row [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
 let micro () =
   header "Micro-benchmarks (Bechamel)" "(implementation-level, not in the paper)";
   let open Bechamel in
-  let disk = Lfs_disk.Disk.create (Lfs_disk.Geometry.instant ~blocks:16384) in
+  let disk = Lfs_disk.Vdev.of_disk (Lfs_disk.Disk.create (Lfs_disk.Geometry.instant ~blocks:16384)) in
   Lfs_core.Fs.format disk Lfs_core.Config.default;
   let fs = Lfs_core.Fs.mount disk in
   let ino = Lfs_core.Fs.create_path fs "/bench" in
@@ -792,6 +855,7 @@ let experiments =
     ("andrew", andrew);
     ("fsckcmp", fsckcmp);
     ("ablate", ablate);
+    ("stripe", stripe);
   ]
 
 let () =

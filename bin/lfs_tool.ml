@@ -30,7 +30,7 @@ let load path = Disk.load_file (geometry_of_file path) path
 
 let with_fs path f =
   let disk = load path in
-  let fs = Fs.mount disk in
+  let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
   let result = f fs in
   Fs.unmount fs;
   Disk.save_file disk path;
@@ -58,7 +58,7 @@ let mkfs_cmd =
     let disk = Disk.create geom in
     (* Size the inode map to the disk: one inode per two data blocks. *)
     let max_inodes = max 256 (min 65536 (blocks / 2)) in
-    Fs.format disk { Lfs_core.Config.default with seg_blocks; max_inodes };
+    Fs.format (Lfs_disk.Vdev.of_disk disk) { Lfs_core.Config.default with seg_blocks; max_inodes };
     Disk.save_file disk image;
     Printf.printf "formatted %s: %d blocks, %d-block segments\n" image blocks seg_blocks
   in
@@ -93,7 +93,7 @@ let put_cmd =
 let cat_cmd =
   let run image path =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     print_string (Bytes.to_string (Fs.read_path fs path))
   in
   Cmd.v (Cmd.info "cat" ~doc:"Print a file's contents")
@@ -102,7 +102,7 @@ let cat_cmd =
 let ls_cmd =
   let run image path =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     match Fs.resolve fs path with
     | None -> prerr_endline "no such path"; exit 1
     | Some ino ->
@@ -136,7 +136,7 @@ let get_cmd =
   let local = Arg.(required & pos 2 (some string) None & info [] ~docv:"LOCAL" ~doc:"Local destination file") in
   let run image path local =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     let data = Fs.read_path fs path in
     let oc = open_out_bin local in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data);
@@ -176,7 +176,7 @@ let mv_cmd =
 let df_cmd =
   let run image =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     let layout = Fs.layout fs in
     let total = layout.Lfs_core.Layout.nsegs * layout.Lfs_core.Layout.seg_blocks * 4096 in
     let used = int_of_float (Fs.utilization fs *. float_of_int total) in
@@ -190,7 +190,7 @@ let df_cmd =
 let fsck_cmd =
   let run image =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     let r = Lfs_core.Fsck.check fs in
     Format.printf "%a@." Lfs_core.Fsck.pp_report r;
     if not (Lfs_core.Fsck.is_clean r) then exit 1
@@ -200,7 +200,7 @@ let fsck_cmd =
 let info_cmd =
   let run image =
     let disk = load image in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     let layout = Fs.layout fs in
     Format.printf "%a@." Lfs_core.Layout.pp layout;
     Printf.printf "utilisation: %.1f%%\n" (100.0 *. Fs.utilization fs);
@@ -228,7 +228,7 @@ let clean_cmd =
 let recover_cmd =
   let run image =
     let disk = load image in
-    let fs, report = Fs.recover disk in
+    let fs, report = Fs.recover (Lfs_disk.Vdev.of_disk disk) in
     Fs.unmount fs;
     Disk.save_file disk image;
     Printf.printf
@@ -261,7 +261,7 @@ let trace_replay_cmd =
     let t = Lfs_workload.Trace.load tracef in
     let disk = load image in
     let before = (Disk.stats disk).Lfs_disk.Io_stats.busy_s in
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     Lfs_workload.Trace.replay t (Lfs_workload.Fsops.of_lfs fs);
     Fs.unmount fs;
     Disk.save_file disk image;

@@ -12,7 +12,7 @@ module Fs = Lfs_core.Fs
 module Prng = Lfs_util.Prng
 
 let run_policy policy =
-  let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:16384) in
+  let disk = Lfs_disk.Vdev.of_disk (Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:16384)) in
   let config =
     {
       Lfs_core.Config.default with

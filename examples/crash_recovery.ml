@@ -12,12 +12,12 @@ module Fs = Lfs_core.Fs
 
 let small_fs () =
   let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:8192) in
-  Fs.format disk Lfs_core.Config.default;
-  (disk, Fs.mount disk)
+  Fs.format (Lfs_disk.Vdev.of_disk disk) Lfs_core.Config.default;
+  (disk, Fs.mount (Lfs_disk.Vdev.of_disk disk))
 
 let check label disk =
   Disk.reboot disk;
-  let fs, report = Fs.recover disk in
+  let fs, report = Fs.recover (Lfs_disk.Vdev.of_disk disk) in
   let fsck = Lfs_core.Fsck.check fs in
   Printf.printf "%-34s recovered %2d inodes, %2d dirops; fsck %s\n" label
     report.Fs.inodes_recovered report.Fs.dirops_applied

@@ -15,7 +15,7 @@ module Nfs = Lfs_core.Nvram_fs
 
 let fresh_disk () =
   let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:8192) in
-  Fs.format disk Lfs_core.Config.default;
+  Fs.format (Lfs_disk.Vdev.of_disk disk) Lfs_core.Config.default;
   disk
 
 let files = List.init 8 (fun i -> (Printf.sprintf "/mail%d" i, 4000 + (i * 1000)))
@@ -24,10 +24,10 @@ let () =
   (* Plain LFS: acknowledged writes sit in the volatile file cache until
      the next flush; a power cut loses them. *)
   let disk = fresh_disk () in
-  let fs = Fs.mount disk in
+  let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
   List.iter (fun (path, size) -> Fs.write_path fs path (Bytes.make size 'm')) files;
   (* power cut — nothing was synced *)
-  let fs', _ = Fs.recover disk in
+  let fs', _ = Fs.recover (Lfs_disk.Vdev.of_disk disk) in
   let survived =
     List.length (List.filter (fun (p, _) -> Fs.resolve fs' p <> None) files)
   in
@@ -38,12 +38,12 @@ let () =
      memory before being acknowledged; recovery replays the journal. *)
   let disk = fresh_disk () in
   let nvram = Nvram.create () in
-  let nfs = Nfs.wrap (Fs.mount disk) nvram in
+  let nfs = Nfs.wrap (Fs.mount (Lfs_disk.Vdev.of_disk disk)) nvram in
   List.iter (fun (path, size) -> Nfs.write_path nfs path (Bytes.make size 'm')) files;
   Printf.printf "NVRAM journal holds %d bytes at the crash\n"
     (Nvram.used_bytes nvram);
   (* power cut *)
-  let nfs', replay = Nfs.recover disk nvram in
+  let nfs', replay = Nfs.recover (Lfs_disk.Vdev.of_disk disk) nvram in
   let survived =
     List.length (List.filter (fun (p, _) -> Nfs.resolve nfs' p <> None) files)
   in

@@ -10,7 +10,7 @@ module Fs = Lfs_core.Fs
 let () =
   (* A 64 MB disk with the timing characteristics of the paper's
      Wren IV (1.3 MB/s, 17.5 ms average seek). *)
-  let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:16384) in
+  let disk = Lfs_disk.Vdev.of_disk (Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:16384)) in
 
   (* mkfs + mount. *)
   Fs.format disk Lfs_core.Config.default;

@@ -1,6 +1,6 @@
 module Codec = Lfs_util.Bytes_codec
 module Checksum = Lfs_util.Checksum
-module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 
 type t = {
   timestamp : float;
@@ -38,11 +38,11 @@ let write layout disk ~region t =
   let c0 = Codec.writer b in
   Codec.put_u32 c0 sum;
   Codec.put_u32 c0 0;
-  Disk.write_blocks disk (region_addr layout region) b
+  Vdev.write_blocks disk (region_addr layout region) b
 
 let read layout disk ~region =
   let b =
-    Disk.read_blocks disk (region_addr layout region) layout.Layout.ckpt_blocks
+    Vdev.read_blocks disk (region_addr layout region) layout.Layout.ckpt_blocks
   in
   let c0 = Codec.reader b in
   let stored = Codec.get_u32 c0 in

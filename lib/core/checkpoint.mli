@@ -20,12 +20,12 @@ type t = {
   usage_addrs : Types.baddr array;
 }
 
-val write : Layout.t -> Lfs_disk.Disk.t -> region:int -> t -> unit
+val write : Layout.t -> Lfs_disk.Vdev.t -> region:int -> t -> unit
 (** Serialise to region 0 (at [layout.ckpt_a]) or 1 ([ckpt_b]). *)
 
-val read : Layout.t -> Lfs_disk.Disk.t -> region:int -> t option
+val read : Layout.t -> Lfs_disk.Vdev.t -> region:int -> t option
 (** [None] if the region is invalid (never written, or torn). *)
 
-val read_latest : Layout.t -> Lfs_disk.Disk.t -> (int * t) option
+val read_latest : Layout.t -> Lfs_disk.Vdev.t -> (int * t) option
 (** The valid region with the most recent timestamp, with its index.
     [None] when neither region is valid (not a formatted LFS). *)

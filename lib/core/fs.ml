@@ -1,5 +1,5 @@
-module Disk = Lfs_disk.Disk
-module Block_cache = Lfs_disk.Block_cache
+module Vdev = Lfs_disk.Vdev
+module Vdev_cache = Lfs_disk.Vdev_cache
 module Prng = Lfs_util.Prng
 
 type stat = {
@@ -20,8 +20,9 @@ type handle = {
 }
 
 type t = {
-  disk : Disk.t;
-  bcache : Block_cache.t;
+  disk : Vdev.t;  (* the device the caller handed us (may itself be a stack) *)
+  cache : Vdev_cache.t;
+  dev : Vdev.t;  (* [disk] behind the block cache; all internal IO uses this *)
   layout : Layout.t;
   mutable config : Config.t;
   imap : Inode_map.t;
@@ -72,7 +73,7 @@ let tick t =
    block 0 is the superblock so no real inode can ever live there. *)
 let placeholder_iaddr = Types.Iaddr.make ~block:0 ~slot:0
 
-let read_disk_block t addr = Block_cache.read t.bcache t.disk addr
+let read_disk_block t addr = Vdev.read_block t.dev addr
 
 let kill_addr t addr ~bytes =
   let seg = Layout.seg_of_block t.layout addr in
@@ -421,7 +422,7 @@ let parse_segment_chain_live t ~seg =
   let rec walk slot =
     if slot <= seg_blocks - 2 then begin
       Fs_stats.note_segment_read t.stats ~blocks:1;
-      let sum_block = Disk.read_block t.disk (first + slot) in
+      let sum_block = Vdev.read_block t.dev (first + slot) in
       match Summary.decode sum_block with
       | None -> ()
       | Some su ->
@@ -435,7 +436,7 @@ let parse_segment_chain_live t ~seg =
                   let addr = first + slot + 1 + i in
                   let payload () =
                     Fs_stats.note_segment_read t.stats ~blocks:1;
-                    Disk.read_block t.disk addr
+                    Vdev.read_block t.dev addr
                   in
                   results := (e, addr, payload) :: !results)
                 su.Summary.entries;
@@ -590,7 +591,7 @@ let clean_victims t victims =
           match t.config.Config.cleaner_read with
           | Config.Whole_segment ->
               let buf =
-                Disk.read_blocks t.disk
+                Vdev.read_blocks t.dev
                   (Layout.seg_first_block t.layout seg)
                   t.layout.Layout.seg_blocks
               in
@@ -709,7 +710,7 @@ let on_checkpoint t hook = t.checkpoint_hook <- hook
 let drop_caches t =
   flush_internal t ~cleaner:false;
   Hashtbl.reset t.handles;
-  Block_cache.clear t.bcache
+  Vdev_cache.clear t.cache
 
 (* {1 Operation epilogue} *)
 
@@ -1082,7 +1083,8 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
   let reusable_len = ref 0 in
   let cleaner_attr = ref false in
   let stats = Fs_stats.create () in
-  let bcache = Block_cache.create ~capacity:config.Config.cache_blocks in
+  let cache = Vdev_cache.create ~capacity:config.Config.cache_blocks disk in
+  let dev = Vdev_cache.vdev cache in
   let pick_clean ~exclude =
     let rec pop acc = function
       | [] ->
@@ -1108,19 +1110,20 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
     in
     Seg_usage.add_live usage seg ~bytes ~mtime
   in
-  let on_batch ~addr ~blocks =
-    (* The log reuses cleaned segments; drop any stale cached copies. *)
-    Block_cache.invalidate_range bcache addr blocks;
+  let on_batch ~addr:_ ~blocks:_ =
+    (* Log batches flow through the cache layer, which keeps itself
+       coherent when the log reuses cleaned segments. *)
     Fs_stats.note_written stats Types.Summary ~cleaner:!cleaner_attr ~blocks:1
   in
   let log =
-    Log_writer.create layout disk ~pick_clean ~on_append ~on_batch ~cur_seg
+    Log_writer.create layout dev ~pick_clean ~on_append ~on_batch ~cur_seg
       ~cur_off ~next_seg ~seq
   in
   let t =
     {
       disk;
-      bcache;
+      cache;
+      dev;
       layout;
       config;
       imap;
@@ -1149,10 +1152,10 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
   t
 
 let format disk cfg =
-  Config.validate cfg ~disk_blocks:(Disk.nblocks disk);
-  if Disk.block_size disk <> cfg.Config.block_size then
+  Config.validate cfg ~disk_blocks:(Vdev.nblocks disk);
+  if Vdev.block_size disk <> cfg.Config.block_size then
     invalid_arg "Fs.format: config block size does not match the device";
-  let sb = Superblock.create cfg ~disk_blocks:(Disk.nblocks disk) in
+  let sb = Superblock.create cfg ~disk_blocks:(Vdev.nblocks disk) in
   Superblock.store sb disk;
   let layout = sb.Superblock.layout in
   let imap = Inode_map.create layout in
@@ -1193,7 +1196,7 @@ let mount ?config disk =
   match Checkpoint.read_latest layout disk with
   | None -> Types.corrupt "no valid checkpoint region: not a formatted LFS"
   | Some (region, ck) ->
-      let read = Disk.read_block disk in
+      let read = Vdev.read_block disk in
       let imap =
         Inode_map.load layout ~read ~block_addrs:ck.Checkpoint.imap_addrs
       in
@@ -1218,7 +1221,7 @@ let recover ?config disk =
   | None -> Types.corrupt "no valid checkpoint region: not a formatted LFS"
   | Some (region, ck) ->
       let scan = Recovery.scan layout disk ~ckpt:ck in
-      let read = Disk.read_block disk in
+      let read = Vdev.read_block disk in
       let imap =
         Inode_map.load layout ~read ~block_addrs:ck.Checkpoint.imap_addrs
       in

@@ -23,11 +23,11 @@ type stat = {
 
 (** {1 Lifecycle} *)
 
-val format : Lfs_disk.Disk.t -> Config.t -> unit
+val format : Lfs_disk.Vdev.t -> Config.t -> unit
 (** Create a fresh file system on the device: superblock, empty inode
     map and usage table, root directory, initial checkpoint. *)
 
-val mount : ?config:Config.t -> Lfs_disk.Disk.t -> t
+val mount : ?config:Config.t -> Lfs_disk.Vdev.t -> t
 (** Load the latest checkpoint and discard anything after it (how the
     paper's production systems rebooted).  [config] overrides mount-time
     policies (cleaning/grouping/thresholds); geometry always comes from
@@ -41,7 +41,7 @@ type recovery_report = {
   segments_scanned : int;
 }
 
-val recover : ?config:Config.t -> Lfs_disk.Disk.t -> t * recovery_report
+val recover : ?config:Config.t -> Lfs_disk.Vdev.t -> t * recovery_report
 (** Mount, then roll the log forward from the checkpoint: reprocess
     recovered inodes, adjust segment utilisations, replay the directory
     operation log, and write a fresh checkpoint. *)
@@ -125,7 +125,7 @@ val drop_caches : t -> unit
 
 (** {1 Introspection for benchmarks, fsck and tests} *)
 
-val disk : t -> Lfs_disk.Disk.t
+val disk : t -> Lfs_disk.Vdev.t
 val layout : t -> Layout.t
 val config : t -> Config.t
 val stats : t -> Fs_stats.t

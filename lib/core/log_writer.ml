@@ -1,4 +1,4 @@
-module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 
 type payload = Bytes of bytes | Lazy of (unit -> bytes)
 
@@ -13,7 +13,7 @@ type pending = {
 
 type t = {
   layout : Layout.t;
-  disk : Disk.t;
+  disk : Vdev.t;
   pick_clean : exclude:int list -> int;
   on_append : Types.block_kind -> seg:int -> mtime:float -> unit;
   on_batch : addr:int -> blocks:int -> unit;
@@ -99,7 +99,7 @@ let sync t =
     Bytes.blit sum_block 0 buf 0 bs;
     Bytes.blit payload 0 buf bs (Bytes.length payload);
     let addr = Layout.seg_first_block t.layout t.cur_seg + t.batch_slot in
-    Disk.write_blocks t.disk addr buf;
+    Vdev.write_blocks t.disk addr buf;
     t.on_batch ~addr ~blocks:(t.batch_count + 1);
     t.seq <- t.seq + 1;
     t.batch <- [];

@@ -23,7 +23,7 @@ type t
 
 val create :
   Layout.t ->
-  Lfs_disk.Disk.t ->
+  Lfs_disk.Vdev.t ->
   pick_clean:(exclude:int list -> int) ->
   on_append:(Types.block_kind -> seg:int -> mtime:float -> unit) ->
   on_batch:(addr:int -> blocks:int -> unit) ->

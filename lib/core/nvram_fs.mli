@@ -42,7 +42,7 @@ val checkpoint : t -> unit
 
 type replay_report = { replayed : int; remapped_inodes : int }
 
-val recover : Lfs_disk.Disk.t -> Nvram.t -> t * replay_report
+val recover : Lfs_disk.Vdev.t -> Nvram.t -> t * replay_report
 (** Crash recovery: mount the last checkpoint and replay the journal on
     top of it.  Because the journal holds exactly the operations since
     that checkpoint (see {!wrap}) and carries full data payloads, this

@@ -1,4 +1,4 @@
-module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 
 type write = { summary : Summary.t; blocks : (int * bytes) list }
 
@@ -26,7 +26,7 @@ let load_blocks layout disk s =
     (List.mapi
        (fun i e ->
          if needs_payload e then
-           [ (i, Disk.read_block disk (Summary.entry_addr s layout i)) ]
+           [ (i, Vdev.read_block disk (Summary.entry_addr s layout i)) ]
          else [])
        s.Summary.entries)
 
@@ -50,7 +50,7 @@ let scan layout disk ~ckpt =
       Hashtbl.replace visited (seg, slot) ();
       if slot <= seg_blocks - 2 then begin
         let first = Layout.seg_first_block layout seg in
-        let sum_block = Disk.read_block disk (first + slot) in
+        let sum_block = Vdev.read_block disk (first + slot) in
         match Summary.decode sum_block with
         | None -> ()
         | Some s ->
@@ -99,7 +99,7 @@ let scan layout disk ~ckpt =
   | Some s ->
       let n = List.length s.Summary.entries in
       let payload =
-        Disk.read_blocks disk
+        Vdev.read_blocks disk
           (Layout.seg_first_block layout s.Summary.seg + s.Summary.slot + 1)
           n
       in

@@ -34,5 +34,5 @@ type result = {
   segments_scanned : int;
 }
 
-val scan : Layout.t -> Lfs_disk.Disk.t -> ckpt:Checkpoint.t -> result
+val scan : Layout.t -> Lfs_disk.Vdev.t -> ckpt:Checkpoint.t -> result
 (** Follow the log from [ckpt]'s position until it ends. *)

@@ -1,6 +1,6 @@
 module Codec = Lfs_util.Bytes_codec
 module Checksum = Lfs_util.Checksum
-module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 
 type t = { config : Config.t; layout : Layout.t }
 
@@ -53,10 +53,10 @@ let store t disk =
   let c0 = Codec.writer b in
   Codec.put_u32 c0 (Int32.to_int sum land 0xffffffff);
   Codec.put_u32 c0 0;
-  Disk.write_block disk 0 b
+  Vdev.write_block disk 0 b
 
 let load disk =
-  let b = Disk.read_block disk 0 in
+  let b = Vdev.read_block disk 0 in
   let c0 = Codec.reader b in
   let stored_sum = Codec.get_u32 c0 in
   let _pad = Codec.get_u32 c0 in
@@ -91,9 +91,9 @@ let load disk =
     | 1 -> Config.Live_blocks
     | n -> Types.corrupt "superblock: unknown cleaner read policy %d" n
   in
-  if block_size <> Disk.block_size disk then
+  if block_size <> Vdev.block_size disk then
     Types.corrupt "superblock: block size %d but device has %d" block_size
-      (Disk.block_size disk);
+      (Vdev.block_size disk);
   let config =
     {
       Config.block_size;
@@ -111,4 +111,4 @@ let load disk =
       cleaner_read;
     }
   in
-  create config ~disk_blocks:(Disk.nblocks disk)
+  create config ~disk_blocks:(Vdev.nblocks disk)

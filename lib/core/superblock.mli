@@ -8,9 +8,9 @@ type t = { config : Config.t; layout : Layout.t }
 
 val create : Config.t -> disk_blocks:int -> t
 
-val store : t -> Lfs_disk.Disk.t -> unit
+val store : t -> Lfs_disk.Vdev.t -> unit
 (** Serialise to block 0. *)
 
-val load : Lfs_disk.Disk.t -> t
+val load : Lfs_disk.Vdev.t -> t
 (** Read block 0 and validate magic / checksum / geometry against the
     device.  Raises {!Types.Corrupt} on mismatch. *)

@@ -70,7 +70,7 @@ let insert t addr data =
         push_front t n)
   end
 
-let read t disk addr =
+let read t ~fetch addr =
   match Hashtbl.find_opt t.table addr with
   | Some n ->
       t.hits <- t.hits + 1;
@@ -78,7 +78,7 @@ let read t disk addr =
       Bytes.copy n.data
   | None ->
       t.misses <- t.misses + 1;
-      let b = Disk.read_block disk addr in
+      let b = fetch addr in
       insert t addr (Bytes.copy b);
       b
 

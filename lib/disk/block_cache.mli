@@ -10,9 +10,9 @@ type t
 val create : capacity:int -> t
 (** Capacity in blocks.  A zero capacity disables caching. *)
 
-val read : t -> Disk.t -> int -> bytes
-(** [read t disk addr] returns a copy of the block, from cache when
-    possible. *)
+val read : t -> fetch:(int -> bytes) -> int -> bytes
+(** [read t ~fetch addr] returns a copy of the block, from cache when
+    possible; on a miss [fetch addr] supplies it from the device below. *)
 
 val put : t -> int -> bytes -> unit
 (** Record the new contents of a block just written. *)

@@ -38,6 +38,16 @@ let diff now before =
     busy_s = now.busy_s -. before.busy_s;
   }
 
+let merge a b =
+  {
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    blocks_read = a.blocks_read + b.blocks_read;
+    blocks_written = a.blocks_written + b.blocks_written;
+    seeks = a.seeks + b.seeks;
+    busy_s = a.busy_s +. b.busy_s;
+  }
+
 let bytes_read ~block_size t = t.blocks_read * block_size
 let bytes_written ~block_size t = t.blocks_written * block_size
 let total_ios t = t.reads + t.writes

@@ -21,6 +21,10 @@ val diff : t -> t -> t
 (** [diff now before] is the per-field difference: activity since
     [before] was captured with {!copy}. *)
 
+val merge : t -> t -> t
+(** Per-field sum: the combined activity of two devices (busy time is a
+    sum of per-spindle busy times, not wall-clock). *)
+
 val bytes_read : block_size:int -> t -> int
 val bytes_written : block_size:int -> t -> int
 val total_ios : t -> int

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  block_size : int;
+  nblocks : int;
+  read_blocks : int -> int -> bytes;
+  write_blocks : int -> bytes -> unit;
+  zero_blocks : int -> int -> unit;
+  stats : unit -> Io_stats.t;
+  plan_crash : after_blocks:int -> unit;
+  cancel_crash : unit -> unit;
+  is_crashed : unit -> bool;
+  reboot : unit -> unit;
+}
+
+exception Crashed = Disk.Crashed
+
+let of_disk d =
+  {
+    name = "disk";
+    block_size = Disk.block_size d;
+    nblocks = Disk.nblocks d;
+    read_blocks = (fun addr n -> Disk.read_blocks d addr n);
+    write_blocks = (fun addr b -> Disk.write_blocks d addr b);
+    zero_blocks = (fun addr n -> Disk.zero_blocks d addr n);
+    stats = (fun () -> Disk.stats d);
+    plan_crash = (fun ~after_blocks -> Disk.plan_crash d ~after_blocks);
+    cancel_crash = (fun () -> Disk.cancel_crash d);
+    is_crashed = (fun () -> Disk.is_crashed d);
+    reboot = (fun () -> Disk.reboot d);
+  }
+
+let block_size v = v.block_size
+let nblocks v = v.nblocks
+let read_blocks v addr n = v.read_blocks addr n
+let write_blocks v addr b = v.write_blocks addr b
+let zero_blocks v addr n = v.zero_blocks addr n
+let stats v = v.stats ()
+let plan_crash v ~after_blocks = v.plan_crash ~after_blocks
+let cancel_crash v = v.cancel_crash ()
+let is_crashed v = v.is_crashed ()
+let reboot v = v.reboot ()
+
+let read_block v addr = v.read_blocks addr 1
+
+let write_block v addr b =
+  if Bytes.length b <> v.block_size then
+    invalid_arg
+      (Printf.sprintf "Vdev.write_block(%s): %d bytes, block size %d" v.name
+         (Bytes.length b) v.block_size);
+  v.write_blocks addr b

@@ -1,0 +1,62 @@
+(** A first-class block-device interface.
+
+    Everything above the device layer ({!Lfs_core}, {!Lfs_ffs}, the
+    benchmarks) programs against this record of operations instead of
+    the concrete {!Disk} simulator, so devices compose: a file system
+    can run over a plain disk, a RAID-0 stripe ({!Vdev_stripe}), a
+    block cache ({!Vdev_cache}), a tracing shim ({!Vdev_trace}), or any
+    stack of them.
+
+    Semantics mirror {!Disk}: multi-block transfers are contiguous and
+    charged as a single IO where the backing allows it, [zero_blocks]
+    is free (mkfs), and the crash plumbing arms a torn-write power cut
+    after which every IO raises {!Crashed} until [reboot]. *)
+
+type t = {
+  name : string;  (** for traces and error messages, e.g. ["disk"], ["stripe(4)"] *)
+  block_size : int;
+  nblocks : int;
+  read_blocks : int -> int -> bytes;
+      (** [read_blocks addr n]: [n] contiguous blocks starting at [addr]. *)
+  write_blocks : int -> bytes -> unit;
+      (** [write_blocks addr b]: [Bytes.length b / block_size] contiguous
+          blocks; length must be a positive multiple of [block_size]. *)
+  zero_blocks : int -> int -> unit;
+      (** Clear blocks without charging modelled IO time. *)
+  stats : unit -> Io_stats.t;
+      (** Cumulative statistics of the device (a live view for single
+          devices; an aggregated snapshot for composites). *)
+  plan_crash : after_blocks:int -> unit;
+  cancel_crash : unit -> unit;
+  is_crashed : unit -> bool;
+  reboot : unit -> unit;
+}
+
+exception Crashed
+(** Equal to {!Disk.Crashed}: raised by any layer once a planned crash
+    has triggered, whichever device in the stack it was armed on. *)
+
+val of_disk : Disk.t -> t
+(** The canonical implementation: expose a simulated {!Disk} through the
+    interface.  All operations delegate 1:1. *)
+
+(** Convenience wrappers (derived from the record's fields). *)
+
+val block_size : t -> int
+val nblocks : t -> int
+
+val read_block : t -> int -> bytes
+(** [read_block v addr] = [v.read_blocks addr 1]. *)
+
+val write_block : t -> int -> bytes -> unit
+(** Writes exactly one block; raises [Invalid_argument] on a length
+    mismatch. *)
+
+val read_blocks : t -> int -> int -> bytes
+val write_blocks : t -> int -> bytes -> unit
+val zero_blocks : t -> int -> int -> unit
+val stats : t -> Io_stats.t
+val plan_crash : t -> after_blocks:int -> unit
+val cancel_crash : t -> unit
+val is_crashed : t -> bool
+val reboot : t -> unit

@@ -1,0 +1,40 @@
+type t = { lower : Vdev.t; cache : Block_cache.t; view : Vdev.t }
+
+let make_view lower cache name =
+  let bs = Vdev.block_size lower in
+  let fetch addr = Vdev.read_block lower addr in
+  let read_blocks addr n =
+    if Vdev.is_crashed lower then raise Vdev.Crashed;
+    if n = 1 then Block_cache.read cache ~fetch addr
+    else Vdev.read_blocks lower addr n
+  in
+  let write_blocks addr b =
+    let n = Bytes.length b / bs in
+    (* Invalidate first: if the write below is torn, nothing stale
+       survives in the cache. *)
+    Block_cache.invalidate_range cache addr n;
+    Vdev.write_blocks lower addr b;
+    for i = 0 to n - 1 do
+      Block_cache.put cache (addr + i) (Bytes.sub b (i * bs) bs)
+    done
+  in
+  let zero_blocks addr n =
+    Block_cache.invalidate_range cache addr n;
+    Vdev.zero_blocks lower addr n
+  in
+  {
+    lower with
+    Vdev.name;
+    read_blocks;
+    write_blocks;
+    zero_blocks;
+  }
+
+let create ?(name = "cache") ~capacity lower =
+  let cache = Block_cache.create ~capacity in
+  { lower; cache; view = make_view lower cache name }
+
+let vdev t = t.view
+let hits t = Block_cache.hits t.cache
+let misses t = Block_cache.misses t.cache
+let clear t = Block_cache.clear t.cache

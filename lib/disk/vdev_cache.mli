@@ -1,0 +1,27 @@
+(** A write-through/read-through block-cache layer over any vdev.
+
+    Lifts the {!Block_cache} wiring that {!Lfs_core.Fs} and
+    {!Lfs_ffs.Ffs} used to hand-roll into one reusable device layer:
+    single-block reads are served from an exact-LRU cache, writes update
+    the device and then the cache, multi-block reads pass straight
+    through (segment-sized transfers would only wash the LRU out).
+
+    Crash coherence: a write first invalidates the affected range, then
+    forwards, and only re-populates the cache on success — so a torn
+    write ({!Vdev.Crashed} from below) leaves no stale blocks, and reads
+    against a crashed lower device raise instead of serving hits. *)
+
+type t
+
+val create : ?name:string -> capacity:int -> Vdev.t -> t
+(** Capacity in blocks; zero disables caching (all reads pass through). *)
+
+val vdev : t -> Vdev.t
+(** The cached device: same geometry and crash plumbing as the wrapped
+    vdev, [stats] delegates to it (cache hits cost no modelled time). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val clear : t -> unit
+(** Drop every cached block (simulates a cold file cache). *)

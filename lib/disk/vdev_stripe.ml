@@ -1,0 +1,132 @@
+type t = {
+  children : Vdev.t array;
+  block_size : int;
+  nblocks : int;
+  mutable crash_countdown : int option;  (* global blocks until power cut *)
+  mutable crashed : bool;
+}
+
+let check_range t addr n what =
+  if addr < 0 || n < 0 || addr + n > t.nblocks then
+    invalid_arg
+      (Printf.sprintf "Vdev_stripe.%s: blocks [%d, %d) out of range [0, %d)"
+         what addr (addr + n) t.nblocks)
+
+(* Apply [f] to each child's contiguous extent of the global range
+   [addr, addr+n): child [c] owns the global blocks congruent to [c],
+   which map to consecutive child blocks starting at [first / nch]. *)
+let iter_extents t addr n f =
+  let nch = Array.length t.children in
+  for c = 0 to nch - 1 do
+    let delta = (c - (addr mod nch) + nch) mod nch in
+    let first = addr + delta in
+    if first < addr + n then
+      let count = ((addr + n - 1 - first) / nch) + 1 in
+      f ~child:c ~caddr:(first / nch) ~first ~count
+  done
+
+let ensure_alive t = if t.crashed then raise Vdev.Crashed
+
+let read_blocks t addr n =
+  ensure_alive t;
+  check_range t addr n "read_blocks";
+  let bs = t.block_size and nch = Array.length t.children in
+  let out = Bytes.create (n * bs) in
+  iter_extents t addr n (fun ~child ~caddr ~first ~count ->
+      let buf = Vdev.read_blocks t.children.(child) caddr count in
+      for i = 0 to count - 1 do
+        Bytes.blit buf (i * bs) out ((first + (i * nch) - addr) * bs) bs
+      done);
+  out
+
+(* Persist the first [persist] blocks of [b]; used for both intact and
+   torn writes. *)
+let write_prefix t addr b persist =
+  let bs = t.block_size and nch = Array.length t.children in
+  iter_extents t addr persist (fun ~child ~caddr ~first ~count ->
+      let buf = Bytes.create (count * bs) in
+      for i = 0 to count - 1 do
+        Bytes.blit b ((first + (i * nch) - addr) * bs) buf (i * bs) bs
+      done;
+      Vdev.write_blocks t.children.(child) caddr buf)
+
+let writable_prefix t n =
+  match t.crash_countdown with None -> n | Some k -> min k n
+
+let consume_countdown t n =
+  match t.crash_countdown with
+  | None -> ()
+  | Some k ->
+      let k = k - n in
+      if k <= 0 then begin
+        t.crash_countdown <- None;
+        t.crashed <- true
+      end
+      else t.crash_countdown <- Some k
+
+let write_blocks t addr b =
+  ensure_alive t;
+  if Bytes.length b mod t.block_size <> 0 then
+    invalid_arg "Vdev_stripe.write_blocks: buffer is not a whole number of blocks";
+  let n = Bytes.length b / t.block_size in
+  check_range t addr n "write_blocks";
+  write_prefix t addr b (writable_prefix t n);
+  consume_countdown t n;
+  if t.crashed then raise Vdev.Crashed
+
+let zero_blocks t addr n =
+  check_range t addr n "zero_blocks";
+  iter_extents t addr n (fun ~child ~caddr ~first:_ ~count ->
+      Vdev.zero_blocks t.children.(child) caddr count)
+
+let stats t =
+  Array.fold_left
+    (fun acc c -> Io_stats.merge acc (Vdev.stats c))
+    (Io_stats.create ()) t.children
+
+let create ?name children =
+  if Array.length children = 0 then
+    invalid_arg "Vdev_stripe.create: no children";
+  let block_size = Vdev.block_size children.(0) in
+  Array.iter
+    (fun c ->
+      if Vdev.block_size c <> block_size then
+        invalid_arg "Vdev_stripe.create: children disagree on block size")
+    children;
+  let nch = Array.length children in
+  let per_child =
+    Array.fold_left (fun m c -> min m (Vdev.nblocks c)) max_int children
+  in
+  let t =
+    {
+      children;
+      block_size;
+      nblocks = nch * per_child;
+      crash_countdown = None;
+      crashed = false;
+    }
+  in
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "stripe(%d)" nch
+  in
+  {
+    Vdev.name;
+    block_size;
+    nblocks = t.nblocks;
+    read_blocks = (fun addr n -> read_blocks t addr n);
+    write_blocks = (fun addr b -> write_blocks t addr b);
+    zero_blocks = (fun addr n -> zero_blocks t addr n);
+    stats = (fun () -> stats t);
+    plan_crash = (fun ~after_blocks ->
+      assert (after_blocks >= 0);
+      t.crash_countdown <- Some after_blocks);
+    cancel_crash = (fun () -> t.crash_countdown <- None);
+    is_crashed =
+      (fun () ->
+        t.crashed || Array.exists (fun c -> Vdev.is_crashed c) t.children);
+    reboot =
+      (fun () ->
+        t.crashed <- false;
+        t.crash_countdown <- None;
+        Array.iter (fun c -> Vdev.reboot c) t.children);
+  }

@@ -1,0 +1,84 @@
+type op = Read | Write | Zero
+type entry = { op : op; addr : int; nblocks : int; busy_s : float }
+
+type t = {
+  lower : Vdev.t;
+  capacity : int;
+  log : entry Queue.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable zeros : int;
+  mutable traced_busy_s : float;
+  mutable view : Vdev.t option;  (* tied after [create] builds the closures *)
+}
+
+let record t op addr nblocks f =
+  let before = (Vdev.stats t.lower).Io_stats.busy_s in
+  let finish () =
+    let busy_s = (Vdev.stats t.lower).Io_stats.busy_s -. before in
+    if t.capacity > 0 then begin
+      if Queue.length t.log >= t.capacity then ignore (Queue.pop t.log);
+      Queue.push { op; addr; nblocks; busy_s } t.log
+    end;
+    (match op with
+    | Read -> t.reads <- t.reads + 1
+    | Write -> t.writes <- t.writes + 1
+    | Zero -> t.zeros <- t.zeros + 1);
+    t.traced_busy_s <- t.traced_busy_s +. busy_s
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let create ?(name = "trace") ?(capacity = 1024) lower =
+  let t =
+    {
+      lower;
+      capacity;
+      log = Queue.create ();
+      reads = 0;
+      writes = 0;
+      zeros = 0;
+      traced_busy_s = 0.0;
+      view = None;
+    }
+  in
+  let bs = Vdev.block_size lower in
+  let view =
+    {
+      lower with
+      Vdev.name;
+      read_blocks =
+        (fun addr n -> record t Read addr n (fun () -> Vdev.read_blocks lower addr n));
+      write_blocks =
+        (fun addr b ->
+          let n = Bytes.length b / bs in
+          record t Write addr n (fun () -> Vdev.write_blocks lower addr b));
+      zero_blocks =
+        (fun addr n -> record t Zero addr n (fun () -> Vdev.zero_blocks lower addr n));
+    }
+  in
+  t.view <- Some view;
+  t
+
+let vdev t = match t.view with Some v -> v | None -> assert false
+let entries t = List.of_seq (Queue.to_seq t.log)
+let reads t = t.reads
+let writes t = t.writes
+let zeros t = t.zeros
+let traced_busy_s t = t.traced_busy_s
+
+let reset t =
+  Queue.clear t.log;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.zeros <- 0;
+  t.traced_busy_s <- 0.0
+
+let pp_entry ppf e =
+  let k = match e.op with Read -> "R" | Write -> "W" | Zero -> "Z" in
+  Format.fprintf ppf "%s addr=%d n=%d busy=%.6fs" k e.addr e.nblocks e.busy_s

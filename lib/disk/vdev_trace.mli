@@ -1,0 +1,40 @@
+(** An observability shim: logs every operation crossing it, with the
+    modelled latency each one cost the layer below.
+
+    Wrap any vdev to get a bounded per-layer op log plus running
+    counters — useful for debugging device stacks (what did the cleaner
+    actually read?) and as the hook point for future tracing work.  The
+    shim is transparent: data, stats and crash semantics are exactly
+    those of the wrapped device, and operations that raise (e.g. a torn
+    write hitting {!Vdev.Crashed}) are still recorded before the
+    exception propagates. *)
+
+type op = Read | Write | Zero
+
+type entry = {
+  op : op;
+  addr : int;
+  nblocks : int;
+  busy_s : float;  (** modelled device time this operation added below *)
+}
+
+type t
+
+val create : ?name:string -> ?capacity:int -> Vdev.t -> t
+(** [capacity] bounds the retained log (default 1024 entries, oldest
+    dropped first); counters are never dropped. *)
+
+val vdev : t -> Vdev.t
+
+val entries : t -> entry list
+(** Retained log, oldest first. *)
+
+val reads : t -> int
+val writes : t -> int
+val zeros : t -> int
+
+val traced_busy_s : t -> float
+(** Sum of [busy_s] over every operation ever traced. *)
+
+val reset : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,5 +1,5 @@
-module Disk = Lfs_disk.Disk
-module Block_cache = Lfs_disk.Block_cache
+module Vdev = Lfs_disk.Vdev
+module Vdev_cache = Lfs_disk.Vdev_cache
 module Codec = Lfs_util.Bytes_codec
 module Types = Lfs_core.Types
 module Inode = Lfs_core.Inode
@@ -41,8 +41,9 @@ type handle = {
 }
 
 type t = {
-  disk : Disk.t;
-  bcache : Block_cache.t;
+  disk : Vdev.t;  (* the raw device, for cold scans (mount, fsck) *)
+  cache : Vdev_cache.t;
+  dev : Vdev.t;  (* [disk] behind the block cache; normal IO uses this *)
   layout : layout;
   lfs_layout : Lfs_core.Layout.t;  (* only for Filemap geometry *)
   block_bitmaps : Bitmap.t array;  (* per group, cached *)
@@ -114,28 +115,25 @@ let tick t =
   t.clock <- t.clock +. 1.0;
   t.clock
 
-(* {1 Synchronous metadata IO} *)
+(* {1 Synchronous metadata IO}
 
-let cached_read t addr = Block_cache.read t.bcache t.disk addr
-
-let write_through t addr b =
-  Disk.write_block t.disk addr b;
-  Block_cache.put t.bcache addr b
+   All reads and writes go through [t.dev], the {!Vdev_cache} layer:
+   reads hit the cache, writes go through to the device and update it. *)
 
 let write_inode t (inode : Inode.t) =
   let addr = ino_block t.layout inode.Inode.ino in
-  let b = cached_read t addr in
+  let b = Vdev.read_block t.dev addr in
   Inode.encode inode b ~slot:(ino_slot t.layout inode.Inode.ino);
-  write_through t addr b
+  Vdev.write_block t.dev addr b
 
 let clear_inode t ino =
   let addr = ino_block t.layout ino in
-  let b = cached_read t addr in
+  let b = Vdev.read_block t.dev addr in
   Inode.clear_slot b ~slot:(ino_slot t.layout ino);
-  write_through t addr b
+  Vdev.write_block t.dev addr b
 
 let read_inode t ino =
-  let b = cached_read t (ino_block t.layout ino) in
+  let b = Vdev.read_block t.dev (ino_block t.layout ino) in
   match Inode.decode b ~slot:(ino_slot t.layout ino) with
   | None -> Types.fs_error "ffs: no such inode %d" ino
   | Some inode ->
@@ -205,7 +203,7 @@ let get_handle t ino =
   | None ->
       let inode = read_inode t ino in
       let fmap =
-        Lfs_core.Filemap.load ~read:(cached_read t) t.lfs_layout inode
+        Lfs_core.Filemap.load ~read:(Vdev.read_block t.dev) t.lfs_layout inode
       in
       let h = { inode; fmap; content = None } in
       Hashtbl.replace t.handles ino h;
@@ -217,7 +215,7 @@ let flush_fmap_and_inode t h =
   Lfs_core.Filemap.flush h.fmap h.inode
     ~alloc:(fun ~kind:_ ~blockno:_ payload ->
       let addr = alloc_block t ~near:(ino_block t.layout h.inode.Inode.ino) in
-      write_through t addr payload;
+      Vdev.write_block t.dev addr payload;
       addr)
     ~free:(fun addr -> free_block t addr);
   write_inode t h.inode
@@ -230,7 +228,7 @@ let read_file_block t h ino blockno =
   | None ->
       let addr = Lfs_core.Filemap.get h.fmap blockno in
       if addr = Types.nil_addr then Bytes.make t.layout.cfg.block_size '\000'
-      else cached_read t addr
+      else Vdev.read_block t.dev addr
 
 let flush_data t =
   if Hashtbl.length t.dirty_data > 0 then begin
@@ -256,7 +254,7 @@ let flush_data t =
               Lfs_core.Filemap.set h.fmap blockno a;
               a
         in
-        write_through t addr b;
+        Vdev.write_block t.dev addr b;
         Hashtbl.replace touched ino ();
         Hashtbl.remove t.dirty_data (ino, blockno))
       items;
@@ -304,8 +302,7 @@ let flush_data_clustered t =
           let bs = t.layout.cfg.block_size in
           let buf = Bytes.create (List.length ordered * bs) in
           List.iteri (fun i (_, b) -> Bytes.blit b 0 buf (i * bs) bs) ordered;
-          Disk.write_blocks t.disk first_addr buf;
-          List.iter (fun (a, b) -> Block_cache.put t.bcache a b) ordered
+          Vdev.write_blocks t.dev first_addr buf
     in
     let rec group run last = function
       | [] -> flush_run run
@@ -326,7 +323,7 @@ let flush_bitmaps t =
   Array.iteri
     (fun cg dirty ->
       if dirty then begin
-        Disk.write_block t.disk
+        Vdev.write_block t.dev
           (bitmap_addr t.layout cg)
           (Bitmap.to_bytes t.block_bitmaps.(cg)
              ~block_size:t.layout.cfg.block_size);
@@ -446,7 +443,7 @@ let set_dir_contents t ino d =
             Lfs_core.Filemap.set h.fmap blockno a;
             a
       in
-      write_through t addr b
+      Vdev.write_block t.dev addr b
     end
   done;
   if Bytes.length fresh < h.inode.Inode.size then
@@ -585,10 +582,10 @@ let store_super cfg disk =
   Codec.put_int c cfg.cache_blocks;
   Codec.put_u8 c (if cfg.sync_double_inode_on_create then 1 else 0);
   Codec.put_u8 c (if cfg.cluster_writes then 1 else 0);
-  Disk.write_block disk 0 b
+  Vdev.write_block disk 0 b
 
 let load_super disk =
-  let b = Disk.read_block disk 0 in
+  let b = Vdev.read_block disk 0 in
   let c = Codec.reader b in
   if Codec.get_u32 c <> magic then Types.corrupt "ffs: bad superblock magic";
   let block_size = Codec.get_int c in
@@ -602,10 +599,12 @@ let load_super disk =
     sync_double_inode_on_create; cluster_writes }
 
 let make disk cfg =
-  let l = compute_layout cfg ~disk_blocks:(Disk.nblocks disk) in
+  let l = compute_layout cfg ~disk_blocks:(Vdev.nblocks disk) in
+  let cache = Vdev_cache.create ~capacity:cfg.cache_blocks disk in
   {
     disk;
-    bcache = Block_cache.create ~capacity:cfg.cache_blocks;
+    cache;
+    dev = Vdev_cache.vdev cache;
     layout = l;
     lfs_layout = filemap_layout cfg;
     block_bitmaps = Array.init l.ncg (fun _ -> Bitmap.create ~bits:cfg.cg_blocks);
@@ -619,7 +618,7 @@ let make disk cfg =
   }
 
 let format disk cfg =
-  if Disk.block_size disk <> cfg.block_size then
+  if Vdev.block_size disk <> cfg.block_size then
     invalid_arg "Ffs.format: block size mismatch";
   store_super cfg disk;
   let t = make disk cfg in
@@ -630,7 +629,7 @@ let format disk cfg =
       for i = 0 to t.layout.data_start - 1 do
         Bitmap.set bm i
       done;
-      Disk.zero_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks;
+      Vdev.zero_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks;
       t.bitmap_dirty.(cg) <- true)
     t.block_bitmaps;
   (* Root directory in group 0. *)
@@ -654,7 +653,7 @@ let mount disk =
   (* Bitmaps from disk; inode-free maps by scanning the inode tables. *)
   Array.iteri
     (fun cg bm ->
-      let b = Disk.read_block disk (bitmap_addr t.layout cg) in
+      let b = Vdev.read_block disk (bitmap_addr t.layout cg) in
       let loaded = Bitmap.of_bytes b ~bits:cfg.cg_blocks in
       for i = 0 to cfg.cg_blocks - 1 do
         if Bitmap.get loaded i then Bitmap.set bm i
@@ -663,7 +662,7 @@ let mount disk =
   Array.iteri
     (fun cg free ->
       let table =
-        Disk.read_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks
+        Vdev.read_blocks disk (itable_addr t.layout cg) t.layout.itable_blocks
       in
       for idx = 0 to cfg.inodes_per_cg - 1 do
         let block = idx / t.layout.inodes_per_block in
@@ -687,8 +686,9 @@ let free_blocks t =
 let fsck_scan t =
   let l = t.layout in
   for cg = 0 to l.ncg - 1 do
-    ignore (Disk.read_block t.disk (bitmap_addr l cg));
-    let table = Disk.read_blocks t.disk (itable_addr l cg) l.itable_blocks in
+    (* Deliberately bypass the cache: fsck models a cold post-crash scan. *)
+    ignore (Vdev.read_block t.disk (bitmap_addr l cg));
+    let table = Vdev.read_blocks t.disk (itable_addr l cg) l.itable_blocks in
     for idx = 0 to l.cfg.inodes_per_cg - 1 do
       let block = idx / l.inodes_per_block in
       let slot = idx mod l.inodes_per_block in
@@ -699,7 +699,7 @@ let fsck_scan t =
           (* Walk the block pointers, as fsck does to rebuild the
              allocation picture; this reads the indirect blocks. *)
           ignore
-            (Lfs_core.Filemap.load ~read:(Disk.read_block t.disk) t.lfs_layout
+            (Lfs_core.Filemap.load ~read:(Vdev.read_block t.disk) t.lfs_layout
                inode)
       | exception Types.Corrupt _ -> ()
     done
@@ -707,7 +707,7 @@ let fsck_scan t =
 
 let drop_caches t =
   sync t;
-  Block_cache.clear t.bcache;
+  Vdev_cache.clear t.cache;
   let keep = Hashtbl.create 1 in
   Hashtbl.iter (fun ino h -> if ino = root then Hashtbl.replace keep ino h) t.handles;
   Hashtbl.reset t.handles;

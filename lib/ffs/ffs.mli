@@ -39,8 +39,8 @@ type config = {
 
 val default_config : config
 
-val format : Lfs_disk.Disk.t -> config -> unit
-val mount : Lfs_disk.Disk.t -> t
+val format : Lfs_disk.Vdev.t -> config -> unit
+val mount : Lfs_disk.Vdev.t -> t
 
 val root : Lfs_core.Types.ino
 
@@ -62,7 +62,7 @@ val write_path : t -> string -> bytes -> unit
 val read_path : t -> string -> bytes
 
 val sync : t -> unit
-val disk : t -> Lfs_disk.Disk.t
+val disk : t -> Lfs_disk.Vdev.t
 
 val free_blocks : t -> int
 

@@ -47,11 +47,11 @@ let obj p i = Printf.sprintf "/obj/d%d/f%d.o" (i mod p.dirs) i
 let run p (fs : Fsops.t) =
   let blocks_per_file = max 1 ((p.file_bytes + 4095) / 4096) in
   let measure phase ~ops ~blocks ~extra_cpu body =
-    let before = Io_stats.copy (Disk.stats fs.Fsops.disk) in
+    let before = Io_stats.copy (Lfs_disk.Vdev.stats fs.Fsops.disk) in
     body ();
     fs.Fsops.sync ();
     let disk_s =
-      (Io_stats.diff (Disk.stats fs.Fsops.disk) before).Io_stats.busy_s
+      (Io_stats.diff (Lfs_disk.Vdev.stats fs.Fsops.disk) before).Io_stats.busy_s
     in
     let cpu_s = Cpu_model.cost p.cpu ~ops ~blocks +. extra_cpu in
     let elapsed_s =

@@ -1,11 +1,12 @@
 module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 module Fs = Lfs_core.Fs
 module Ffs = Lfs_ffs.Ffs
 
 type t = {
   name : string;
   async_writes : bool;
-  disk : Lfs_disk.Disk.t;
+  disk : Lfs_disk.Vdev.t;
   create_path : string -> Lfs_core.Types.ino;
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;
@@ -50,11 +51,11 @@ let of_ffs fs =
   }
 
 let fresh_lfs ?(config = Lfs_core.Config.default) geometry =
-  let disk = Disk.create geometry in
+  let disk = Vdev.of_disk (Disk.create geometry) in
   Fs.format disk config;
   of_lfs (Fs.mount disk)
 
 let fresh_ffs ?(config = Ffs.default_config) geometry =
-  let disk = Disk.create geometry in
+  let disk = Vdev.of_disk (Disk.create geometry) in
   Ffs.format disk config;
   of_ffs (Ffs.mount disk)

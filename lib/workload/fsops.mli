@@ -6,7 +6,7 @@ type t = {
   async_writes : bool;
       (** writes are buffered and overlap with the CPU (LFS); false
           means metadata IO serialises with the caller (FFS) *)
-  disk : Lfs_disk.Disk.t;
+  disk : Lfs_disk.Vdev.t;
   create_path : string -> Lfs_core.Types.ino;
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;

@@ -140,7 +140,7 @@ let run ?(scale = 1.0) ?(policy = Lfs_core.Config.Cost_benefit)
   let prng = Prng.create ~seed:spec.seed in
   let disk_blocks = int_of_float (float_of_int (spec.disk_mb * 256) *. scale) in
   let geom = Lfs_disk.Geometry.wren_iv ~blocks:disk_blocks in
-  let disk = Disk.create geom in
+  let disk = Lfs_disk.Vdev.of_disk (Disk.create geom) in
   let config =
     {
       Lfs_core.Config.default with

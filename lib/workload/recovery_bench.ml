@@ -19,7 +19,7 @@ let run p =
     { (Lfs_disk.Geometry.wren_iv ~blocks:(p.disk_mb * 1024)) with
       block_size = 1024 }
   in
-  let disk = Disk.create geom in
+  let disk = Lfs_disk.Vdev.of_disk (Disk.create geom) in
   let nfiles = p.data_mb * 1024 / p.file_kb in
   (* Infinite checkpoint interval, as in the paper's special LFS; the
      inode map is sized to the experiment so loading it does not dwarf
@@ -50,9 +50,9 @@ let run p =
   done;
   Fs.sync fs;
   (* Crash: abandon the mounted state and roll the disk forward. *)
-  let before = Io_stats.copy (Disk.stats disk) in
+  let before = Io_stats.copy (Lfs_disk.Vdev.stats disk) in
   let _fs2, report = Fs.recover disk in
-  let after = Disk.stats disk in
+  let after = Lfs_disk.Vdev.stats disk in
   let disk_s = (Io_stats.diff after before).Io_stats.busy_s in
   (* Roll-forward work per inode is lighter than a full syscall: charge
      half the per-operation cost, plus per-block handling. *)

@@ -1,6 +1,7 @@
 (* Shared fixtures for the test suite. *)
 
 module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 module Geometry = Lfs_disk.Geometry
 module Fs = Lfs_core.Fs
 module Config = Lfs_core.Config
@@ -24,10 +25,16 @@ let test_config =
 
 let fresh_disk ?blocks () = Disk.create (test_geometry ?blocks ())
 
+(* Tests keep the concrete [Disk.t] (for [plan_crash], [reboot],
+   [snapshot]) and hand the file system a [Vdev] view of it — routed
+   through a [Vdev_trace] shim so the whole suite exercises crash and
+   recovery semantics across a wrapped device stack. *)
+let vdev disk = Lfs_disk.Vdev_trace.vdev (Lfs_disk.Vdev_trace.create (Vdev.of_disk disk))
+
 let fresh_fs ?blocks ?(config = test_config) () =
   let disk = fresh_disk ?blocks () in
-  Fs.format disk config;
-  (disk, Fs.mount disk)
+  Fs.format (vdev disk) config;
+  (disk, Fs.mount (vdev disk))
 
 let fsck_clean fs =
   let r = Lfs_core.Fsck.check fs in

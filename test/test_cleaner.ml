@@ -112,7 +112,7 @@ let test_contents_survive_cleaning () =
   churn fs prng ~files:30 ~rounds:500 ~size:50_000;
   Helpers.check_bytes "survives in memory" keep (Fs.read_path fs "/keeper");
   Fs.unmount fs;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Helpers.check_bytes "survives remount" keep (Fs.read_path fs2 "/keeper");
   Helpers.fsck_clean fs2
 
@@ -206,7 +206,7 @@ let test_live_blocks_cleaning_safe () =
   Helpers.check_bytes "contents survive" keep (Fs.read_path fs "/keeper");
   Helpers.fsck_clean fs;
   Fs.unmount fs;
-  Helpers.fsck_clean (Fs.mount disk)
+  Helpers.fsck_clean (Fs.mount (Helpers.vdev disk))
 
 let test_live_blocks_reads_less_when_sparse () =
   (* At low victim utilisation, reading only live blocks moves far less
@@ -253,12 +253,12 @@ let test_checkpoint_by_blocks_bounds_recovery () =
   done;
   Fs.sync fs;
   (* Crash: at most ~interval blocks of log to roll forward. *)
-  let _, report = Fs.recover disk in
+  let _, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool)
     (Printf.sprintf "replayed writes bounded (%d)" report.Fs.writes_replayed)
     true
     (report.Fs.writes_replayed <= 6);
-  Helpers.fsck_clean (Fs.mount disk)
+  Helpers.fsck_clean (Fs.mount (Helpers.vdev disk))
 
 let suite =
   ( "cleaner",

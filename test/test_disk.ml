@@ -156,9 +156,9 @@ let test_cache_hit_costs_nothing () =
   let d = Disk.create wren in
   Disk.write_block d 2 (block 'c');
   let c = Block_cache.create ~capacity:8 in
-  ignore (Block_cache.read c d 2);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 2);
   let busy = (Disk.stats d).Io_stats.busy_s in
-  Helpers.check_bytes "cache hit" (block 'c') (Block_cache.read c d 2);
+  Helpers.check_bytes "cache hit" (block 'c') (Block_cache.read c ~fetch:(Disk.read_block d) 2);
   Alcotest.(check (float 0.0)) "no extra disk time" busy (Disk.stats d).Io_stats.busy_s;
   Alcotest.(check int) "one hit" 1 (Block_cache.hits c);
   Alcotest.(check int) "one miss" 1 (Block_cache.misses c)
@@ -166,36 +166,36 @@ let test_cache_hit_costs_nothing () =
 let test_cache_eviction_lru () =
   let d = Disk.create wren in
   let c = Block_cache.create ~capacity:2 in
-  ignore (Block_cache.read c d 0);
-  ignore (Block_cache.read c d 1);
-  ignore (Block_cache.read c d 0);  (* touch 0: now 1 is LRU *)
-  ignore (Block_cache.read c d 2);  (* evicts 1 *)
-  ignore (Block_cache.read c d 0);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 1);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);  (* touch 0: now 1 is LRU *)
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 2);  (* evicts 1 *)
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);
   Alcotest.(check int) "0 stayed cached" 2 (Block_cache.hits c);
-  ignore (Block_cache.read c d 1);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 1);
   Alcotest.(check int) "1 was evicted" 4 (Block_cache.misses c)
 
 let test_cache_put_and_invalidate () =
   let d = Disk.create wren in
   let c = Block_cache.create ~capacity:4 in
   Block_cache.put c 5 (block 'p');
-  Helpers.check_bytes "put visible" (block 'p') (Block_cache.read c d 5);
+  Helpers.check_bytes "put visible" (block 'p') (Block_cache.read c ~fetch:(Disk.read_block d) 5);
   Block_cache.invalidate c 5;
   Disk.write_block d 5 (block 'q');
-  Helpers.check_bytes "invalidate forces re-read" (block 'q') (Block_cache.read c d 5)
+  Helpers.check_bytes "invalidate forces re-read" (block 'q') (Block_cache.read c ~fetch:(Disk.read_block d) 5)
 
 let test_cache_returns_copies () =
   let d = Disk.create wren in
   let c = Block_cache.create ~capacity:4 in
-  let b = Block_cache.read c d 1 in
+  let b = Block_cache.read c ~fetch:(Disk.read_block d) 1 in
   Bytes.fill b 0 10 'Z';
-  Helpers.check_bytes "cache unpolluted" (block '\000') (Block_cache.read c d 1)
+  Helpers.check_bytes "cache unpolluted" (block '\000') (Block_cache.read c ~fetch:(Disk.read_block d) 1)
 
 let test_cache_zero_capacity () =
   let d = Disk.create wren in
   let c = Block_cache.create ~capacity:0 in
   Disk.write_block d 0 (block 'z');
-  Helpers.check_bytes "still reads through" (block 'z') (Block_cache.read c d 0);
+  Helpers.check_bytes "still reads through" (block 'z') (Block_cache.read c ~fetch:(Disk.read_block d) 0);
   Alcotest.(check int) "never hits" 0 (Block_cache.hits c)
 
 let test_geometry_presets () =

@@ -19,8 +19,8 @@ let config =
 
 let fresh () =
   let disk = Disk.create (Lfs_disk.Geometry.instant ~blocks:1024) in
-  Ffs.format disk config;
-  (disk, Ffs.mount disk)
+  Ffs.format (Helpers.vdev disk) config;
+  (disk, Ffs.mount (Helpers.vdev disk))
 
 (* ----- Bitmap ----- *)
 
@@ -91,7 +91,7 @@ let test_persistence () =
   ignore (Ffs.mkdir_path fs "/d");
   Ffs.write_path fs "/d/file" data;
   Ffs.sync fs;
-  let fs2 = Ffs.mount disk in
+  let fs2 = Ffs.mount (Helpers.vdev disk) in
   Helpers.check_bytes "after remount" data (Ffs.read_path fs2 "/d/file")
 
 let test_truncate () =
@@ -136,8 +136,8 @@ let test_out_of_inodes () =
 
 let wren_fresh () =
   let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:4096) in
-  Ffs.format disk Ffs.{ config with cg_blocks = 512; inodes_per_cg = 256 };
-  (disk, Ffs.mount disk)
+  Ffs.format (Helpers.vdev disk) Ffs.{ config with cg_blocks = 512; inodes_per_cg = 256 };
+  (disk, Ffs.mount (Helpers.vdev disk))
 
 let test_create_is_synchronous () =
   let disk, fs = wren_fresh () in
@@ -188,9 +188,9 @@ let test_sequential_allocation_contiguous () =
 let test_clustering_coalesces_ios () =
   let mk cluster_writes =
     let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:4096) in
-    Ffs.format disk
+    Ffs.format (Helpers.vdev disk)
       { config with Ffs.cg_blocks = 512; inodes_per_cg = 256; cluster_writes };
-    (disk, Ffs.mount disk)
+    (disk, Ffs.mount (Helpers.vdev disk))
   in
   let run (disk, fs) =
     let ino = Ffs.create fs ~dir:Ffs.root "big" in

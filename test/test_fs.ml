@@ -239,7 +239,7 @@ let test_remount_preserves_everything () =
   let prng = Prng.create ~seed:31 in
   let model = Helpers.random_ops ~ops:120 fs prng in
   Fs.unmount fs;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Helpers.check_model fs2 model;
   Helpers.fsck_clean fs2
 
@@ -250,14 +250,14 @@ let test_mount_discards_after_checkpoint () =
   Fs.write_path fs "/volatile" (Bytes.of_string "lost");
   Fs.sync fs;
   (* A plain mount (no roll-forward) returns to the checkpoint. *)
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Alcotest.(check bool) "durable present" true (Fs.resolve fs2 "/durable" <> None);
   Alcotest.(check (option int)) "volatile discarded" None (Fs.resolve fs2 "/volatile");
   Helpers.fsck_clean fs2
 
 let test_mount_unformatted_fails () =
   let disk = Helpers.fresh_disk () in
-  match Fs.mount disk with
+  match Fs.mount (Helpers.vdev disk) with
   | _ -> Alcotest.fail "should fail"
   | exception Types.Corrupt _ -> ()
 
@@ -265,10 +265,10 @@ let test_double_remount () =
   let disk, fs = Helpers.fresh_fs () in
   Fs.write_path fs "/f" (Bytes.of_string "1");
   Fs.unmount fs;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Fs.write_path fs2 "/g" (Bytes.of_string "2");
   Fs.unmount fs2;
-  let fs3 = Fs.mount disk in
+  let fs3 = Fs.mount (Helpers.vdev disk) in
   Alcotest.(check bool) "both survive" true
     (Fs.resolve fs3 "/f" <> None && Fs.resolve fs3 "/g" <> None);
   Helpers.fsck_clean fs3
@@ -285,8 +285,8 @@ let test_out_of_space () =
   (* A tiny disk filled beyond capacity must fail cleanly; the durable
      state (last checkpoint) stays consistent. *)
   let disk = Helpers.fresh_disk ~blocks:512 () in
-  Lfs_core.Fs.format disk Helpers.test_config;
-  let fs = Fs.mount disk in
+  Lfs_core.Fs.format (Helpers.vdev disk) Helpers.test_config;
+  let fs = Fs.mount (Helpers.vdev disk) in
   (match
      for i = 0 to 100 do
        Fs.write_path fs (Printf.sprintf "/f%d" i) (Bytes.make 60_000 'F')
@@ -294,7 +294,7 @@ let test_out_of_space () =
    with
   | () -> Alcotest.fail "should run out of space"
   | exception Types.Fs_error _ -> ());
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Helpers.fsck_clean fs2
 
 let test_deterministic_runs () =
@@ -316,7 +316,7 @@ let test_random_ops_model ~seed () =
   Helpers.check_model fs model;
   Helpers.fsck_clean fs;
   Fs.unmount fs;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   Helpers.check_model fs2 model;
   Helpers.fsck_clean fs2
 

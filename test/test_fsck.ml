@@ -41,7 +41,7 @@ let test_detects_usage_mismatch () =
   let disk, fs = Helpers.fresh_fs () in
   Fs.write_path fs "/f" (Bytes.make 20_000 'f');
   Fs.unmount fs;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   (* Mutate in-memory usage accounting directly through a fake kill:
      simplest is to corrupt the persisted usage block and remount. *)
   let addrs = Fs.usage_block_addrs fs2 in
@@ -51,7 +51,7 @@ let test_detects_usage_mismatch () =
       Bytes.set_int32_le b 0 99999l;
       Disk.write_block disk addr b
   | _ -> Alcotest.fail "expected a usage block");
-  let fs3 = Fs.mount disk in
+  let fs3 = Fs.mount (Helpers.vdev disk) in
   expect_dirty "usage mismatch" fs3
 
 (* An inode slot cleared behind the inode map's back: the reference
@@ -65,7 +65,7 @@ let test_detects_dangling_imap_entry () =
   let b = Disk.read_block disk (Types.Iaddr.block iaddr) in
   Lfs_core.Inode.clear_slot b ~slot:(Types.Iaddr.slot iaddr);
   Disk.write_block disk (Types.Iaddr.block iaddr) b;
-  let fs2 = Fs.mount disk in
+  let fs2 = Fs.mount (Helpers.vdev disk) in
   (match Fsck.check fs2 with
   | _ -> Alcotest.fail "walk should raise or report"
   | exception Types.Corrupt _ -> ())

@@ -24,7 +24,7 @@ let mk_env ?(cur_seg = 0) ?(next_seg = 1) () =
   let batches = ref [] in
   let next_clean = ref 2 in
   let log =
-    Log_writer.create layout disk
+    Log_writer.create layout (Helpers.vdev disk)
       ~pick_clean:(fun ~exclude ->
         let rec pick () =
           let s = !next_clean in
@@ -188,7 +188,7 @@ let test_scan_follows_chain_across_segments () =
       usage_addrs = [||];
     }
   in
-  let result = Lfs_core.Recovery.scan layout env.disk ~ckpt in
+  let result = Lfs_core.Recovery.scan layout (Helpers.vdev env.disk) ~ckpt in
   let total_entries =
     List.fold_left
       (fun acc w ->
@@ -232,7 +232,7 @@ let test_scan_stops_at_stale_summary () =
       }
   in
   Disk.write_block env.disk (Layout.seg_first_block layout 0 + 2) stale;
-  let result = Lfs_core.Recovery.scan layout env.disk ~ckpt in
+  let result = Lfs_core.Recovery.scan layout (Helpers.vdev env.disk) ~ckpt in
   Alcotest.(check int) "only the real write" 1
     (List.length result.Lfs_core.Recovery.writes)
 

@@ -33,7 +33,7 @@ let test_no_data_loss_without_sync () =
   Nfs.write nfs ino ~off:0 data;
   (* Power cut before any sync or checkpoint. *)
   crash disk;
-  let nfs2, replay = Nfs.recover disk nvram in
+  let nfs2, replay = Nfs.recover (Helpers.vdev disk) nvram in
   Alcotest.(check bool) "records replayed" true (replay.Nfs.replayed >= 2);
   Helpers.check_bytes "nothing lost" data (Nfs.read_path nfs2 "/precious");
   Helpers.fsck_clean (Nfs.fs nfs2)
@@ -45,7 +45,7 @@ let test_replay_is_ordered () =
   Nfs.write nfs ino ~off:2 (Bytes.of_string "bb");
   Nfs.truncate nfs ino ~len:3;
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "history order preserved" (Bytes.of_string "AAb")
     (Nfs.read_path nfs2 "/f")
 
@@ -55,7 +55,7 @@ let test_delete_not_resurrected () =
   Nfs.write nfs ino ~off:0 (Bytes.of_string "boo");
   Nfs.unlink nfs ~dir:Fs.root "ghost";
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Alcotest.(check (option int)) "stays deleted" None (Nfs.resolve nfs2 "/ghost");
   Helpers.fsck_clean (Nfs.fs nfs2)
 
@@ -67,7 +67,7 @@ let test_replay_on_partially_durable_state () =
   Fs.sync (Nfs.fs nfs);
   Nfs.write_path nfs "/b" (Bytes.of_string "second");
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "durable file" (Bytes.of_string "first") (Nfs.read_path nfs2 "/a");
   Helpers.check_bytes "volatile file" (Bytes.of_string "second") (Nfs.read_path nfs2 "/b");
   Helpers.fsck_clean (Nfs.fs nfs2)
@@ -80,7 +80,7 @@ let test_rename_replay () =
   Nfs.write nfs ino ~off:0 (Bytes.of_string "move me");
   Nfs.rename nfs ~odir:d1 "x" ~ndir:d2 "y";
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "moved with contents" (Bytes.of_string "move me")
     (Nfs.read_path nfs2 "/d2/y");
   Alcotest.(check (option int)) "old gone" None (Nfs.resolve nfs2 "/d1/x")
@@ -94,7 +94,7 @@ let test_remap_after_create_replay () =
   let ino = Nfs.create nfs ~dir:Fs.root "fresh" in
   Nfs.write nfs ino ~off:0 (Bytes.of_string "remapped");
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "write followed remap" (Bytes.of_string "remapped")
     (Nfs.read_path nfs2 "/fresh")
 
@@ -107,7 +107,7 @@ let test_checkpoint_clears_journal () =
 
 let test_capacity_forces_checkpoint () =
   let disk, _ = Helpers.fresh_fs ~blocks:2048 () in
-  let fs = Fs.mount disk in
+  let fs = Fs.mount (Helpers.vdev disk) in
   let nvram = Nvram.create ~capacity_bytes:(128 * 1024) () in
   let nfs = Nfs.wrap fs nvram in
   for i = 0 to 30 do
@@ -137,7 +137,7 @@ let test_randomised_no_loss ~seed () =
     if Prng.int prng 20 = 0 then Fs.sync (Nfs.fs nfs)
   done;
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Hashtbl.iter
     (fun path data ->
       Helpers.check_bytes ("content of " ^ path) data (Nfs.read_path nfs2 path))
@@ -156,7 +156,7 @@ let test_internal_checkpoint_clears_journal () =
   let fs =
     Fs.mount
       ~config:{ Helpers.test_config with Lfs_core.Config.checkpoint_interval_ops = 5 }
-      disk
+      (Helpers.vdev disk)
   in
   let nvram = Nvram.create () in
   let nfs = Nfs.wrap fs nvram in
@@ -168,7 +168,7 @@ let test_internal_checkpoint_clears_journal () =
   Alcotest.(check bool) "journal holds a suffix only" true
     (List.length (Nvram.records nvram) < 20);
   crash disk;
-  let nfs2, _ = Nfs.recover disk nvram in
+  let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   for i = 0 to 19 do
     Alcotest.(check bool)
       (Printf.sprintf "f%d survives" i)

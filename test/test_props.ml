@@ -127,7 +127,7 @@ let prop_remount_preserves =
       let disk, fs = Helpers.fresh_fs ~blocks:2048 () in
       let model = List.fold_left (apply fs) [] ops in
       Fs.unmount fs;
-      let fs2 = Fs.mount disk in
+      let fs2 = Fs.mount (Helpers.vdev disk) in
       check_against_model fs2 model)
 
 let prop_recovery_after_sync_preserves =
@@ -138,7 +138,7 @@ let prop_recovery_after_sync_preserves =
       let model = List.fold_left (apply fs) [] ops in
       Fs.sync fs;
       (* Crash (abandon the instance), recover, compare. *)
-      let fs2, _ = Fs.recover disk in
+      let fs2, _ = Fs.recover (Helpers.vdev disk) in
       check_against_model fs2 model
       && Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2))
 
@@ -207,10 +207,112 @@ let prop_nvram_no_loss =
       let model = List.fold_left apply_nvram [] ops in
       (* Power cut with no warning; recover with the journal. *)
       Disk.reboot disk;
-      let nfs2, _ = Lfs_core.Nvram_fs.recover disk nvram in
+      let nfs2, _ = Lfs_core.Nvram_fs.recover (Helpers.vdev disk) nvram in
       let fs2 = Lfs_core.Nvram_fs.fs nfs2 in
       check_against_model fs2 model
       && Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2))
+
+(* ----- Device-stack properties ----- *)
+
+module Vdev = Lfs_disk.Vdev
+module Vdev_stripe = Lfs_disk.Vdev_stripe
+module Vdev_cache = Lfs_disk.Vdev_cache
+module Vdev_trace = Lfs_disk.Vdev_trace
+module Geometry = Lfs_disk.Geometry
+
+let stripe_width = 4
+let stripe_child_blocks = 64
+let stripe_blocks = stripe_width * stripe_child_blocks
+
+(* Writes as (addr, len, seed) triples; lens cross stripe boundaries. *)
+let arb_stripe_writes =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (map2
+           (fun (addr, seed) len -> (min addr (stripe_blocks - len), len, seed))
+           (pair (int_bound (stripe_blocks - 1)) (int_bound 10_000))
+           (int_range 1 (2 * stripe_width + 1))))
+  in
+  QCheck.make
+    ~print:(fun ws ->
+      String.concat "; "
+        (List.map (fun (a, l, s) -> Printf.sprintf "w@%d+%d#%d" a l s) ws))
+    ~shrink:QCheck.Shrink.list gen
+
+let prop_stripe_matches_single_disk =
+  QCheck.Test.make ~count:60
+    ~name:"striped vdev stores the same bytes as one disk" arb_stripe_writes
+    (fun writes ->
+      let striped =
+        Vdev_stripe.create
+          (Array.init stripe_width (fun _ ->
+               Vdev.of_disk (Disk.create (Geometry.instant ~blocks:stripe_child_blocks))))
+      in
+      let single =
+        Vdev.of_disk (Disk.create (Geometry.instant ~blocks:stripe_blocks))
+      in
+      let bs = Vdev.block_size striped in
+      List.iter
+        (fun (addr, len, seed) ->
+          let data = Helpers.bytes_of_pattern ~seed (len * bs) in
+          Vdev.write_blocks striped addr data;
+          Vdev.write_blocks single addr data)
+        writes;
+      Bytes.equal
+        (Vdev.read_blocks striped 0 stripe_blocks)
+        (Vdev.read_blocks single 0 stripe_blocks))
+
+(* A torn write must persist exactly the planned prefix, and the wrapper
+   (cache or trace) must not serve stale data for the torn tail. *)
+let check_torn_write wrap (k, extra) =
+  let disk = Disk.create (Geometry.instant ~blocks:256) in
+  let dev = wrap disk in
+  let bs = Vdev.block_size dev in
+  let n = k + extra in
+  let addr = 3 in
+  let old = Helpers.bytes_of_pattern ~seed:1 (n * bs) in
+  Vdev.write_blocks dev addr old;
+  (* Warm any cache with the old contents. *)
+  for i = 0 to n - 1 do
+    ignore (Vdev.read_block dev (addr + i))
+  done;
+  Disk.plan_crash disk ~after_blocks:k;
+  let fresh = Helpers.bytes_of_pattern ~seed:2 (n * bs) in
+  let crashed =
+    match Vdev.write_blocks dev addr fresh with
+    | () -> false
+    | exception Vdev.Crashed -> true
+  in
+  Disk.reboot disk;
+  let block_ok i =
+    let expect = if i < k then fresh else old in
+    let want = Bytes.sub expect (i * bs) bs in
+    Bytes.equal want (Vdev.read_block dev (addr + i))
+    && Bytes.equal want (Disk.read_block disk (addr + i))
+  in
+  let all_ok = ref crashed in
+  for i = 0 to n - 1 do
+    all_ok := !all_ok && block_ok i
+  done;
+  !all_ok
+
+let arb_torn =
+  QCheck.make
+    ~print:(fun (k, e) -> Printf.sprintf "survive=%d torn=%d" k e)
+    QCheck.Gen.(pair (int_bound 6) (int_range 1 6))
+
+let prop_torn_write_through_cache =
+  QCheck.Test.make ~count:60
+    ~name:"torn writes keep a Vdev_cache coherent" arb_torn
+    (check_torn_write (fun disk ->
+         Vdev_cache.vdev (Vdev_cache.create ~capacity:64 (Vdev.of_disk disk))))
+
+let prop_torn_write_through_trace =
+  QCheck.Test.make ~count:60
+    ~name:"torn writes propagate through Vdev_trace" arb_torn
+    (check_torn_write (fun disk ->
+         Vdev_trace.vdev (Vdev_trace.create (Vdev.of_disk disk))))
 
 let suite =
   ( "properties",
@@ -219,4 +321,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_remount_preserves;
       QCheck_alcotest.to_alcotest prop_recovery_after_sync_preserves;
       QCheck_alcotest.to_alcotest prop_nvram_no_loss;
+      QCheck_alcotest.to_alcotest prop_stripe_matches_single_disk;
+      QCheck_alcotest.to_alcotest prop_torn_write_through_cache;
+      QCheck_alcotest.to_alcotest prop_torn_write_through_trace;
     ] )

@@ -10,7 +10,7 @@ let test_recover_nothing_to_do () =
   let disk, fs = Helpers.fresh_fs () in
   Fs.write_path fs "/f" (Bytes.of_string "data");
   Fs.checkpoint fs;
-  let fs2, report = Fs.recover disk in
+  let fs2, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check int) "nothing replayed" 0 report.Fs.writes_replayed;
   Helpers.check_bytes "file intact" (Bytes.of_string "data") (Fs.read_path fs2 "/f");
   Helpers.fsck_clean fs2
@@ -20,7 +20,7 @@ let test_recover_new_file () =
   Fs.checkpoint fs;
   Fs.write_path fs "/post" (Bytes.of_string "after checkpoint");
   Fs.sync fs;
-  let fs2, report = Fs.recover disk in
+  let fs2, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool) "writes replayed" true (report.Fs.writes_replayed > 0);
   Alcotest.(check bool) "inodes recovered" true (report.Fs.inodes_recovered > 0);
   Helpers.check_bytes "file recovered" (Bytes.of_string "after checkpoint")
@@ -33,7 +33,7 @@ let test_recover_overwrite () =
   Fs.checkpoint fs;
   Fs.write_path fs "/f" (Bytes.make 5000 'n');
   Fs.sync fs;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Helpers.check_bytes "newest version wins" (Bytes.make 5000 'n')
     (Fs.read_path fs2 "/f");
   Helpers.fsck_clean fs2
@@ -44,7 +44,7 @@ let test_recover_delete () =
   Fs.checkpoint fs;
   Fs.unlink fs ~dir:Fs.root "doomed";
   Fs.sync fs;
-  let fs2, report = Fs.recover disk in
+  let fs2, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool) "dirop applied" true (report.Fs.dirops_applied > 0);
   Alcotest.(check (option int)) "file stays deleted" None (Fs.resolve fs2 "/doomed");
   Helpers.fsck_clean fs2
@@ -59,7 +59,7 @@ let test_recover_rename_atomic () =
   let b = Option.get (Fs.resolve fs "/b") in
   Fs.rename fs ~odir:a "f" ~ndir:b "f";
   Fs.sync fs;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   let in_a = Fs.resolve fs2 "/a/f" <> None in
   let in_b = Fs.resolve fs2 "/b/f" <> None in
   Alcotest.(check bool) "exactly one location" true (in_a <> in_b);
@@ -73,7 +73,7 @@ let test_recover_link_counts () =
   let ino = Option.get (Fs.resolve fs "/orig") in
   Fs.link fs ~dir:Fs.root "alias" ino;
   Fs.sync fs;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check int) "nlink recovered" 2
     (Fs.stat fs2 (Option.get (Fs.resolve fs2 "/orig"))).Fs.st_nlink;
   Helpers.fsck_clean fs2
@@ -87,7 +87,7 @@ let test_torn_tail_ignored () =
   Disk.plan_crash disk ~after_blocks:3;
   (match Fs.sync fs with () -> () | exception Disk.Crashed -> ());
   Disk.reboot disk;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool) "safe file present" true (Fs.resolve fs2 "/safe" <> None);
   Helpers.fsck_clean fs2
 
@@ -96,10 +96,10 @@ let test_recovery_is_idempotent () =
   Fs.checkpoint fs;
   Fs.write_path fs "/f" (Bytes.of_string "once");
   Fs.sync fs;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Helpers.fsck_clean fs2;
   (* Recover again from the new checkpoint: no-op, still consistent. *)
-  let fs3, report = Fs.recover disk in
+  let fs3, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check int) "second recovery replays nothing" 0 report.Fs.writes_replayed;
   Helpers.check_bytes "data still there" (Bytes.of_string "once")
     (Fs.read_path fs3 "/f");
@@ -113,7 +113,7 @@ let test_recover_multiple_checkpoint_cycles () =
   done;
   Fs.write_path fs "/tail" (Bytes.of_string "tail");
   Fs.sync fs;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   for round = 1 to 5 do
     Alcotest.(check bool)
       (Printf.sprintf "round %d present" round)
@@ -133,7 +133,7 @@ let test_recover_create_without_inode_drops_entry () =
   Disk.plan_crash disk ~after_blocks:2;  (* summary + dirlog, then power cut *)
   (match Fs.sync fs with () -> () | exception Disk.Crashed -> ());
   Disk.reboot disk;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check (option int)) "phantom dropped" None (Fs.resolve fs2 "/phantom");
   Helpers.fsck_clean fs2
 
@@ -141,7 +141,7 @@ let test_recover_create_without_inode_drops_entry () =
    every possible number of written blocks and verify recovery. *)
 let test_crash_every_point () =
   let scenario disk =
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Helpers.vdev disk) in
     Fs.write_path fs "/a" (Bytes.make 3000 'a');
     Fs.checkpoint fs;
     Fs.write_path fs "/b" (Bytes.make 12_000 'b');
@@ -153,18 +153,18 @@ let test_crash_every_point () =
   in
   (* How many blocks does the whole scenario write? *)
   let probe = Helpers.fresh_disk () in
-  Lfs_core.Fs.format probe Helpers.test_config;
+  Lfs_core.Fs.format (Helpers.vdev probe) Helpers.test_config;
   let base = (Disk.stats probe).Lfs_disk.Io_stats.blocks_written in
   scenario probe;
   let total = (Disk.stats probe).Lfs_disk.Io_stats.blocks_written - base in
   let failures = ref [] in
   for cut = 0 to total - 1 do
     let disk = Helpers.fresh_disk () in
-    Lfs_core.Fs.format disk Helpers.test_config;
+    Lfs_core.Fs.format (Helpers.vdev disk) Helpers.test_config;
     Disk.plan_crash disk ~after_blocks:cut;
     (match scenario disk with () -> () | exception Disk.Crashed -> ());
     Disk.reboot disk;
-    match Fs.recover disk with
+    match Fs.recover (Helpers.vdev disk) with
     | fs2, _ ->
         let r = Lfs_core.Fsck.check fs2 in
         if not (Lfs_core.Fsck.is_clean r) then failures := cut :: !failures
@@ -182,7 +182,7 @@ let test_crash_every_point () =
    "cleaned segments only become reusable after a checkpoint" rule. *)
 let test_crash_during_cleaning () =
   let scenario disk =
-    let fs = Fs.mount disk in
+    let fs = Fs.mount (Helpers.vdev disk) in
     for i = 0 to 19 do
       Fs.write_path fs (Printf.sprintf "/f%d" i) (Bytes.make 50_000 'a')
     done;
@@ -197,7 +197,7 @@ let test_crash_during_cleaning () =
     Lfs_core.Fs_stats.segments_cleaned (Fs.stats fs)
   in
   let probe = Helpers.fresh_disk ~blocks:1536 () in
-  Lfs_core.Fs.format probe Helpers.test_config;
+  Lfs_core.Fs.format (Helpers.vdev probe) Helpers.test_config;
   let base = (Disk.stats probe).Lfs_disk.Io_stats.blocks_written in
   let cleaned = scenario probe in
   Alcotest.(check bool) "scenario forces cleaning" true (cleaned > 0);
@@ -206,11 +206,11 @@ let test_crash_during_cleaning () =
   let cut = ref 1 in
   while !cut < total do
     let disk = Helpers.fresh_disk ~blocks:1536 () in
-    Lfs_core.Fs.format disk Helpers.test_config;
+    Lfs_core.Fs.format (Helpers.vdev disk) Helpers.test_config;
     Disk.plan_crash disk ~after_blocks:!cut;
     (match scenario disk with (_ : int) -> () | exception Disk.Crashed -> ());
     Disk.reboot disk;
-    (match Fs.recover disk with
+    (match Fs.recover (Helpers.vdev disk) with
     | fs2, _ ->
         if not (Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2)) then
           failures := !cut :: !failures
@@ -251,7 +251,7 @@ let test_crash_torture ~seed () =
      raise Disk.Crashed
    with Disk.Crashed -> ());
   Disk.reboot disk;
-  let fs2, _ = Fs.recover disk in
+  let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Helpers.fsck_clean fs2
 
 let test_recovery_report_counts () =
@@ -261,7 +261,7 @@ let test_recovery_report_counts () =
     Fs.write_path fs (Printf.sprintf "/n%d" i) (Bytes.make 2000 'n')
   done;
   Fs.sync fs;
-  let _, report = Fs.recover disk in
+  let _, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool) "10 files + root recovered" true
     (report.Fs.inodes_recovered >= 10);
   Alcotest.(check bool) "dirops for each create" true (report.Fs.dirops_applied >= 10);

@@ -50,24 +50,24 @@ let test_layout_max_file () =
 let test_superblock_roundtrip () =
   let disk = Helpers.fresh_disk () in
   let sb = Superblock.create Helpers.test_config ~disk_blocks:1024 in
-  Superblock.store sb disk;
-  let sb' = Superblock.load disk in
+  Superblock.store sb (Helpers.vdev disk);
+  let sb' = Superblock.load (Helpers.vdev disk) in
   Alcotest.(check bool) "config preserved" true (sb'.Superblock.config = Helpers.test_config)
 
 let test_superblock_detects_corruption () =
   let disk = Helpers.fresh_disk () in
   let sb = Superblock.create Helpers.test_config ~disk_blocks:1024 in
-  Superblock.store sb disk;
+  Superblock.store sb (Helpers.vdev disk);
   let b = Disk.read_block disk 0 in
   Bytes.set b 40 (Char.chr (Char.code (Bytes.get b 40) lxor 0xff));
   Disk.write_block disk 0 b;
-  match Superblock.load disk with
+  match Superblock.load (Helpers.vdev disk) with
   | _ -> Alcotest.fail "should detect corruption"
   | exception Types.Corrupt _ -> ()
 
 let test_superblock_rejects_unformatted () =
   let disk = Helpers.fresh_disk () in
-  match Superblock.load disk with
+  match Superblock.load (Helpers.vdev disk) with
   | _ -> Alcotest.fail "should reject zeroed disk"
   | exception Types.Corrupt _ -> ()
 
@@ -431,21 +431,21 @@ let test_checkpoint_roundtrip () =
       usage_addrs = Array.make ckpt_layout.Layout.usage_blocks 44;
     }
   in
-  Checkpoint.write ckpt_layout disk ~region:0 fixture;
-  (match Checkpoint.read ckpt_layout disk ~region:0 with
+  Checkpoint.write ckpt_layout (Helpers.vdev disk) ~region:0 fixture;
+  (match Checkpoint.read ckpt_layout (Helpers.vdev disk) ~region:0 with
   | Some c -> Alcotest.(check bool) "roundtrip" true (c = fixture)
   | None -> Alcotest.fail "should read back");
   Alcotest.(check bool) "other region invalid" true
-    (Checkpoint.read ckpt_layout disk ~region:1 = None)
+    (Checkpoint.read ckpt_layout (Helpers.vdev disk) ~region:1 = None)
 
 let test_checkpoint_latest_wins () =
   let disk = Helpers.fresh_disk () in
   let mk ts = { ckpt_fixture with Checkpoint.timestamp = ts;
                 imap_addrs = Array.make ckpt_layout.Layout.imap_blocks 1;
                 usage_addrs = Array.make ckpt_layout.Layout.usage_blocks 2 } in
-  Checkpoint.write ckpt_layout disk ~region:0 (mk 10.0);
-  Checkpoint.write ckpt_layout disk ~region:1 (mk 20.0);
-  (match Checkpoint.read_latest ckpt_layout disk with
+  Checkpoint.write ckpt_layout (Helpers.vdev disk) ~region:0 (mk 10.0);
+  Checkpoint.write ckpt_layout (Helpers.vdev disk) ~region:1 (mk 20.0);
+  (match Checkpoint.read_latest ckpt_layout (Helpers.vdev disk) with
   | Some (1, c) -> Alcotest.(check (float 0.0)) "newest" 20.0 c.Checkpoint.timestamp
   | Some (r, _) -> Alcotest.failf "wrong region %d" r
   | None -> Alcotest.fail "should find one")
@@ -459,14 +459,14 @@ let test_checkpoint_torn_write_invalid () =
       usage_addrs = Array.make ckpt_layout.Layout.usage_blocks 2;
     }
   in
-  Checkpoint.write ckpt_layout disk ~region:0 fixture;
+  Checkpoint.write ckpt_layout (Helpers.vdev disk) ~region:0 fixture;
   (* Corrupt one byte, as a torn multi-block region write would. *)
   let addr = ckpt_layout.Layout.ckpt_a in
   let b = Disk.read_block disk addr in
   Bytes.set b 500 '\137';
   Disk.write_block disk addr b;
   Alcotest.(check bool) "torn region rejected" true
-    (Checkpoint.read ckpt_layout disk ~region:0 = None)
+    (Checkpoint.read ckpt_layout (Helpers.vdev disk) ~region:0 = None)
 
 (* ----- Property tests ----- *)
 

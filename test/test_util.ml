@@ -201,6 +201,71 @@ let prop_percentile_bounds =
       let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+(* ----- Io_stats: copy/diff/merge round-trips ----- *)
+
+module Io_stats = Lfs_disk.Io_stats
+
+let arb_io_stats =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (reads, writes, blocks_read, blocks_written, seeks, busy) ->
+          {
+            Io_stats.reads;
+            writes;
+            blocks_read;
+            blocks_written;
+            seeks;
+            busy_s = float_of_int busy /. 16.0;
+          })
+        (tup6 (int_bound 1000) (int_bound 1000) (int_bound 10000)
+           (int_bound 10000) (int_bound 1000) (int_bound 1000)))
+  in
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Io_stats.pp s)
+    gen
+
+let stats_equal a b =
+  a.Io_stats.reads = b.Io_stats.reads
+  && a.Io_stats.writes = b.Io_stats.writes
+  && a.Io_stats.blocks_read = b.Io_stats.blocks_read
+  && a.Io_stats.blocks_written = b.Io_stats.blocks_written
+  && a.Io_stats.seeks = b.Io_stats.seeks
+  && Float.abs (a.Io_stats.busy_s -. b.Io_stats.busy_s) < 1e-9
+
+let prop_io_stats_copy_independent =
+  QCheck.Test.make ~count:100 ~name:"io_stats copy is independent" arb_io_stats
+    (fun s ->
+      let c = Io_stats.copy s in
+      let before = Io_stats.copy s in
+      c.Io_stats.reads <- c.Io_stats.reads + 1;
+      c.Io_stats.busy_s <- c.Io_stats.busy_s +. 1.0;
+      stats_equal s before)
+
+let prop_io_stats_merge_diff_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"io_stats diff (merge a b) b = a"
+    QCheck.(pair arb_io_stats arb_io_stats)
+    (fun (a, b) ->
+      (* merge is commutative, and diff undoes it *)
+      stats_equal (Io_stats.merge a b) (Io_stats.merge b a)
+      && stats_equal (Io_stats.diff (Io_stats.merge a b) b) a)
+
+let test_io_stats_merge_zero () =
+  let z = Io_stats.create () in
+  let s = Io_stats.create () in
+  s.Io_stats.reads <- 3;
+  s.Io_stats.blocks_read <- 7;
+  s.Io_stats.busy_s <- 0.5;
+  Alcotest.(check bool) "zero is neutral" true
+    (stats_equal (Io_stats.merge s z) s && stats_equal (Io_stats.merge z s) s)
+
+let test_io_stats_reset () =
+  let s = Io_stats.create () in
+  s.Io_stats.writes <- 9;
+  s.Io_stats.busy_s <- 2.0;
+  Io_stats.reset s;
+  Alcotest.(check bool) "reset zeroes" true (stats_equal s (Io_stats.create ()))
+
 let suite =
   ( "util",
     [
@@ -227,7 +292,11 @@ let suite =
       Alcotest.test_case "checksum range" `Quick test_checksum_range;
       Alcotest.test_case "plot renders" `Quick test_plot_renders;
       Alcotest.test_case "plot empty series" `Quick test_plot_empty_series;
+      Alcotest.test_case "io_stats merge zero" `Quick test_io_stats_merge_zero;
+      Alcotest.test_case "io_stats reset" `Quick test_io_stats_reset;
       QCheck_alcotest.to_alcotest prop_codec_roundtrip;
       QCheck_alcotest.to_alcotest prop_codec_overflow;
       QCheck_alcotest.to_alcotest prop_percentile_bounds;
+      QCheck_alcotest.to_alcotest prop_io_stats_copy_independent;
+      QCheck_alcotest.to_alcotest prop_io_stats_merge_diff_roundtrip;
     ] )
