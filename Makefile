@@ -35,6 +35,8 @@ ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- quick
+	dune exec bin/lfs_tool.exe -- crashtest --workload smallfile --stride 3 --seed 1
+	dune exec bin/lfs_tool.exe -- crashtest --workload script --stride 3 --seed 1
 
 clean:
 	dune clean

@@ -94,7 +94,9 @@ let cat_cmd =
   let run image path =
     let disk = load image in
     let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
-    print_string (Bytes.to_string (Fs.read_path fs path))
+    match Fs.read_path fs path with
+    | Some data -> print_string (Bytes.to_string data)
+    | None -> prerr_endline "no such path"; exit 1
   in
   Cmd.v (Cmd.info "cat" ~doc:"Print a file's contents")
     Term.(const run $ image $ fs_path 1)
@@ -137,7 +139,11 @@ let get_cmd =
   let run image path local =
     let disk = load image in
     let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
-    let data = Fs.read_path fs path in
+    let data =
+      match Fs.read_path fs path with
+      | Some data -> data
+      | None -> prerr_endline "no such path"; exit 1
+    in
     let oc = open_out_bin local in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data);
     Printf.printf "copied %d bytes to %s\n" (Bytes.length data) local
@@ -273,6 +279,65 @@ let trace_replay_cmd =
   Cmd.v (Cmd.info "trace-replay" ~doc:"Replay a recorded trace against an image")
     Term.(const run $ image $ tracef)
 
+let crashtest_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("smallfile", `Smallfile); ("andrew", `Andrew); ("script", `Script) ]) `Smallfile
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Workload to enumerate: $(b,smallfile), $(b,andrew) or $(b,script).")
+  in
+  let fs_kind =
+    Arg.(
+      value
+      & opt (enum [ ("lfs", `Lfs); ("ffs", `Ffs) ]) `Lfs
+      & info [ "fs" ] ~docv:"FS"
+          ~doc:"File system under test: $(b,lfs) or $(b,ffs) (FFS has no \
+                recovery protocol, so oracle divergences are expected).")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"N"
+          ~doc:"Replay every $(docv)-th crash point instead of all of them \
+                (the final write is always included).")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed; reports replay exactly from it.")
+  in
+  let blocks =
+    Arg.(value & opt int 1024 & info [ "blocks" ] ~doc:"Device size in 4 KB blocks.")
+  in
+  let allow_failures =
+    Arg.(
+      value & flag
+      & info [ "allow-failures" ]
+          ~doc:"Exit 0 even when the report shows failures (for the FFS demo).")
+  in
+  let run workload fs_kind stride seed blocks allow_failures =
+    let open Lfs_crashtest in
+    let w =
+      match workload with
+      | `Smallfile -> Crashtest.smallfile ()
+      | `Andrew -> Crashtest.andrew ()
+      | `Script -> Crashtest.script ~seed ()
+    in
+    let report =
+      match fs_kind with
+      | `Lfs -> Crashtest.run_lfs ~blocks ~stride ~seed w
+      | `Ffs -> Crashtest.run_ffs ~blocks ~stride ~seed w
+    in
+    Format.printf "%a@." Crashtest.pp_report report;
+    if not (Crashtest.is_clean report) && not allow_failures then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:
+         "Enumerate crash points: replay a workload, cut the power at every \
+          device write (torn/dropped/reordered), recover, fsck, and check \
+          the surviving state against a logical oracle")
+    Term.(const run $ workload $ fs_kind $ stride $ seed $ blocks $ allow_failures)
+
 let () =
   let doc = "manage log-structured file system images" in
   exit
@@ -280,4 +345,4 @@ let () =
        (Cmd.group (Cmd.info "lfs_tool" ~doc)
           [ mkfs_cmd; put_cmd; get_cmd; cat_cmd; ls_cmd; mkdir_cmd; mv_cmd;
             rm_cmd; df_cmd; fsck_cmd; info_cmd; clean_cmd; recover_cmd;
-            trace_record_cmd; trace_replay_cmd ]))
+            trace_record_cmd; trace_replay_cmd; crashtest_cmd ]))

@@ -8,16 +8,21 @@
    Run with:  dune exec examples/crash_recovery.exe *)
 
 module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
 module Fs = Lfs_core.Fs
 
+(* All crash plumbing goes through the [Vdev] view of the device: fault
+   scheduling composes through whatever stack the file system is
+   mounted on. *)
 let small_fs () =
   let disk = Disk.create (Lfs_disk.Geometry.wren_iv ~blocks:8192) in
-  Fs.format (Lfs_disk.Vdev.of_disk disk) Lfs_core.Config.default;
-  (disk, Fs.mount (Lfs_disk.Vdev.of_disk disk))
+  let dev = Vdev.of_disk disk in
+  Fs.format dev Lfs_core.Config.default;
+  (dev, Fs.mount dev)
 
-let check label disk =
-  Disk.reboot disk;
-  let fs, report = Fs.recover (Lfs_disk.Vdev.of_disk disk) in
+let check label dev =
+  Vdev.reboot dev;
+  let fs, report = Fs.recover dev in
   let fsck = Lfs_core.Fsck.check fs in
   Printf.printf "%-34s recovered %2d inodes, %2d dirops; fsck %s\n" label
     report.Fs.inodes_recovered report.Fs.dirops_applied
@@ -28,13 +33,13 @@ let () =
   (* 1. Power cut in the middle of flushing file data: the log write is
      torn; recovery ignores the incomplete tail and keeps everything up
      to the last complete log write. *)
-  let disk, fs = small_fs () in
+  let dev, fs = small_fs () in
   Fs.write_path fs "/stable" (Bytes.of_string "checkpointed");
   Fs.checkpoint fs;
   Fs.write_path fs "/fresh" (Bytes.make 200_000 'x');
-  Disk.plan_crash disk ~after_blocks:20;
-  (try Fs.sync fs with Disk.Crashed -> ());
-  let fs1 = check "crash mid data flush:" disk in
+  Vdev.plan_crash dev ~after_blocks:20;
+  (try Fs.sync fs with Vdev.Crashed -> ());
+  let fs1 = check "crash mid data flush:" dev in
   Printf.printf "  /stable intact: %b; /fresh %s\n"
     (Fs.resolve fs1 "/stable" <> None)
     (match Fs.resolve fs1 "/fresh" with
@@ -43,7 +48,7 @@ let () =
 
   (* 2. Rename: the directory operation log makes it atomic.  After the
      crash the file is in exactly one of the two directories. *)
-  let disk, fs = small_fs () in
+  let dev, fs = small_fs () in
   ignore (Fs.mkdir_path fs "/a");
   ignore (Fs.mkdir_path fs "/b");
   Fs.write_path fs "/a/file" (Bytes.of_string "payload");
@@ -51,9 +56,9 @@ let () =
   let a = Option.get (Fs.resolve fs "/a") in
   let b = Option.get (Fs.resolve fs "/b") in
   Fs.rename fs ~odir:a "file" ~ndir:b "file";
-  Disk.plan_crash disk ~after_blocks:6;
-  (try Fs.sync fs with Disk.Crashed -> ());
-  let fs2 = check "crash during rename flush:" disk in
+  Vdev.plan_crash dev ~after_blocks:6;
+  (try Fs.sync fs with Vdev.Crashed -> ());
+  let fs2 = check "crash during rename flush:" dev in
   let in_a = Fs.resolve fs2 "/a/file" <> None in
   let in_b = Fs.resolve fs2 "/b/file" <> None in
   Printf.printf "  in /a: %b, in /b: %b (exactly one: %b)\n" in_a in_b
@@ -61,16 +66,16 @@ let () =
 
   (* 3. Crash during the checkpoint-region write itself: the alternate
      region takes over (two regions, the newest valid one wins). *)
-  let disk, fs = small_fs () in
+  let dev, fs = small_fs () in
   Fs.write_path fs "/one" (Bytes.of_string "1");
   Fs.checkpoint fs;
   Fs.write_path fs "/two" (Bytes.of_string "2");
   Fs.sync fs;
   (* /two is in the log; cut power while the checkpoint machinery is
      writing its metadata and region. *)
-  Disk.plan_crash disk ~after_blocks:3;
-  (try Fs.checkpoint fs with Disk.Crashed -> ());
-  let fs3 = check "crash during checkpoint:" disk in
+  Vdev.plan_crash dev ~after_blocks:3;
+  (try Fs.checkpoint fs with Vdev.Crashed -> ());
+  let fs3 = check "crash during checkpoint:" dev in
   Printf.printf "  /one intact: %b, /two recovered: %b\n"
     (Fs.resolve fs3 "/one" <> None)
     (Fs.resolve fs3 "/two" <> None)

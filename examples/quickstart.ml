@@ -24,7 +24,7 @@ let () =
   Fs.write_path fs "/home/alice/todo.txt" (Bytes.of_string "read the paper");
 
   Printf.printf "notes.txt: %s"
-    (Bytes.to_string (Fs.read_path fs "/home/alice/notes.txt"));
+    (Bytes.to_string (Option.get (Fs.read_path fs "/home/alice/notes.txt")));
   Printf.printf "/home/alice contains: %s\n"
     (String.concat ", "
        (List.map fst (Fs.readdir fs (Option.get (Fs.resolve fs "/home/alice")))));
@@ -45,7 +45,7 @@ let () =
   Printf.printf "recovered %d inodes from %d log writes after the crash\n"
     report.Fs.inodes_recovered report.Fs.writes_replayed;
   Printf.printf "draft.txt survived: %S\n"
-    (Bytes.to_string (Fs.read_path fs' "/home/alice/draft.txt"));
+    (Bytes.to_string (Option.get (Fs.read_path fs' "/home/alice/draft.txt")));
 
   (* The numbers the paper cares about. *)
   let stats = Fs.stats fs' in

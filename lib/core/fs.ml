@@ -1071,8 +1071,8 @@ let write_path t path data =
 
 let read_path t path =
   match resolve t path with
-  | None -> Types.fs_error "no such path %S" path
-  | Some ino -> read t ino ~off:0 ~len:(file_size t ino)
+  | None -> None
+  | Some ino -> Some (read t ino ~off:0 ~len:(file_size t ino))
 
 (* {1 Construction} *)
 
@@ -1252,8 +1252,12 @@ let recover ?config disk =
       t.reusable := List.filter (fun s -> not (Hashtbl.mem touched s)) !(t.reusable);
       t.reusable_len := List.length !(t.reusable);
       let bs = block_size t in
-      (* Phase 1: the latest recovered copy of each inode wins. *)
+      (* Phase 1: the latest recovered copy of each inode wins.
+         [recovered_seq] remembers which log write carried it, so dirop
+         replay can tell a re-created incarnation from a stale copy of a
+         dead one (see [survives_reuse] below). *)
       let recovered : (Types.ino, Types.Iaddr.t) Hashtbl.t = Hashtbl.create 64 in
+      let recovered_seq : (Types.ino, int) Hashtbl.t = Hashtbl.create 64 in
       let dirlogs = ref [] in
       let data_blocks = ref 0 in
       List.iter
@@ -1269,12 +1273,19 @@ let recover ?config disk =
                     | None -> ()
                     | Some inode ->
                         Hashtbl.replace recovered inode.Inode.ino
-                          (Types.Iaddr.make ~block:addr ~slot)
+                          (Types.Iaddr.make ~block:addr ~slot);
+                        Hashtbl.replace recovered_seq inode.Inode.ino
+                          w.Recovery.summary.Summary.seq
                   done
               | Types.Data -> incr data_blocks
               | Types.Dir_log ->
                   let payload = List.assoc i w.Recovery.blocks in
-                  dirlogs := List.rev_append (Dir_log.decode_block payload) !dirlogs
+                  dirlogs :=
+                    List.rev_append
+                      (List.map
+                         (fun r -> (w.Recovery.summary.Summary.seq, r))
+                         (Dir_log.decode_block payload))
+                      !dirlogs
               | Types.Indirect | Types.Dindirect | Types.Imap
               | Types.Seg_usage | Types.Summary ->
                   ())
@@ -1352,20 +1363,36 @@ let recover ?config disk =
       in
       (* An inode number freed and reallocated inside the recovery window
          appears in the journal twice: records for the dead incarnation
-         must not touch the surviving one.  [reused_after i ino] is true
-         when a later record freshly re-creates [ino]. *)
+         must not touch the surviving one — but only if the new
+         incarnation actually survived.  Inodes carry no on-disk version,
+         so the log order decides: the re-created inode's copy can only
+         appear in a write at or after the one carrying its fresh [Add]
+         (by then the old incarnation is dead and is never flushed
+         again).  If no recovered copy is that late, the re-create never
+         reached the log: the [Remove] must still take effect, and the
+         later [Add] then drops its entry as a create without an inode. *)
       let dirlog_arr = Array.of_list dirlogs in
-      let reused_after i ino =
+      let fresh_add_seq_after i ino =
         let rec scan j =
-          j < Array.length dirlog_arr
-          &&
-          match dirlog_arr.(j) with
-          | Dir_log.Add { ino = ino'; fresh = true; _ } when ino' = ino -> true
-          | Dir_log.Add _ | Dir_log.Remove _ | Dir_log.Rename _ -> scan (j + 1)
+          if j >= Array.length dirlog_arr then None
+          else
+            match dirlog_arr.(j) with
+            | seq, Dir_log.Add { ino = ino'; fresh = true; _ } when ino' = ino ->
+                Some seq
+            | _, (Dir_log.Add _ | Dir_log.Remove _ | Dir_log.Rename _) ->
+                scan (j + 1)
         in
         scan (i + 1)
       in
-      let apply_dirop i op =
+      let survives_reuse i ino =
+        match fresh_add_seq_after i ino with
+        | None -> false
+        | Some add_seq -> (
+            match Hashtbl.find_opt recovered_seq ino with
+            | Some s -> s >= add_seq
+            | None -> false)
+      in
+      let apply_dirop i (_seq, op) =
         incr dirops_applied;
         match op with
         | Dir_log.Add { dir; name; ino; nlink; fresh = _ } ->
@@ -1391,7 +1418,7 @@ let recover ?config disk =
               if Directory.find d name = Some ino then
                 set_dir_contents t dir (Directory.remove d name)
             end;
-            if inode_live ino && not (reused_after i ino) then begin
+            if inode_live ino && not (survives_reuse i ino) then begin
               if nlink <= 0 then delete_file t ino
               else begin
                 let h = get_handle t ino in

@@ -95,7 +95,10 @@ val mkdir_path : t -> string -> Types.ino
 val write_path : t -> string -> bytes -> unit
 (** Create-or-replace the file's entire contents. *)
 
-val read_path : t -> string -> bytes
+val read_path : t -> string -> bytes option
+(** Whole-file read; [None] when no file lives at the path (matching
+    [lookup]/[resolve]: absence is an option, exceptions mean
+    corruption or misuse — see {!Types}). *)
 
 (** {1 Durability and maintenance} *)
 

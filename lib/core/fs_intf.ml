@@ -1,0 +1,63 @@
+(** The file-system surface shared by every implementation in the tree.
+
+    {!Fs} (the log-structured file system) and {!Lfs_ffs.Ffs} (the FFS
+    baseline) both satisfy {!S} as-is, so workload generators, the
+    benchmarks and the crash-point enumeration harness can be written
+    once as functors over this signature and run against either system
+    unchanged ([lib/workload]'s {!Lfs_workload.Fsops.Make},
+    [lib/crashtest]'s [Crashtest.Make]).
+
+    The signature deliberately covers only the common namespace / IO /
+    lifecycle operations.  Lifecycle pieces that differ between the two
+    systems — mount-time configuration, LFS's [recover]/[checkpoint],
+    FFS's [fsck_scan] — stay on the concrete modules; harnesses that
+    need them (the crashtest subjects) extend [S] with exactly the extra
+    operations they require.
+
+    Error conventions follow {!Types}: absence of a name is an expected
+    outcome and is reported as [None] ([lookup], [resolve], [read_path]);
+    {!Types.Fs_error} means the request itself was unsatisfiable (name
+    already exists, directory not empty, disk full); {!Types.Corrupt}
+    means an on-disk structure failed validation. *)
+
+module type S = sig
+  type t
+  (** A mounted file system. *)
+
+  val root : Types.ino
+  (** Inode number of the root directory. *)
+
+  (** {1 Namespace} *)
+
+  val create : t -> dir:Types.ino -> string -> Types.ino
+  val mkdir : t -> dir:Types.ino -> string -> Types.ino
+  val lookup : t -> dir:Types.ino -> string -> Types.ino option
+  val readdir : t -> Types.ino -> (string * Types.ino) list
+  val unlink : t -> dir:Types.ino -> string -> unit
+
+  (** {1 File IO} *)
+
+  val write : t -> Types.ino -> off:int -> bytes -> unit
+  val read : t -> Types.ino -> off:int -> len:int -> bytes
+  val truncate : t -> Types.ino -> len:int -> unit
+  val file_size : t -> Types.ino -> int
+
+  (** {1 Path helpers} *)
+
+  val resolve : t -> string -> Types.ino option
+  val create_path : t -> string -> Types.ino
+  val mkdir_path : t -> string -> Types.ino
+  val write_path : t -> string -> bytes -> unit
+  val read_path : t -> string -> bytes option
+
+  (** {1 Lifecycle} *)
+
+  val sync : t -> unit
+  (** Make every acknowledged operation durable. *)
+
+  val drop_caches : t -> unit
+  (** Forget volatile caches so subsequent reads hit the device. *)
+
+  val disk : t -> Lfs_disk.Vdev.t
+  (** The device the file system is mounted on. *)
+end

@@ -35,7 +35,7 @@ val truncate : t -> Types.ino -> len:int -> unit
 val read : t -> Types.ino -> off:int -> len:int -> bytes
 val resolve : t -> string -> Types.ino option
 val write_path : t -> string -> bytes -> unit
-val read_path : t -> string -> bytes
+val read_path : t -> string -> bytes option
 
 val checkpoint : t -> unit
 (** Make everything durable on disk and clear the journal. *)

@@ -49,13 +49,33 @@ type ftype = Regular | Directory
 val ftype_to_int : ftype -> int
 val ftype_of_int : int -> ftype
 
+(** {1 Error conventions}
+
+    Every failure surfaced by the file systems falls into exactly one of
+    two exceptions, and plain absence is never an exception at all:
+
+    - {!Corrupt} — the bytes on disk are wrong.  Only raised while
+      decoding or validating an on-disk structure; it indicates the
+      medium (or a lower vdev layer, e.g. injected bit-rot) returned
+      data that fails its own invariants.
+    - {!Fs_error} — the bytes on disk are fine but the request cannot be
+      satisfied: API misuse, a name that already exists, a directory
+      that is not empty, a full disk.
+    - absence — looking up a name that simply is not there is an
+      expected outcome, not an error: [lookup], [resolve] and
+      [read_path] return ['a option] and reserve exceptions for
+      corruption.  Operations that {e need} the name to exist
+      ([unlink], [rename]) raise {!Fs_error} when it does not, because
+      there the caller asserted existence. *)
+
 exception Corrupt of string
 (** Raised when an on-disk structure fails validation (bad magic,
     checksum mismatch, impossible field). *)
 
 exception Fs_error of string
-(** Raised on API misuse or unsatisfiable requests (no such file, disk
-    full, name exists...). *)
+(** Raised on API misuse or unsatisfiable requests (disk full, name
+    exists, directory not empty...).  Never used to report a merely
+    missing name from a lookup-style operation — those return [None]. *)
 
 val corrupt : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val fs_error : ('a, Format.formatter, unit, 'b) format4 -> 'a

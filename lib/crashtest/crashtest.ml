@@ -1,0 +1,539 @@
+module Prng = Lfs_util.Prng
+module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
+module Vdev_fault = Lfs_disk.Vdev_fault
+module Geometry = Lfs_disk.Geometry
+module Fsops = Lfs_workload.Fsops
+
+module type SUBJECT = sig
+  include Lfs_core.Fs_intf.S
+
+  val subject_name : string
+  val async_writes : bool
+  val format : Lfs_disk.Vdev.t -> unit
+  val mount : Lfs_disk.Vdev.t -> t
+  val recover : Lfs_disk.Vdev.t -> t
+  val fsck_errors : t -> string list
+end
+
+(* Small configurations keep segments and write buffers tight so even a
+   short workload crosses many flush and checkpoint boundaries — the
+   interesting crash points. *)
+
+let lfs_config =
+  {
+    Lfs_core.Config.default with
+    max_inodes = 512;
+    seg_blocks = 32;
+    write_buffer_blocks = 16;
+    clean_start = 3;
+    clean_stop = 6;
+    segs_per_pass = 3;
+    cache_blocks = 128;
+  }
+
+module Lfs = struct
+  include Lfs_core.Fs
+
+  let subject_name = "lfs"
+  let async_writes = true
+  let format dev = Lfs_core.Fs.format dev lfs_config
+  let mount dev = Lfs_core.Fs.mount dev
+  let recover dev = fst (Lfs_core.Fs.recover dev)
+  let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
+end
+
+let ffs_config =
+  {
+    Lfs_ffs.Ffs.default_config with
+    cg_blocks = 256;
+    inodes_per_cg = 128;
+    write_buffer_blocks = 16;
+    cache_blocks = 64;
+  }
+
+module Ffs = struct
+  include Lfs_ffs.Ffs
+
+  let subject_name = "ffs"
+  let async_writes = false
+  let format dev = Lfs_ffs.Ffs.format dev ffs_config
+  let mount dev = Lfs_ffs.Ffs.mount dev
+
+  (* FFS has no roll-forward; post-crash "recovery" is a plain mount. *)
+  let recover dev = Lfs_ffs.Ffs.mount dev
+  let fsck_errors _ = []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type workload = { wname : string; run : Lfs_workload.Fsops.t -> unit }
+
+let smallfile ?(nfiles = 48) ?(file_size = 1024) ?(files_per_dir = 12) () =
+  let p =
+    { Lfs_workload.Smallfile.default_params with nfiles; file_size; files_per_dir }
+  in
+  {
+    wname = Printf.sprintf "smallfile(n=%d,size=%d)" nfiles file_size;
+    run = (fun fsops -> ignore (Lfs_workload.Smallfile.run p fsops));
+  }
+
+let andrew ?(dirs = 4) ?(files = 16) ?(file_bytes = 2048) () =
+  let p = { Lfs_workload.Andrew.default_params with dirs; files; file_bytes } in
+  {
+    wname = Printf.sprintf "andrew(dirs=%d,files=%d)" dirs files;
+    run = (fun fsops -> ignore (Lfs_workload.Andrew.run p fsops));
+  }
+
+let script ?(ops = 60) ~seed () =
+  let run (fs : Fsops.t) =
+    let prng = Prng.create ~seed in
+    let dirs = [| "/w0"; "/w1" |] in
+    Array.iter (fun d -> ignore (fs.Fsops.mkdir_path d)) dirs;
+    fs.Fsops.sync ();
+    let path i = Printf.sprintf "%s/f%d" dirs.(i mod 2) (i mod 6) in
+    let fresh_bytes len =
+      Bytes.init len (fun _ -> Char.chr (Char.code 'a' + Prng.int prng 26))
+    in
+    for _step = 1 to ops do
+      let p = path (Prng.int prng 12) in
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 | 3 ->
+          (* create-or-overwrite with fresh content *)
+          let data = fresh_bytes (1 + Prng.int prng 20_000) in
+          let ino =
+            match fs.Fsops.resolve p with
+            | Some ino -> ino
+            | None -> fs.Fsops.create_path p
+          in
+          fs.Fsops.write ino ~off:0 data
+      | 4 | 5 -> (
+          (* append *)
+          match fs.Fsops.resolve p with
+          | Some ino ->
+              let data = fresh_bytes (1 + Prng.int prng 6_000) in
+              fs.Fsops.write ino ~off:(fs.Fsops.file_size ino) data
+          | None -> ())
+      | 6 -> (
+          match fs.Fsops.resolve (Filename.dirname p) with
+          | Some dir when fs.Fsops.resolve p <> None ->
+              fs.Fsops.unlink ~dir (Filename.basename p)
+          | _ -> ())
+      | 7 -> fs.Fsops.sync ()
+      | _ -> (
+          match fs.Fsops.resolve p with
+          | Some ino ->
+              let len = min 4096 (fs.Fsops.file_size ino) in
+              if len > 0 then ignore (fs.Fsops.read ino ~off:0 ~len)
+          | None -> ())
+    done
+  in
+  { wname = Printf.sprintf "script(seed=%d,ops=%d)" seed ops; run }
+
+(* ------------------------------------------------------------------ *)
+(* The logical-state probe                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The probe shadows every mutating Fsops call with its intended logical
+   effect, numbered by operation.  [durable] is the index of the last
+   completed [sync]; the oracle uses the (durable, crash-op] window to
+   decide which states a recovered path may legally show. *)
+
+type event =
+  | Efile of string * bytes option  (* full logical content; None = unlinked *)
+  | Edir of string
+
+type probe = {
+  mutable op : int;
+  mutable durable : int;
+  mutable events_rev : (int * event) list;
+  ino_path : (Lfs_core.Types.ino, string) Hashtbl.t;
+}
+
+let new_probe ~root =
+  let p = { op = 0; durable = 0; events_rev = []; ino_path = Hashtbl.create 64 } in
+  Hashtbl.replace p.ino_path root "";
+  p
+
+let latest_content probe path =
+  let rec find = function
+    | (_, Efile (p, v)) :: _ when String.equal p path -> v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find probe.events_rev
+
+(* Record the intended effect {e before} invoking the real operation:
+   a crash mid-operation may have persisted part of it.  If the
+   operation instead fails logically (Fs_error), pop the event. *)
+let step probe ev f =
+  probe.op <- probe.op + 1;
+  let op = probe.op in
+  (match ev with
+  | Some e -> probe.events_rev <- (op, e) :: probe.events_rev
+  | None -> ());
+  try f ()
+  with Lfs_core.Types.Fs_error _ as exn ->
+    (match probe.events_rev with
+    | (o, _) :: rest when o = op -> probe.events_rev <- rest
+    | _ -> ());
+    raise exn
+
+let instrument probe (inner : Fsops.t) =
+  {
+    inner with
+    Fsops.create_path =
+      (fun path ->
+        let ino =
+          step probe
+            (Some (Efile (path, Some Bytes.empty)))
+            (fun () -> inner.Fsops.create_path path)
+        in
+        Hashtbl.replace probe.ino_path ino path;
+        ino);
+    mkdir_path =
+      (fun path ->
+        let ino =
+          step probe (Some (Edir path)) (fun () -> inner.Fsops.mkdir_path path)
+        in
+        Hashtbl.replace probe.ino_path ino path;
+        ino);
+    resolve =
+      (fun path ->
+        let r = step probe None (fun () -> inner.Fsops.resolve path) in
+        (match r with
+        | Some ino -> Hashtbl.replace probe.ino_path ino path
+        | None -> ());
+        r);
+    unlink =
+      (fun ~dir name ->
+        let dpath =
+          match Hashtbl.find_opt probe.ino_path dir with
+          | Some p -> p
+          | None -> "?"
+        in
+        let path = dpath ^ "/" ^ name in
+        step probe
+          (Some (Efile (path, None)))
+          (fun () -> inner.Fsops.unlink ~dir name));
+    write =
+      (fun ino ~off b ->
+        let ev =
+          match Hashtbl.find_opt probe.ino_path ino with
+          | None -> None
+          | Some path ->
+              let old =
+                match latest_content probe path with
+                | Some c -> c
+                | None -> Bytes.empty
+              in
+              let len = max (Bytes.length old) (off + Bytes.length b) in
+              let m = Bytes.make len '\000' in
+              Bytes.blit old 0 m 0 (Bytes.length old);
+              Bytes.blit b 0 m off (Bytes.length b);
+              Some (Efile (path, Some m))
+        in
+        step probe ev (fun () -> inner.Fsops.write ino ~off b));
+    read = (fun ino ~off ~len -> step probe None (fun () -> inner.Fsops.read ino ~off ~len));
+    file_size = (fun ino -> step probe None (fun () -> inner.Fsops.file_size ino));
+    sync =
+      (fun () ->
+        step probe None (fun () -> inner.Fsops.sync ());
+        probe.durable <- probe.op);
+    drop_caches = (fun () -> step probe None (fun () -> inner.Fsops.drop_caches ()));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Version chain of [path] at a cut: the newest content with op <=
+   durable (None if the path did not exist then), plus every version in
+   the in-flight window (durable, upto]. *)
+let chain events path ~durable ~upto =
+  let durable_v = ref None and window = ref [] in
+  List.iter
+    (fun (op, ev) ->
+      match ev with
+      | Efile (p, v) when String.equal p path ->
+          if op <= durable then durable_v := v
+          else if op <= upto then window := v :: !window
+      | _ -> ())
+    events;
+  (!durable_v, List.rev !window)
+
+(* Recovered content is legal if it equals some version outright, or if
+   every [bs]-sized block of it matches the corresponding block of some
+   version.  The device persists flushed data at block granularity, so
+   a crash can mix blocks of adjacent versions but can never fabricate a
+   block no version contained.  A zero block is additionally accepted
+   only on a growth frontier (some version ends before it): a partially
+   persisted extension may leave an unwritten hole, but a file whose
+   every version covers the block must really hold its data. *)
+let content_acceptable ~bs versions c =
+  List.exists (fun v -> Bytes.equal v c) versions
+  ||
+  let len = Bytes.length c in
+  List.exists (fun v -> Bytes.length v >= len) versions
+  &&
+  let nblocks = (len + bs - 1) / bs in
+  let block_ok i =
+    let lo = i * bs in
+    let hi = min len (lo + bs) in
+    let matches v =
+      Bytes.length v >= hi
+      && Bytes.equal (Bytes.sub c lo (hi - lo)) (Bytes.sub v lo (hi - lo))
+    in
+    let zero_frontier () =
+      List.exists (fun v -> Bytes.length v < hi) versions
+      &&
+      let rec z j = j >= hi || (Bytes.get c j = '\000' && z (j + 1)) in
+      z lo
+    in
+    List.exists matches versions || zero_frontier ()
+  in
+  let rec all i = i >= nblocks || (block_ok i && all (i + 1)) in
+  all 0
+
+(* First offending region of [c], for failure reports. *)
+let explain_mismatch ~bs versions c =
+  let len = Bytes.length c in
+  if not (List.exists (fun v -> Bytes.length v >= len) versions) then
+    Printf.sprintf "len %d exceeds every version (lens %s)" len
+      (String.concat "," (List.map (fun v -> string_of_int (Bytes.length v)) versions))
+  else
+    let nblocks = (len + bs - 1) / bs in
+    let rec find i =
+      if i >= nblocks then "?"
+      else
+        let lo = i * bs in
+        let hi = min len (lo + bs) in
+        let matches v =
+          Bytes.length v >= hi
+          && Bytes.equal (Bytes.sub c lo (hi - lo)) (Bytes.sub v lo (hi - lo))
+        in
+        if List.exists matches versions then find (i + 1)
+        else
+          Printf.sprintf "block %d of %d (len %d, %d versions: %s)" i nblocks len
+            (List.length versions)
+            (String.concat ","
+               (List.map (fun v -> string_of_int (Bytes.length v)) versions))
+    in
+    find 0
+
+type failure = {
+  cut : int;
+  mode : Lfs_disk.Vdev_fault.mode;
+  stage : string;
+  detail : string;
+}
+
+type report = {
+  subject : string;
+  workload : string;
+  seed : int;
+  total_blocks : int;
+  points : int;
+  crashes : int;
+  fsck_failures : failure list;
+  oracle_failures : failure list;
+}
+
+let is_clean r = r.fsck_failures = [] && r.oracle_failures = []
+
+let pp_failure ppf f =
+  Format.fprintf ppf "cut %d (%s) %s: %s" f.cut
+    (Vdev_fault.mode_name f.mode)
+    f.stage f.detail
+
+let pp_report ppf r =
+  Format.fprintf ppf "crashtest: subject=%s workload=%s seed=%d@\n" r.subject
+    r.workload r.seed;
+  Format.fprintf ppf "  crash-point space: %d blocks; replayed %d point%s (%d crashed)@\n"
+    r.total_blocks r.points
+    (if r.points = 1 then "" else "s")
+    r.crashes;
+  Format.fprintf ppf "  fsck/recovery failures: %d@\n" (List.length r.fsck_failures);
+  Format.fprintf ppf "  oracle divergences:     %d@\n" (List.length r.oracle_failures);
+  let show label fs =
+    List.iteri
+      (fun i f ->
+        if i < 10 then Format.fprintf ppf "  %s %a@\n" label pp_failure f
+        else if i = 10 then Format.fprintf ppf "  %s ...@\n" label)
+      fs
+  in
+  show "FSCK" r.fsck_failures;
+  show "ORACLE" r.oracle_failures;
+  Format.fprintf ppf "  %s (replay with seed %d)"
+    (if is_clean r then "PASS" else "FAIL")
+    r.seed
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Make (S : SUBJECT) = struct
+  module Ops = Lfs_workload.Fsops.Make (S)
+
+  let make_fsops fs =
+    Ops.make ~name:S.subject_name ~async_writes:S.async_writes fs
+
+  let fresh_fault ~blocks ~seed =
+    let disk = Disk.create (Geometry.instant ~blocks) in
+    Vdev_fault.create ~seed (Vdev.of_disk disk)
+
+  (* Walk the recovered tree.  Only paths the model knows as directories
+     are entered; everything else is read as a file.  Returns
+     (files : path -> content, dirs : path set). *)
+  let walk fs ~model_dirs =
+    let files = Hashtbl.create 64 and dirs = Hashtbl.create 16 in
+    let rec go dpath ino =
+      Hashtbl.replace dirs dpath ();
+      List.iter
+        (fun (name, child) ->
+          let cpath = dpath ^ "/" ^ name in
+          if Hashtbl.mem model_dirs cpath then go cpath child
+          else
+            let sz = S.file_size fs child in
+            Hashtbl.replace files cpath (S.read fs child ~off:0 ~len:sz))
+        (S.readdir fs ino)
+    in
+    go "" S.root;
+    (files, dirs)
+
+  let check_oracle ~bs ~events ~durable ~upto fs =
+    let model_files = Hashtbl.create 64 and model_dirs = Hashtbl.create 16 in
+    List.iter
+      (fun (op, ev) ->
+        if op <= upto then
+          match ev with
+          | Efile (p, _) -> Hashtbl.replace model_files p ()
+          | Edir p -> Hashtbl.replace model_dirs p ())
+      events;
+    let recovered_files, recovered_dirs = walk fs ~model_dirs in
+    let divs = ref [] in
+    let div fmt = Printf.ksprintf (fun s -> divs := s :: !divs) fmt in
+    List.iter
+      (fun (op, ev) ->
+        match ev with
+        | Edir p when op <= durable && not (Hashtbl.mem recovered_dirs p) ->
+            div "durable directory %s missing" p
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun path () ->
+        let durable_v, window = chain events path ~durable ~upto in
+        match Hashtbl.find_opt recovered_files path with
+        | None ->
+            let absent_ok =
+              durable_v = None || List.exists (fun v -> v = None) window
+            in
+            if not absent_ok then div "%s: durable content lost" path
+        | Some c ->
+            let versions = List.filter_map Fun.id (durable_v :: window) in
+            if not (content_acceptable ~bs versions c) then
+              div "%s: recovered content matches no state the workload passed through (%s)"
+                path
+                (explain_mismatch ~bs versions c))
+      model_files;
+    Hashtbl.iter
+      (fun path _ ->
+        if not (Hashtbl.mem model_files path) then
+          div "%s: path never written by the workload" path)
+      recovered_files;
+    List.rev !divs
+
+  let run ?(blocks = 1024) ?(stride = 1) ?cuts ?(seed = 0)
+      ?(modes = [ Vdev_fault.Torn; Dropped; Reordered ]) (w : workload) =
+    if stride < 1 then invalid_arg "Crashtest.run: stride";
+    if modes = [] then invalid_arg "Crashtest.run: modes";
+    (* Reference run: learn the crash-point space and the event log. *)
+    let fault = fresh_fault ~blocks ~seed in
+    let dev = Vdev_fault.vdev fault in
+    S.format dev;
+    let base = Vdev_fault.blocks_written fault in
+    let fs = S.mount dev in
+    let probe = new_probe ~root:S.root in
+    w.run (instrument probe (make_fsops fs));
+    let total = Vdev_fault.blocks_written fault - base in
+    let events = List.rev probe.events_rev in
+    let bs = dev.Vdev.block_size in
+    let points =
+      match cuts with
+      | Some cs -> List.filter (fun c -> c >= 0 && c < total) cs
+      | None ->
+          let rec gen i acc = if i >= total then acc else gen (i + stride) (i :: acc) in
+          let pts = gen 0 [] in
+          (* always probe the final write *)
+          let pts =
+            if total > 0 && not (List.mem (total - 1) pts) then (total - 1) :: pts
+            else pts
+          in
+          List.rev pts
+    in
+    let mode_rng = Prng.create ~seed:(seed lxor 0x1fe3a9) in
+    let mode_arr = Array.of_list modes in
+    let crashes = ref 0 in
+    let fsck_failures = ref [] and oracle_failures = ref [] in
+    List.iter
+      (fun cut ->
+        let mode = mode_arr.(Prng.int mode_rng (Array.length mode_arr)) in
+        let fail bucket stage detail =
+          bucket := { cut; mode; stage; detail } :: !bucket
+        in
+        let fault = fresh_fault ~blocks ~seed in
+        let dev = Vdev_fault.vdev fault in
+        S.format dev;
+        Vdev_fault.plan_crash fault ~mode ~after_blocks:cut ();
+        let rprobe = new_probe ~root:S.root in
+        let crashed =
+          try
+            let fs = S.mount dev in
+            w.run (instrument rprobe (make_fsops fs));
+            false
+          with Vdev.Crashed -> true
+        in
+        if crashed then incr crashes
+        else fail fsck_failures "replay" "power cut never fired (non-deterministic workload?)";
+        Vdev_fault.reboot fault;
+        match (try Ok (S.recover dev) with e -> Error e) with
+        | Error e -> fail fsck_failures "recover" (Printexc.to_string e)
+        | Ok fs2 -> (
+            match S.fsck_errors fs2 with
+            | _ :: _ as errs ->
+                fail fsck_failures "fsck" (String.concat "; " errs)
+            | [] -> (
+                match
+                  try
+                    Ok
+                      (check_oracle ~bs ~events ~durable:rprobe.durable
+                         ~upto:rprobe.op fs2)
+                  with e -> Error e
+                with
+                | Error e -> fail fsck_failures "walk" (Printexc.to_string e)
+                | Ok [] -> ()
+                | Ok divs ->
+                    fail oracle_failures "oracle" (String.concat "; " divs))))
+      points;
+    {
+      subject = S.subject_name;
+      workload = w.wname;
+      seed;
+      total_blocks = total;
+      points = List.length points;
+      crashes = !crashes;
+      fsck_failures = List.rev !fsck_failures;
+      oracle_failures = List.rev !oracle_failures;
+    }
+end
+
+module Lfs_runner = Make (Lfs)
+module Ffs_runner = Make (Ffs)
+
+let run_lfs ?blocks ?stride ?cuts ?seed ?modes w =
+  Lfs_runner.run ?blocks ?stride ?cuts ?seed ?modes w
+
+let run_ffs ?blocks ?stride ?cuts ?seed ?modes w =
+  Ffs_runner.run ?blocks ?stride ?cuts ?seed ?modes w

@@ -1,0 +1,132 @@
+(** Systematic crash-point enumeration.
+
+    Section 4 of the paper argues that a log-structured file system can
+    recover quickly and correctly from any crash because the log tail
+    plus the last checkpoint bound the damage.  This harness tests that
+    claim exhaustively rather than anecdotally: it records a workload's
+    every device write through a {!Lfs_disk.Vdev_fault} layer, then for
+    {e each} write (or a strided subset) replays the workload from
+    scratch, cuts the power at exactly that block — tearing, dropping,
+    or reordering the in-flight transfer — reboots, runs the subject's
+    recovery and fsck, and checks the surviving namespace against a
+    logical-state oracle:
+
+    - everything acknowledged before the last successful [sync] must
+      survive byte-for-byte;
+    - anything newer may be missing or partial, but every recovered
+      block must belong to some state the workload actually passed
+      through (no foreign data, no mixed-up files, no resurrected
+      deletions).
+
+    The harness is a functor over {!SUBJECT}, a small extension of the
+    shared {!Lfs_core.Fs_intf.S} surface, so the same enumeration runs
+    against the LFS and the FFS baseline.  FFS has no recovery protocol
+    and writes metadata in place, so its runs are expected to report
+    oracle divergences — the harness reports them, it does not crash.
+
+    All randomness (crash modes per point, reorder subsets, script
+    workloads) derives from one seed, so every reported failure replays
+    exactly from the printed seed. *)
+
+module type SUBJECT = sig
+  include Lfs_core.Fs_intf.S
+
+  val subject_name : string
+  val async_writes : bool
+
+  val format : Lfs_disk.Vdev.t -> unit
+  (** Make a fresh file system (with a harness-chosen small config). *)
+
+  val mount : Lfs_disk.Vdev.t -> t
+  val recover : Lfs_disk.Vdev.t -> t
+  (** Post-crash mount: roll-forward for LFS, plain mount for FFS. *)
+
+  val fsck_errors : t -> string list
+  (** Structural-consistency errors; [[]] means clean.  Subjects with no
+      checker return [[]]. *)
+end
+
+module Lfs : SUBJECT with type t = Lfs_core.Fs.t
+module Ffs : SUBJECT with type t = Lfs_ffs.Ffs.t
+
+(** {1 Workloads} *)
+
+type workload = {
+  wname : string;
+  run : Lfs_workload.Fsops.t -> unit;
+      (** Must be deterministic: the reference run and every replay
+          re-execute it and count on identical device traffic. *)
+}
+
+val smallfile :
+  ?nfiles:int -> ?file_size:int -> ?files_per_dir:int -> unit -> workload
+(** A scaled-down {!Lfs_workload.Smallfile} (create / read / delete). *)
+
+val andrew : ?dirs:int -> ?files:int -> ?file_bytes:int -> unit -> workload
+(** A scaled-down {!Lfs_workload.Andrew} run. *)
+
+val script : ?ops:int -> seed:int -> unit -> workload
+(** A seeded random mix of creates, whole-file overwrites, appends,
+    deletes, reads and syncs over a small namespace. *)
+
+(** {1 Reports} *)
+
+type failure = {
+  cut : int;  (** crash point: payload blocks written before the cut *)
+  mode : Lfs_disk.Vdev_fault.mode;
+  stage : string;  (** ["replay"], ["recover"], ["fsck"], ["walk"] or ["oracle"] *)
+  detail : string;
+}
+
+type report = {
+  subject : string;
+  workload : string;
+  seed : int;
+  total_blocks : int;  (** size of the crash-point space *)
+  points : int;  (** crash points actually replayed *)
+  crashes : int;  (** replays in which the power cut fired *)
+  fsck_failures : failure list;
+      (** recovery raised, fsck reported errors, or the post-recovery
+          walk itself hit corruption *)
+  oracle_failures : failure list;  (** logical-state divergences *)
+}
+
+val is_clean : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Enumeration} *)
+
+module Make (S : SUBJECT) : sig
+  val run :
+    ?blocks:int ->
+    ?stride:int ->
+    ?cuts:int list ->
+    ?seed:int ->
+    ?modes:Lfs_disk.Vdev_fault.mode list ->
+    workload ->
+    report
+  (** [run w] records [w] once on a fresh [?blocks]-block device
+      (default 1024) to learn the crash-point space, then replays one
+      crash per point.  [?stride] (default 1) thins the enumeration but
+      always keeps the final write; [?cuts] replays exactly the given
+      points instead.  The crash mode at each point is drawn from
+      [?modes] (default all three) using [?seed] (default 0). *)
+end
+
+val run_lfs :
+  ?blocks:int ->
+  ?stride:int ->
+  ?cuts:int list ->
+  ?seed:int ->
+  ?modes:Lfs_disk.Vdev_fault.mode list ->
+  workload ->
+  report
+
+val run_ffs :
+  ?blocks:int ->
+  ?stride:int ->
+  ?cuts:int list ->
+  ?seed:int ->
+  ?modes:Lfs_disk.Vdev_fault.mode list ->
+  workload ->
+  report

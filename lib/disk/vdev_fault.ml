@@ -1,0 +1,148 @@
+module Prng = Lfs_util.Prng
+
+type mode = Torn | Dropped | Reordered
+
+let mode_name = function
+  | Torn -> "torn"
+  | Dropped -> "dropped"
+  | Reordered -> "reordered"
+
+type t = {
+  lower : Vdev.t;
+  prng : Prng.t;
+  mutable countdown : int; (* payload blocks until the power cut; -1 = disarmed *)
+  mutable mode : mode;
+  mutable crashed : bool;
+  mutable written : int;
+  read_rot : (int, int * int) Hashtbl.t; (* addr -> (byte, xor mask) *)
+  write_rot : (int, int * int) Hashtbl.t;
+}
+
+let create ?name:(_ = "fault") ?(seed = 0) lower =
+  {
+    lower;
+    prng = Prng.create ~seed;
+    countdown = -1;
+    mode = Torn;
+    crashed = false;
+    written = 0;
+    read_rot = Hashtbl.create 4;
+    write_rot = Hashtbl.create 4;
+  }
+
+let check_alive t = if t.crashed then raise Vdev.Crashed
+
+let plan_crash t ?(mode = Torn) ~after_blocks () =
+  if after_blocks < 0 then invalid_arg "Vdev_fault.plan_crash";
+  t.countdown <- after_blocks;
+  t.mode <- mode
+
+let cancel_crash t = t.countdown <- -1
+let is_crashed t = t.crashed
+
+let reboot t =
+  t.crashed <- false;
+  t.countdown <- -1;
+  t.lower.Vdev.reboot ()
+
+let blocks_written t = t.written
+
+let rot_byte t =
+  let byte = Prng.int t.prng t.lower.Vdev.block_size in
+  let mask = 1 + Prng.int t.prng 255 in
+  (byte, mask)
+
+let rot_read t ~addr = Hashtbl.replace t.read_rot addr (rot_byte t)
+let rot_write t ~addr = Hashtbl.replace t.write_rot addr (rot_byte t)
+
+let clear_rot t =
+  Hashtbl.reset t.read_rot;
+  Hashtbl.reset t.write_rot
+
+let flip b off (byte, mask) =
+  Bytes.set b (off + byte) (Char.chr (Char.code (Bytes.get b (off + byte)) lxor mask))
+
+let read_blocks t addr n =
+  check_alive t;
+  let bs = t.lower.Vdev.block_size in
+  let b = t.lower.Vdev.read_blocks addr n in
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt t.read_rot (addr + i) with
+    | Some rot -> flip b (i * bs) rot
+    | None -> ()
+  done;
+  b
+
+(* Write blocks [first, first+count) of the transfer individually so a
+   reordered subset costs the same interface calls either way. *)
+let write_sub lower bs addr b ~first ~count =
+  if count > 0 then
+    lower.Vdev.write_blocks (addr + first) (Bytes.sub b (first * bs) (count * bs))
+
+let write_blocks t addr b =
+  check_alive t;
+  let bs = t.lower.Vdev.block_size in
+  let len = Bytes.length b in
+  if len = 0 || len mod bs <> 0 then
+    invalid_arg (Printf.sprintf "Vdev_fault.write_blocks: %d bytes" len);
+  let n = len / bs in
+  let b =
+    (* Apply write-rot on a copy; the caller's buffer stays pristine. *)
+    let rec rotted i =
+      if i >= n then b
+      else
+        match Hashtbl.find_opt t.write_rot (addr + i) with
+        | Some rot ->
+            let c = Bytes.copy b in
+            for j = i to n - 1 do
+              match Hashtbl.find_opt t.write_rot (addr + j) with
+              | Some rot' ->
+                  flip c (j * bs) (if j = i then rot else rot');
+                  Hashtbl.remove t.write_rot (addr + j)
+              | None -> ()
+            done;
+            c
+        | None -> rotted (i + 1)
+    in
+    rotted 0
+  in
+  if t.countdown >= 0 && n >= t.countdown then begin
+    (* This write triggers the power cut. *)
+    let keep = t.countdown in
+    (match t.mode with
+    | Torn -> write_sub t.lower bs addr b ~first:0 ~count:keep
+    | Dropped -> ()
+    | Reordered ->
+        (* Persist [keep] of the [n] blocks, chosen uniformly: the disk
+           scheduled the sectors freely and power failed part-way. *)
+        let order = Array.init n (fun i -> i) in
+        Prng.shuffle t.prng order;
+        for k = 0 to keep - 1 do
+          write_sub t.lower bs addr b ~first:order.(k) ~count:1
+        done);
+    t.written <- t.written + keep;
+    t.countdown <- -1;
+    t.crashed <- true;
+    raise Vdev.Crashed
+  end
+  else begin
+    if t.countdown >= 0 then t.countdown <- t.countdown - n;
+    t.lower.Vdev.write_blocks addr b;
+    t.written <- t.written + n
+  end
+
+let vdev t =
+  {
+    t.lower with
+    Vdev.name = Printf.sprintf "fault(%s)" t.lower.Vdev.name;
+    read_blocks = (fun addr n -> read_blocks t addr n);
+    write_blocks = (fun addr b -> write_blocks t addr b);
+    zero_blocks =
+      (fun addr n ->
+        (* mkfs path: bypasses the crash countdown, like Disk. *)
+        t.lower.Vdev.zero_blocks addr n);
+    plan_crash = (fun ~after_blocks -> plan_crash t ~mode:Torn ~after_blocks ());
+    cancel_crash = (fun () -> cancel_crash t);
+    is_crashed = (fun () -> is_crashed t);
+    reboot = (fun () -> reboot t);
+  }

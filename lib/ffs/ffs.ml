@@ -566,8 +566,8 @@ let write_path t path data =
 
 let read_path t path =
   match resolve t path with
-  | None -> Types.fs_error "ffs: no such path %S" path
-  | Some ino -> read t ino ~off:0 ~len:(file_size t ino)
+  | None -> None
+  | Some ino -> Some (read t ino ~off:0 ~len:(file_size t ino))
 
 (* {1 Lifecycle} *)
 

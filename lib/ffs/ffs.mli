@@ -59,7 +59,9 @@ val resolve : t -> string -> Lfs_core.Types.ino option
 val create_path : t -> string -> Lfs_core.Types.ino
 val mkdir_path : t -> string -> Lfs_core.Types.ino
 val write_path : t -> string -> bytes -> unit
-val read_path : t -> string -> bytes
+val read_path : t -> string -> bytes option
+(** Whole-file read; [None] when no file lives at the path (same
+    convention as {!Lfs_core.Fs.read_path}). *)
 
 val sync : t -> unit
 val disk : t -> Lfs_disk.Vdev.t

@@ -18,37 +18,31 @@ type t = {
   drop_caches : unit -> unit;
 }
 
-let of_lfs fs =
-  {
-    name = "Sprite LFS";
-    async_writes = true;
-    disk = Fs.disk fs;
-    create_path = Fs.create_path fs;
-    mkdir_path = Fs.mkdir_path fs;
-    resolve = Fs.resolve fs;
-    unlink = (fun ~dir name -> Fs.unlink fs ~dir name);
-    write = (fun ino ~off b -> Fs.write fs ino ~off b);
-    read = (fun ino ~off ~len -> Fs.read fs ino ~off ~len);
-    file_size = Fs.file_size fs;
-    sync = (fun () -> Fs.sync fs);
-    drop_caches = (fun () -> Fs.drop_caches fs);
-  }
+(* Applying this functor doubles as the compile-time proof that the
+   argument satisfies the shared surface (Fs and Ffs below). *)
+module Make (F : Lfs_core.Fs_intf.S) = struct
+  let make ~name ~async_writes fs =
+    {
+      name;
+      async_writes;
+      disk = F.disk fs;
+      create_path = F.create_path fs;
+      mkdir_path = F.mkdir_path fs;
+      resolve = F.resolve fs;
+      unlink = (fun ~dir name -> F.unlink fs ~dir name);
+      write = (fun ino ~off b -> F.write fs ino ~off b);
+      read = (fun ino ~off ~len -> F.read fs ino ~off ~len);
+      file_size = F.file_size fs;
+      sync = (fun () -> F.sync fs);
+      drop_caches = (fun () -> F.drop_caches fs);
+    }
+end
 
-let of_ffs fs =
-  {
-    name = "SunOS FFS";
-    async_writes = false;
-    disk = Ffs.disk fs;
-    create_path = Ffs.create_path fs;
-    mkdir_path = Ffs.mkdir_path fs;
-    resolve = Ffs.resolve fs;
-    unlink = (fun ~dir name -> Ffs.unlink fs ~dir name);
-    write = (fun ino ~off b -> Ffs.write fs ino ~off b);
-    read = (fun ino ~off ~len -> Ffs.read fs ino ~off ~len);
-    file_size = Ffs.file_size fs;
-    sync = (fun () -> Ffs.sync fs);
-    drop_caches = (fun () -> Ffs.drop_caches fs);
-  }
+module Of_lfs = Make (Fs)
+module Of_ffs = Make (Ffs)
+
+let of_lfs fs = Of_lfs.make ~name:"Sprite LFS" ~async_writes:true fs
+let of_ffs fs = Of_ffs.make ~name:"SunOS FFS" ~async_writes:false fs
 
 let fresh_lfs ?(config = Lfs_core.Config.default) geometry =
   let disk = Vdev.of_disk (Disk.create geometry) in

@@ -18,6 +18,14 @@ type t = {
   drop_caches : unit -> unit;
 }
 
+module Make (F : Lfs_core.Fs_intf.S) : sig
+  val make : name:string -> async_writes:bool -> F.t -> t
+end
+(** Build the driver record from any module satisfying the shared
+    {!Lfs_core.Fs_intf.S} surface, so every workload in this library
+    runs against a new file system the moment it implements the
+    interface.  [of_lfs]/[of_ffs] below are instances. *)
+
 val of_lfs : Lfs_core.Fs.t -> t
 val of_ffs : Lfs_ffs.Ffs.t -> t
 

@@ -12,14 +12,15 @@ type result = {
   segments_scanned : int;
 }
 
-let run p =
-  (* 1 KB blocks so a 1 KB file costs ~1 KB of log, as in Sprite; the
-     paper's grid writes up to 50 MB of 1 KB files. *)
-  let geom =
-    { (Lfs_disk.Geometry.wren_iv ~blocks:(p.disk_mb * 1024)) with
-      block_size = 1024 }
-  in
-  let disk = Lfs_disk.Vdev.of_disk (Disk.create geom) in
+(* 1 KB blocks so a 1 KB file costs ~1 KB of log, as in Sprite; the
+   paper's grid writes up to 50 MB of 1 KB files. *)
+let geometry p =
+  { (Lfs_disk.Geometry.wren_iv ~blocks:(p.disk_mb * 1024)) with
+    block_size = 1024 }
+
+(* Format, mount and populate, stopping just short of the final sync:
+   a checkpoint, then [data_mb] of fresh files living only in the log. *)
+let prepare p disk =
   let nfiles = p.data_mb * 1024 / p.file_kb in
   (* Infinite checkpoint interval, as in the paper's special LFS; the
      inode map is sized to the experiment so loading it does not dwarf
@@ -48,8 +49,9 @@ let run p =
     in
     Fs.write fs ino ~off:0 payload
   done;
-  Fs.sync fs;
-  (* Crash: abandon the mounted state and roll the disk forward. *)
+  fs
+
+let measure p disk =
   let before = Io_stats.copy (Lfs_disk.Vdev.stats disk) in
   let _fs2, report = Fs.recover disk in
   let after = Lfs_disk.Vdev.stats disk in
@@ -67,6 +69,29 @@ let run p =
     writes_replayed = report.Fs.writes_replayed;
     segments_scanned = report.Fs.segments_scanned;
   }
+
+let run p =
+  let disk = Lfs_disk.Vdev.of_disk (Disk.create (geometry p)) in
+  let fs = prepare p disk in
+  Fs.sync fs;
+  (* Crash: abandon the mounted state and roll the disk forward. *)
+  measure p disk
+
+let run_crashed ?(mode = Lfs_disk.Vdev_fault.Torn) ?(seed = 0) p =
+  let fault =
+    Lfs_disk.Vdev_fault.create ~seed
+      (Lfs_disk.Vdev.of_disk (Disk.create (geometry p)))
+  in
+  let disk = Lfs_disk.Vdev_fault.vdev fault in
+  let fs = prepare p disk in
+  (* Cut the power a few blocks into the final flush, so the log ends in
+     a torn / dropped / reordered write exactly as a real power failure
+     would leave it.  Recovery must discard the incomplete tail and roll
+     forward everything before it. *)
+  Lfs_disk.Vdev_fault.plan_crash fault ~mode ~after_blocks:4 ();
+  (match Fs.sync fs with () -> () | exception Lfs_disk.Vdev.Crashed -> ());
+  Lfs_disk.Vdev_fault.reboot fault;
+  measure p disk
 
 let table3 ?(disk_mb = 160) () =
   List.concat_map

@@ -19,5 +19,12 @@ type result = {
 
 val run : params -> result
 
+val run_crashed :
+  ?mode:Lfs_disk.Vdev_fault.mode -> ?seed:int -> params -> result
+(** Like {!run}, but the crash is injected for real: the final flush is
+    cut by a {!Lfs_disk.Vdev_fault} power failure (torn by default), so
+    recovery also pays for detecting and discarding the incomplete log
+    tail. *)
+
 val table3 : ?disk_mb:int -> unit -> (int * int * result) list
 (** The full 3x3 grid: [(file_kb, data_mb, result)]. *)

@@ -110,10 +110,10 @@ let test_contents_survive_cleaning () =
   Fs.write_path fs "/keeper" keep;
   let prng = Prng.create ~seed:6 in
   churn fs prng ~files:30 ~rounds:500 ~size:50_000;
-  Helpers.check_bytes "survives in memory" keep (Fs.read_path fs "/keeper");
+  Helpers.check_bytes "survives in memory" keep (Option.get (Fs.read_path fs "/keeper"));
   Fs.unmount fs;
   let fs2 = Fs.mount (Helpers.vdev disk) in
-  Helpers.check_bytes "survives remount" keep (Fs.read_path fs2 "/keeper");
+  Helpers.check_bytes "survives remount" keep (Option.get (Fs.read_path fs2 "/keeper"));
   Helpers.fsck_clean fs2
 
 let run_policy_churn policy =
@@ -203,7 +203,7 @@ let test_live_blocks_cleaning_safe () =
   churn fs prng ~files:35 ~rounds:400 ~size:55_000;
   Alcotest.(check bool) "cleaner ran" true
     (Fs_stats.segments_cleaned (Fs.stats fs) > 0);
-  Helpers.check_bytes "contents survive" keep (Fs.read_path fs "/keeper");
+  Helpers.check_bytes "contents survive" keep (Option.get (Fs.read_path fs "/keeper"));
   Helpers.fsck_clean fs;
   Fs.unmount fs;
   Helpers.fsck_clean (Fs.mount (Helpers.vdev disk))

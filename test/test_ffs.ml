@@ -92,7 +92,7 @@ let test_persistence () =
   Ffs.write_path fs "/d/file" data;
   Ffs.sync fs;
   let fs2 = Ffs.mount (Helpers.vdev disk) in
-  Helpers.check_bytes "after remount" data (Ffs.read_path fs2 "/d/file")
+  Helpers.check_bytes "after remount" data (Option.get (Ffs.read_path fs2 "/d/file"))
 
 let test_truncate () =
   let _, fs = fresh () in

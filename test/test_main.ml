@@ -15,4 +15,5 @@ let () =
       Test_ffs.suite;
       Test_sim.suite;
       Test_workload.suite;
+      Test_crashtest.suite;
     ]

@@ -15,7 +15,7 @@ let fresh () =
 
 (* Crash without any sync: everything acknowledged lives only in the
    volatile cache and the NVRAM. *)
-let crash disk = Disk.reboot disk
+let crash disk = Helpers.reboot disk
 
 let test_journal_accounting () =
   let n = Nvram.create ~capacity_bytes:1024 () in
@@ -35,7 +35,7 @@ let test_no_data_loss_without_sync () =
   crash disk;
   let nfs2, replay = Nfs.recover (Helpers.vdev disk) nvram in
   Alcotest.(check bool) "records replayed" true (replay.Nfs.replayed >= 2);
-  Helpers.check_bytes "nothing lost" data (Nfs.read_path nfs2 "/precious");
+  Helpers.check_bytes "nothing lost" data (Option.get (Nfs.read_path nfs2 "/precious"));
   Helpers.fsck_clean (Nfs.fs nfs2)
 
 let test_replay_is_ordered () =
@@ -47,7 +47,7 @@ let test_replay_is_ordered () =
   crash disk;
   let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "history order preserved" (Bytes.of_string "AAb")
-    (Nfs.read_path nfs2 "/f")
+    (Option.get (Nfs.read_path nfs2 "/f"))
 
 let test_delete_not_resurrected () =
   let disk, nvram, nfs = fresh () in
@@ -68,8 +68,8 @@ let test_replay_on_partially_durable_state () =
   Nfs.write_path nfs "/b" (Bytes.of_string "second");
   crash disk;
   let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
-  Helpers.check_bytes "durable file" (Bytes.of_string "first") (Nfs.read_path nfs2 "/a");
-  Helpers.check_bytes "volatile file" (Bytes.of_string "second") (Nfs.read_path nfs2 "/b");
+  Helpers.check_bytes "durable file" (Bytes.of_string "first") (Option.get (Nfs.read_path nfs2 "/a"));
+  Helpers.check_bytes "volatile file" (Bytes.of_string "second") (Option.get (Nfs.read_path nfs2 "/b"));
   Helpers.fsck_clean (Nfs.fs nfs2)
 
 let test_rename_replay () =
@@ -82,7 +82,7 @@ let test_rename_replay () =
   crash disk;
   let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "moved with contents" (Bytes.of_string "move me")
-    (Nfs.read_path nfs2 "/d2/y");
+    (Option.get (Nfs.read_path nfs2 "/d2/y"));
   Alcotest.(check (option int)) "old gone" None (Nfs.resolve nfs2 "/d1/x")
 
 let test_remap_after_create_replay () =
@@ -96,7 +96,7 @@ let test_remap_after_create_replay () =
   crash disk;
   let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Helpers.check_bytes "write followed remap" (Bytes.of_string "remapped")
-    (Nfs.read_path nfs2 "/fresh")
+    (Option.get (Nfs.read_path nfs2 "/fresh"))
 
 let test_checkpoint_clears_journal () =
   let _, nvram, nfs = fresh () in
@@ -140,7 +140,7 @@ let test_randomised_no_loss ~seed () =
   let nfs2, _ = Nfs.recover (Helpers.vdev disk) nvram in
   Hashtbl.iter
     (fun path data ->
-      Helpers.check_bytes ("content of " ^ path) data (Nfs.read_path nfs2 path))
+      Helpers.check_bytes ("content of " ^ path) data (Option.get (Nfs.read_path nfs2 path)))
     model;
   Helpers.fsck_clean (Nfs.fs nfs2)
 

@@ -206,7 +206,7 @@ let prop_nvram_no_loss =
       in
       let model = List.fold_left apply_nvram [] ops in
       (* Power cut with no warning; recover with the journal. *)
-      Disk.reboot disk;
+      Helpers.reboot disk;
       let nfs2, _ = Lfs_core.Nvram_fs.recover (Helpers.vdev disk) nvram in
       let fs2 = Lfs_core.Nvram_fs.fs nfs2 in
       check_against_model fs2 model
@@ -277,14 +277,16 @@ let check_torn_write wrap (k, extra) =
   for i = 0 to n - 1 do
     ignore (Vdev.read_block dev (addr + i))
   done;
-  Disk.plan_crash disk ~after_blocks:k;
+  (* Arm the crash through the wrapped view: scheduling composes down
+     the stack instead of reaching under it. *)
+  Vdev.plan_crash dev ~after_blocks:k;
   let fresh = Helpers.bytes_of_pattern ~seed:2 (n * bs) in
   let crashed =
     match Vdev.write_blocks dev addr fresh with
     | () -> false
     | exception Vdev.Crashed -> true
   in
-  Disk.reboot disk;
+  Vdev.reboot dev;
   let block_ok i =
     let expect = if i < k then fresh else old in
     let want = Bytes.sub expect (i * bs) bs in

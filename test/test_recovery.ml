@@ -12,7 +12,7 @@ let test_recover_nothing_to_do () =
   Fs.checkpoint fs;
   let fs2, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check int) "nothing replayed" 0 report.Fs.writes_replayed;
-  Helpers.check_bytes "file intact" (Bytes.of_string "data") (Fs.read_path fs2 "/f");
+  Helpers.check_bytes "file intact" (Bytes.of_string "data") (Option.get (Fs.read_path fs2 "/f"));
   Helpers.fsck_clean fs2
 
 let test_recover_new_file () =
@@ -24,7 +24,7 @@ let test_recover_new_file () =
   Alcotest.(check bool) "writes replayed" true (report.Fs.writes_replayed > 0);
   Alcotest.(check bool) "inodes recovered" true (report.Fs.inodes_recovered > 0);
   Helpers.check_bytes "file recovered" (Bytes.of_string "after checkpoint")
-    (Fs.read_path fs2 "/post");
+    (Option.get (Fs.read_path fs2 "/post"));
   Helpers.fsck_clean fs2
 
 let test_recover_overwrite () =
@@ -35,7 +35,7 @@ let test_recover_overwrite () =
   Fs.sync fs;
   let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Helpers.check_bytes "newest version wins" (Bytes.make 5000 'n')
-    (Fs.read_path fs2 "/f");
+    (Option.get (Fs.read_path fs2 "/f"));
   Helpers.fsck_clean fs2
 
 let test_recover_delete () =
@@ -84,9 +84,9 @@ let test_torn_tail_ignored () =
   Fs.checkpoint fs;
   Fs.write_path fs "/torn" (Bytes.make 30_000 't');
   (* Tear the final log write a few blocks in. *)
-  Disk.plan_crash disk ~after_blocks:3;
+  Helpers.plan_crash disk ~after_blocks:3;
   (match Fs.sync fs with () -> () | exception Disk.Crashed -> ());
-  Disk.reboot disk;
+  Helpers.reboot disk;
   let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check bool) "safe file present" true (Fs.resolve fs2 "/safe" <> None);
   Helpers.fsck_clean fs2
@@ -102,7 +102,7 @@ let test_recovery_is_idempotent () =
   let fs3, report = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check int) "second recovery replays nothing" 0 report.Fs.writes_replayed;
   Helpers.check_bytes "data still there" (Bytes.of_string "once")
-    (Fs.read_path fs3 "/f");
+    (Option.get (Fs.read_path fs3 "/f"));
   Helpers.fsck_clean fs3
 
 let test_recover_multiple_checkpoint_cycles () =
@@ -130,9 +130,9 @@ let test_recover_create_without_inode_drops_entry () =
   let disk, fs = Helpers.fresh_fs () in
   Fs.checkpoint fs;
   ignore (Fs.create fs ~dir:Fs.root "phantom");
-  Disk.plan_crash disk ~after_blocks:2;  (* summary + dirlog, then power cut *)
+  Helpers.plan_crash disk ~after_blocks:2;  (* summary + dirlog, then power cut *)
   (match Fs.sync fs with () -> () | exception Disk.Crashed -> ());
-  Disk.reboot disk;
+  Helpers.reboot disk;
   let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Alcotest.(check (option int)) "phantom dropped" None (Fs.resolve fs2 "/phantom");
   Helpers.fsck_clean fs2
@@ -161,9 +161,9 @@ let test_crash_every_point () =
   for cut = 0 to total - 1 do
     let disk = Helpers.fresh_disk () in
     Lfs_core.Fs.format (Helpers.vdev disk) Helpers.test_config;
-    Disk.plan_crash disk ~after_blocks:cut;
+    Helpers.plan_crash disk ~after_blocks:cut;
     (match scenario disk with () -> () | exception Disk.Crashed -> ());
-    Disk.reboot disk;
+    Helpers.reboot disk;
     match Fs.recover (Helpers.vdev disk) with
     | fs2, _ ->
         let r = Lfs_core.Fsck.check fs2 in
@@ -207,9 +207,9 @@ let test_crash_during_cleaning () =
   while !cut < total do
     let disk = Helpers.fresh_disk ~blocks:1536 () in
     Lfs_core.Fs.format (Helpers.vdev disk) Helpers.test_config;
-    Disk.plan_crash disk ~after_blocks:!cut;
+    Helpers.plan_crash disk ~after_blocks:!cut;
     (match scenario disk with (_ : int) -> () | exception Disk.Crashed -> ());
-    Disk.reboot disk;
+    Helpers.reboot disk;
     (match Fs.recover (Helpers.vdev disk) with
     | fs2, _ ->
         if not (Lfs_core.Fsck.is_clean (Lfs_core.Fsck.check fs2)) then
@@ -227,7 +227,7 @@ let test_crash_torture ~seed () =
   let disk, fs0 = Helpers.fresh_fs ~blocks:2048 () in
   let fs = ref fs0 in
   let crash_after = 100 + Prng.int prng 3000 in
-  Disk.plan_crash disk ~after_blocks:crash_after;
+  Helpers.plan_crash disk ~after_blocks:crash_after;
   (try
      for i = 0 to 1500 do
        let name = Printf.sprintf "f%d" (Prng.int prng 30) in
@@ -250,7 +250,7 @@ let test_crash_torture ~seed () =
      done;
      raise Disk.Crashed
    with Disk.Crashed -> ());
-  Disk.reboot disk;
+  Helpers.reboot disk;
   let fs2, _ = Fs.recover (Helpers.vdev disk) in
   Helpers.fsck_clean fs2
 
