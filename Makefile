@@ -37,6 +37,12 @@ ci:
 	dune exec bench/main.exe -- quick
 	dune exec bin/lfs_tool.exe -- crashtest --workload smallfile --stride 3 --seed 1
 	dune exec bin/lfs_tool.exe -- crashtest --workload script --stride 3 --seed 1
+	# Stats smoke: exercise a small image (geometry chosen so the cleaner
+	# engages), then --check fails on any NaN/negative metric in the JSON.
+	dune exec bin/lfs_tool.exe -- mkfs ci-stats.img --blocks 1024 --segment-blocks 64
+	dune exec bin/lfs_tool.exe -- stats ci-stats.img --exercise 120 --json --check > ci-stats.json
+	dune exec bin/lfs_tool.exe -- stats ci-stats.img --exercise 120 > /dev/null
+	rm -f ci-stats.img ci-stats.json
 
 clean:
 	dune clean

@@ -6,6 +6,9 @@
      dune exec bench/main.exe -- fig4 table2 ...
      dune exec bench/main.exe -- quick   # reduced sweeps for smoke runs
      dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --metrics fig8 stripe
+                                         # dump the Lfs_obs registry at
+                                         # phase boundaries
 
    Absolute numbers come from the calibrated disk/CPU models (Wren IV +
    Sun-4/260); the shapes are what reproduce the paper. *)
@@ -19,6 +22,15 @@ module Csim = Lfs_sim.Config_sim
 module W = Lfs_workload
 
 let quick = ref false
+let metrics = ref false
+
+(* With --metrics, dump a workload's observability registry (per-layer
+   IO, op latency, cleaner and checkpoint stats) at phase boundaries. *)
+let dump_metrics ?(title = "metrics") = function
+  | None -> ()
+  | Some m ->
+      if !metrics then
+        Printf.printf "\n%s" (Lfs_obs.Metrics.report ~title m)
 
 let header title paper =
   Printf.printf "\n==== %s ====\n" title;
@@ -227,7 +239,16 @@ let fig8 () =
     if !quick then { W.Smallfile.default_params with nfiles = 2000 }
     else W.Smallfile.default_params
   in
-  let lfs = W.Smallfile.run p (fig8_lfs ()) in
+  let lfs_ops = fig8_lfs () in
+  let lfs =
+    W.Smallfile.run
+      ~on_phase:(fun ph ->
+        dump_metrics
+          ~title:
+            ("fig8 LFS after " ^ W.Smallfile.phase_name ph.W.Smallfile.phase)
+          (lfs_ops.W.Fsops.metrics ()))
+      p lfs_ops
+  in
   let ffs = W.Smallfile.run p (fig8_ffs ()) in
   let row (r : W.Smallfile.result) =
     r.W.Smallfile.fs_name
@@ -745,6 +766,16 @@ let stripe () =
     in
     Lfs_core.Fs.format dev config;
     let fs = Lfs_core.Fs.mount dev in
+    (* The mount already registered the stripe itself; add a gauge set
+       per spindle so the dump shows the fan-out. *)
+    if !metrics then
+      Array.iteri
+        (fun i d ->
+          Lfs_disk.Vdev.register_metrics
+            ~prefix:(Printf.sprintf "vdev.spindle%d" i)
+            (Lfs_core.Fs.metrics fs)
+            (Lfs_disk.Vdev.of_disk d))
+        disks;
     let before = Lfs_disk.Io_stats.copy (Lfs_disk.Vdev.stats dev) in
     let before_busy =
       Array.map (fun d -> (Lfs_disk.Disk.stats d).Lfs_disk.Io_stats.busy_s) disks
@@ -769,6 +800,9 @@ let stripe () =
     in
     Printf.printf "  N=%d aggregated: %s\n" n
       (Format.asprintf "%a" Lfs_disk.Io_stats.pp agg);
+    dump_metrics
+      ~title:(Printf.sprintf "stripe N=%d" n)
+      (Some (Lfs_core.Fs.metrics fs));
     [
       string_of_int n;
       Printf.sprintf "%.0f MB" mb_written;
@@ -895,6 +929,10 @@ let () =
       (fun a ->
         if a = "quick" || a = "--quick" then begin
           quick := true;
+          false
+        end
+        else if a = "--metrics" then begin
+          metrics := true;
           false
         end
         else true)

@@ -338,6 +338,84 @@ let crashtest_cmd =
           the surviving state against a logical oracle")
     Term.(const run $ workload $ fs_kind $ stride $ seed $ blocks $ allow_failures)
 
+let stats_cmd =
+  let exercise =
+    Arg.(
+      value & opt int 0
+      & info [ "exercise" ] ~docv:"N"
+          ~doc:
+            "First run a small deterministic workload of $(docv) files \
+             (write, read back, delete half, clean, checkpoint) so the \
+             registry has live traffic.  The image file is never modified.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for the exercise workload")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text tables")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the registry (no NaN, infinite or negative values) and \
+             exit 1 listing any violations")
+  in
+  let run image exercise seed json check =
+    let disk = load image in
+    let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
+    if exercise > 0 then begin
+      let prng = Lfs_util.Prng.create ~seed in
+      let dirname = "/.stats-exercise" in
+      (match Fs.resolve fs dirname with
+      | Some _ -> ()
+      | None -> ignore (Fs.mkdir_path fs dirname));
+      let file i = Printf.sprintf "%s/f%d" dirname i in
+      (* Several overwrite rounds: rewriting a file kills its old blocks,
+         leaving partially-live segments for the cleaner to work on. *)
+      for round = 1 to 3 do
+        for i = 0 to exercise - 1 do
+          let len = 512 + Lfs_util.Prng.int prng 8192 in
+          Fs.write_path fs (file i)
+            (Bytes.init len (fun j -> Char.chr ((i + j + round) land 0xff)))
+        done
+      done;
+      Fs.sync fs;
+      for i = 0 to exercise - 1 do
+        if Fs.read_path fs (file i) = None then failwith "exercise file vanished"
+      done;
+      let dir =
+        match Fs.resolve fs dirname with Some d -> d | None -> assert false
+      in
+      for i = 0 to exercise - 1 do
+        if i mod 2 = 0 then Fs.unlink fs ~dir (Printf.sprintf "f%d" i)
+      done;
+      Fs.clean fs;
+      Fs.checkpoint fs
+    end;
+    let m = Fs.metrics fs in
+    if json then print_string (Lfs_obs.Metrics.to_json m)
+    else
+      print_string
+        (Lfs_obs.Metrics.report ~title:(Printf.sprintf "lfs stats: %s" image) m);
+    if check then
+      match Lfs_obs.Metrics.validate m with
+      | [] -> ()
+      | problems ->
+          List.iter
+            (fun (name, what) -> Printf.eprintf "bad metric %s: %s\n" name what)
+            problems;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Report the metrics registry of a mounted image: per-layer IO, \
+          cache hit rate, per-op latency, cleaner and checkpoint statistics \
+          (text tables or JSON)")
+    Term.(const run $ image $ exercise $ seed $ json $ check)
+
 let () =
   let doc = "manage log-structured file system images" in
   exit
@@ -345,4 +423,4 @@ let () =
        (Cmd.group (Cmd.info "lfs_tool" ~doc)
           [ mkfs_cmd; put_cmd; get_cmd; cat_cmd; ls_cmd; mkdir_cmd; mv_cmd;
             rm_cmd; df_cmd; fsck_cmd; info_cmd; clean_cmd; recover_cmd;
-            trace_record_cmd; trace_replay_cmd; crashtest_cmd ]))
+            trace_record_cmd; trace_replay_cmd; crashtest_cmd; stats_cmd ]))

@@ -1,6 +1,8 @@
 module Vdev = Lfs_disk.Vdev
 module Vdev_cache = Lfs_disk.Vdev_cache
+module Io_stats = Lfs_disk.Io_stats
 module Prng = Lfs_util.Prng
+module Metrics = Lfs_obs.Metrics
 
 type stat = {
   st_ino : Types.ino;
@@ -18,6 +20,48 @@ type handle = {
   mutable inode_dirty : bool;
   mutable content : bytes option;  (* whole-content cache, directories only *)
 }
+
+(* Observability handles: one {!Lfs_obs.Metrics} registry per mounted
+   file system, plus the instruments that hot paths update directly.
+   Latency histograms record modelled disk time (the busy_s of the
+   device the caller handed us), not wall-clock. *)
+type obs = {
+  metrics : Metrics.t;
+  op_create : Metrics.histogram;
+  op_mkdir : Metrics.histogram;
+  op_link : Metrics.histogram;
+  op_unlink : Metrics.histogram;
+  op_rmdir : Metrics.histogram;
+  op_rename : Metrics.histogram;
+  op_read : Metrics.histogram;
+  op_write : Metrics.histogram;
+  op_truncate : Metrics.histogram;
+  ckpt_busy : Metrics.histogram;
+  ckpt_blocks : Metrics.histogram;
+  victim_u : Metrics.dist;
+  cleaner_passes : Metrics.counter;
+}
+
+let make_obs () =
+  let metrics = Metrics.create () in
+  let op name = Metrics.histogram metrics ("fs.op." ^ name ^ ".busy_s") in
+  {
+    metrics;
+    op_create = op "create";
+    op_mkdir = op "mkdir";
+    op_link = op "link";
+    op_unlink = op "unlink";
+    op_rmdir = op "rmdir";
+    op_rename = op "rename";
+    op_read = op "read";
+    op_write = op "write";
+    op_truncate = op "truncate";
+    ckpt_busy = Metrics.histogram metrics "fs.checkpoint.busy_s";
+    ckpt_blocks =
+      Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.checkpoint.blocks";
+    victim_u = Metrics.dist metrics "fs.cleaner.victim_u";
+    cleaner_passes = Metrics.counter metrics "fs.cleaner.passes";
+  }
 
 type t = {
   disk : Vdev.t;  (* the device the caller handed us (may itself be a stack) *)
@@ -45,6 +89,7 @@ type t = {
   mutable checkpoint_hook : unit -> unit;
   cleaning_victims : (int, unit) Hashtbl.t;
   rng : Prng.t;
+  obs : obs;
 }
 
 type recovery_report = {
@@ -58,6 +103,11 @@ type recovery_report = {
 let root = Types.root_ino
 
 let disk t = t.disk
+let metrics t = t.obs.metrics
+
+(* Modelled time for spans: the outer device's cumulative busy time. *)
+let op_span t h f =
+  Metrics.span h ~clock:(fun () -> (Vdev.stats t.disk).Io_stats.busy_s) f
 let layout t = t.layout
 let config t = t.config
 let stats t = t.stats
@@ -287,8 +337,14 @@ let checkpoint t =
   if t.in_checkpoint then ()
   else begin
     t.in_checkpoint <- true;
+    let before = Io_stats.copy (Vdev.stats t.disk) in
     Fun.protect
-      ~finally:(fun () -> t.in_checkpoint <- false)
+      ~finally:(fun () ->
+        t.in_checkpoint <- false;
+        let d = Io_stats.diff (Vdev.stats t.disk) before in
+        Metrics.observe t.obs.ckpt_busy d.Io_stats.busy_s;
+        Metrics.observe t.obs.ckpt_blocks
+          (float_of_int d.Io_stats.blocks_written))
       (fun () ->
         flush_internal t ~cleaner:false;
         (* Imap and usage blocks self-describe accounting that appending
@@ -581,11 +637,13 @@ let clean_victims t victims =
   (* Read the victims and identify live data across all of them, then
      write the survivors out grouped by the mount-time policy. *)
   List.iter (fun seg -> Hashtbl.replace t.cleaning_victims seg ()) victims;
+  Metrics.incr t.obs.cleaner_passes;
   let live = ref [] in
   List.iter
     (fun seg ->
       let u = seg_utilization t seg in
       Fs_stats.note_segment_cleaned t.stats ~u;
+      Metrics.dist_add t.obs.victim_u u;
       if Seg_usage.live_bytes t.usage seg > 0 then begin
         let entries =
           match t.config.Config.cleaner_read with
@@ -767,11 +825,11 @@ let write_blocks_of t h ino ~off data =
   done
 
 let write t ino ~off data =
-  if Bytes.length data > 0 then begin
-    let h = get_file_handle t ino in
-    write_blocks_of t h ino ~off data;
-    finish_op t
-  end
+  if Bytes.length data > 0 then
+    op_span t t.obs.op_write (fun () ->
+        let h = get_file_handle t ino in
+        write_blocks_of t h ino ~off data;
+        finish_op t)
 
 let read_any t ino ~off ~len =
   let h = get_handle t ino in
@@ -792,7 +850,8 @@ let read_any t ino ~off ~len =
   Inode_map.set_atime t.imap ino t.clock;
   out
 
-let read t ino ~off ~len = read_any t ino ~off ~len
+let read t ino ~off ~len =
+  op_span t t.obs.op_read (fun () -> read_any t ino ~off ~len)
 
 let drop_cached_blocks_from t ino ~first_block =
   let doomed = ref [] in
@@ -827,9 +886,10 @@ let truncate_internal t ino ~len =
   if len = 0 then Inode_map.bump_version t.imap ino
 
 let truncate t ino ~len =
-  let (_ : handle) = get_file_handle t ino in
-  truncate_internal t ino ~len;
-  finish_op t
+  op_span t t.obs.op_truncate (fun () ->
+      let (_ : handle) = get_file_handle t ino in
+      truncate_internal t ino ~len;
+      finish_op t)
 
 (* {1 Directories} *)
 
@@ -918,10 +978,16 @@ let create_node t ~dir name ~ftype =
   finish_op t;
   ino
 
-let create t ~dir name = create_node t ~dir name ~ftype:Types.Regular
-let mkdir t ~dir name = create_node t ~dir name ~ftype:Types.Directory
+let create t ~dir name =
+  op_span t t.obs.op_create (fun () ->
+      create_node t ~dir name ~ftype:Types.Regular)
+
+let mkdir t ~dir name =
+  op_span t t.obs.op_mkdir (fun () ->
+      create_node t ~dir name ~ftype:Types.Directory)
 
 let link t ~dir name ino =
+  op_span t t.obs.op_link @@ fun () ->
   Directory.check_name name;
   let h = get_file_handle t ino in
   let d = dir_contents t dir in
@@ -976,14 +1042,17 @@ let unlink_internal t ~dir name ~expect =
       end
 
 let unlink t ~dir name =
-  unlink_internal t ~dir name ~expect:`File;
-  finish_op t
+  op_span t t.obs.op_unlink (fun () ->
+      unlink_internal t ~dir name ~expect:`File;
+      finish_op t)
 
 let rmdir t ~dir name =
-  unlink_internal t ~dir name ~expect:`Dir;
-  finish_op t
+  op_span t t.obs.op_rmdir (fun () ->
+      unlink_internal t ~dir name ~expect:`Dir;
+      finish_op t)
 
 let rename t ~odir oname ~ndir nname =
+  op_span t t.obs.op_rename @@ fun () ->
   Directory.check_name nname;
   let od = dir_contents t odir in
   match Directory.find od oname with
@@ -1076,6 +1145,31 @@ let read_path t path =
 
 (* {1 Construction} *)
 
+(* Point the registry at every layer we own plus the live Fs_stats
+   accounting; callback gauges read the current values at report time. *)
+let register_fs_metrics t =
+  let m = t.obs.metrics in
+  Vdev.register_metrics m t.disk;
+  Vdev_cache.register_metrics m t.cache;
+  let s = t.stats in
+  let g name f = Metrics.gauge_fn m ("fs." ^ name) f in
+  let gi name f = g name (fun () -> float_of_int (f s)) in
+  gi "log.blocks_new" Fs_stats.blocks_written_new;
+  gi "log.blocks_cleaner" Fs_stats.blocks_written_cleaner;
+  List.iter
+    (fun kind ->
+      gi
+        ("log.blocks." ^ Types.block_kind_name kind)
+        (fun s -> Fs_stats.written_by_kind s kind))
+    Types.all_block_kinds;
+  gi "cleaner.blocks_read" Fs_stats.blocks_read_cleaner;
+  gi "cleaner.segments_cleaned" Fs_stats.segments_cleaned;
+  gi "cleaner.segments_cleaned_empty" Fs_stats.segments_cleaned_empty;
+  g "cleaner.avg_cleaned_u" (fun () -> Fs_stats.avg_cleaned_u_nonempty s);
+  g "write_cost" (fun () -> Fs_stats.write_cost s);
+  gi "checkpoints" Fs_stats.checkpoints;
+  g "clean_segments" (fun () -> float_of_int (clean_segment_count t))
+
 let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
     ~clock ~ckpt_region =
   let layout = sb.Superblock.layout in
@@ -1083,6 +1177,7 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
   let reusable_len = ref 0 in
   let cleaner_attr = ref false in
   let stats = Fs_stats.create () in
+  let obs = make_obs () in
   let cache = Vdev_cache.create ~capacity:config.Config.cache_blocks disk in
   let dev = Vdev_cache.vdev cache in
   let pick_clean ~exclude =
@@ -1146,8 +1241,10 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
       checkpoint_hook = (fun () -> ());
       cleaning_victims = Hashtbl.create 16;
       rng = Prng.create ~seed:0x5EED;
+      obs;
     }
   in
+  register_fs_metrics t;
   refresh_reusable t;
   t
 

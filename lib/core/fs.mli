@@ -134,6 +134,17 @@ val config : t -> Config.t
 val stats : t -> Fs_stats.t
 val clock : t -> float
 
+val metrics : t -> Lfs_obs.Metrics.t
+(** The observability registry of this mount.  Every layer is already
+    registered: per-vdev-layer IO gauges (the handed-in device and the
+    block cache, via {!Lfs_disk.Vdev.register_metrics} /
+    {!Lfs_disk.Vdev_cache.register_metrics}), per-operation modelled
+    latency histograms ([fs.op.<op>.busy_s]), checkpoint count, duration
+    and blocks ([fs.checkpoint.*]), cleaner passes and the live victim
+    utilisation distribution ([fs.cleaner.*], Fig 6), and the running
+    {!Fs_stats} gauges including [fs.write_cost].  Callers may register
+    additional layers of their own stack into the same registry. *)
+
 val utilization : t -> float
 (** Live bytes / log capacity (disk capacity utilisation). *)
 

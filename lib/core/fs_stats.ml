@@ -70,7 +70,10 @@ let checkpoints t = t.checkpoints
 
 let write_cost t =
   let fresh = blocks_written_new t in
-  if fresh = 0 then 1.0
+  (* No fresh data written: the ratio is undefined, and reporting 1.0
+     would hide any cleaner traffic in the interval.  nan here; reports
+     print it as "undefined". *)
+  if fresh = 0 then Float.nan
   else
     float_of_int (fresh + blocks_written_cleaner t + t.cleaner_blocks_read)
     /. float_of_int fresh

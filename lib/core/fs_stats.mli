@@ -39,7 +39,9 @@ val checkpoints : t -> int
 
 val write_cost : t -> float
 (** (blocks written + cleaner reads) / new-data blocks, the paper's
-    formula; 1.0 when nothing has been cleaned and no data written. *)
+    formula.  [nan] (undefined) when no new data has been written — a
+    cleaner-only interval has no meaningful cost ratio, and pretending
+    1.0 would under-report it.  Reports render [nan] as "undefined". *)
 
 val log_bandwidth_fraction : t -> Types.block_kind -> float
 (** Fraction of all log blocks of the given kind (Table 4, "Log

@@ -96,10 +96,41 @@ let invalidate_range t addr n =
     invalidate t a
   done
 
+let read_range t ~block_size:bs ~fetch addr n =
+  let out = Bytes.create (n * bs) in
+  (* [lo, hi) is a maximal run of missing blocks: fetch it with one call
+     below so a cold multi-block read still costs a single device IO. *)
+  let fetch_run lo hi =
+    if hi > lo then begin
+      let count = hi - lo in
+      t.misses <- t.misses + count;
+      let b = fetch (addr + lo) count in
+      Bytes.blit b 0 out (lo * bs) (count * bs);
+      for k = lo to hi - 1 do
+        insert t (addr + k) (Bytes.sub b ((k - lo) * bs) bs)
+      done
+    end
+  in
+  let run = ref 0 in
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt t.table (addr + i) with
+    | Some node ->
+        fetch_run !run i;
+        run := i + 1;
+        t.hits <- t.hits + 1;
+        touch t node;
+        Bytes.blit node.data 0 out (i * bs) bs
+    | None -> ()
+  done;
+  fetch_run !run n;
+  out
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  t.hits <- 0;
+  t.misses <- 0
 
 let hits t = t.hits
 let misses t = t.misses

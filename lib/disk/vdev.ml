@@ -42,6 +42,18 @@ let reboot v = v.reboot ()
 
 let read_block v addr = v.read_blocks addr 1
 
+let register_metrics ?prefix metrics v =
+  let module M = Lfs_obs.Metrics in
+  let p = match prefix with Some p -> p | None -> "vdev." ^ v.name in
+  let g name f = M.gauge_fn metrics (p ^ "." ^ name) f in
+  let gi name field = g name (fun () -> float_of_int (field (stats v))) in
+  gi "reads" (fun s -> s.Io_stats.reads);
+  gi "writes" (fun s -> s.Io_stats.writes);
+  gi "blocks_read" (fun s -> s.Io_stats.blocks_read);
+  gi "blocks_written" (fun s -> s.Io_stats.blocks_written);
+  gi "seeks" (fun s -> s.Io_stats.seeks);
+  g "busy_s" (fun () -> (stats v).Io_stats.busy_s)
+
 let write_block v addr b =
   if Bytes.length b <> v.block_size then
     invalid_arg

@@ -60,3 +60,10 @@ val plan_crash : t -> after_blocks:int -> unit
 val cancel_crash : t -> unit
 val is_crashed : t -> bool
 val reboot : t -> unit
+
+val register_metrics : ?prefix:string -> Lfs_obs.Metrics.t -> t -> unit
+(** Register callback gauges [<prefix>.reads], [.writes], [.blocks_read],
+    [.blocks_written], [.seeks] and [.busy_s], all backed by the live
+    {!stats} of this layer.  [prefix] defaults to ["vdev." ^ name].
+    Works on any layer of a stack — register each wrapper to see per-layer
+    IO in one {!Lfs_obs.Metrics} registry. *)

@@ -2,11 +2,10 @@ type t = { lower : Vdev.t; cache : Block_cache.t; view : Vdev.t }
 
 let make_view lower cache name =
   let bs = Vdev.block_size lower in
-  let fetch addr = Vdev.read_block lower addr in
+  let fetch addr n = Vdev.read_blocks lower addr n in
   let read_blocks addr n =
     if Vdev.is_crashed lower then raise Vdev.Crashed;
-    if n = 1 then Block_cache.read cache ~fetch addr
-    else Vdev.read_blocks lower addr n
+    Block_cache.read_range cache ~block_size:bs ~fetch addr n
   in
   let write_blocks addr b =
     let n = Bytes.length b / bs in
@@ -37,4 +36,17 @@ let create ?(name = "cache") ~capacity lower =
 let vdev t = t.view
 let hits t = Block_cache.hits t.cache
 let misses t = Block_cache.misses t.cache
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then Float.nan else float_of_int h /. float_of_int (h + m)
+
 let clear t = Block_cache.clear t.cache
+
+let register_metrics ?prefix metrics t =
+  let module M = Lfs_obs.Metrics in
+  let p = match prefix with Some p -> p | None -> "vdev." ^ t.view.Vdev.name in
+  let g name f = M.gauge_fn metrics (p ^ "." ^ name) f in
+  g "hits" (fun () -> float_of_int (hits t));
+  g "misses" (fun () -> float_of_int (misses t));
+  g "hit_rate" (fun () -> hit_rate t)

@@ -2,9 +2,10 @@
 
     Lifts the {!Block_cache} wiring that {!Lfs_core.Fs} and
     {!Lfs_ffs.Ffs} used to hand-roll into one reusable device layer:
-    single-block reads are served from an exact-LRU cache, writes update
-    the device and then the cache, multi-block reads pass straight
-    through (segment-sized transfers would only wash the LRU out).
+    every read is served per-block from an exact-LRU cache (multi-block
+    reads consult and populate it too, with maximal runs of missing
+    blocks fetched in one lower IO), and writes update the device and
+    then the cache.
 
     Crash coherence: a write first invalidates the affected range, then
     forwards, and only re-populates the cache on success — so a torn
@@ -23,5 +24,14 @@ val vdev : t -> Vdev.t
 val hits : t -> int
 val misses : t -> int
 
+val hit_rate : t -> float
+(** Hits over total accesses; [nan] (undefined) before any access. *)
+
 val clear : t -> unit
-(** Drop every cached block (simulates a cold file cache). *)
+(** Drop every cached block and reset the hit/miss counters (simulates a
+    cold file cache). *)
+
+val register_metrics : ?prefix:string -> Lfs_obs.Metrics.t -> t -> unit
+(** Register [<prefix>.hits], [<prefix>.misses] and [<prefix>.hit_rate]
+    callback gauges; [prefix] defaults to ["vdev." ^ name].  Combine with
+    {!Vdev.register_metrics} on {!vdev} for the IO-level view. *)

@@ -146,3 +146,14 @@ let vdev t =
     is_crashed = (fun () -> is_crashed t);
     reboot = (fun () -> reboot t);
   }
+
+let register_metrics ?prefix metrics t =
+  let module M = Lfs_obs.Metrics in
+  let p =
+    match prefix with
+    | Some p -> p
+    | None -> "vdev." ^ Printf.sprintf "fault(%s)" t.lower.Vdev.name
+  in
+  let g name f = M.gauge_fn metrics (p ^ "." ^ name) f in
+  g "blocks_written" (fun () -> float_of_int t.written);
+  g "crashed" (fun () -> if t.crashed then 1.0 else 0.0)

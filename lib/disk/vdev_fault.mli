@@ -74,3 +74,9 @@ val rot_write : t -> addr:int -> unit
 
 val clear_rot : t -> unit
 (** Forget all planned and active bit-rot. *)
+
+val register_metrics : ?prefix:string -> Lfs_obs.Metrics.t -> t -> unit
+(** Register [<prefix>.blocks_written] (the layer's own payload counter)
+    and [<prefix>.crashed] (0/1) callback gauges; [prefix] defaults to
+    ["vdev." ^ name].  Combine with {!Vdev.register_metrics} on {!vdev}
+    for the IO-level view. *)

@@ -72,6 +72,17 @@ let writes t = t.writes
 let zeros t = t.zeros
 let traced_busy_s t = t.traced_busy_s
 
+let register_metrics ?prefix metrics t =
+  let module M = Lfs_obs.Metrics in
+  let p =
+    match prefix with Some p -> p | None -> "vdev." ^ (vdev t).Vdev.name
+  in
+  let g name f = M.gauge_fn metrics (p ^ "." ^ name) f in
+  g "traced_reads" (fun () -> float_of_int t.reads);
+  g "traced_writes" (fun () -> float_of_int t.writes);
+  g "traced_zeros" (fun () -> float_of_int t.zeros);
+  g "traced_busy_s" (fun () -> t.traced_busy_s)
+
 let reset t =
   Queue.clear t.log;
   t.reads <- 0;

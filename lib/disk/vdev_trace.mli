@@ -36,5 +36,9 @@ val zeros : t -> int
 val traced_busy_s : t -> float
 (** Sum of [busy_s] over every operation ever traced. *)
 
+val register_metrics : ?prefix:string -> Lfs_obs.Metrics.t -> t -> unit
+(** Register [<prefix>.traced_{reads,writes,zeros,busy_s}] callback
+    gauges; [prefix] defaults to ["vdev." ^ name]. *)
+
 val reset : t -> unit
 val pp_entry : Format.formatter -> entry -> unit

@@ -16,6 +16,7 @@ type t = {
   file_size : Lfs_core.Types.ino -> int;
   sync : unit -> unit;
   drop_caches : unit -> unit;
+  metrics : unit -> Lfs_obs.Metrics.t option;
 }
 
 (* Applying this functor doubles as the compile-time proof that the
@@ -35,13 +36,18 @@ module Make (F : Lfs_core.Fs_intf.S) = struct
       file_size = F.file_size fs;
       sync = (fun () -> F.sync fs);
       drop_caches = (fun () -> F.drop_caches fs);
+      metrics = (fun () -> None);
     }
 end
 
 module Of_lfs = Make (Fs)
 module Of_ffs = Make (Ffs)
 
-let of_lfs fs = Of_lfs.make ~name:"Sprite LFS" ~async_writes:true fs
+let of_lfs fs =
+  {
+    (Of_lfs.make ~name:"Sprite LFS" ~async_writes:true fs) with
+    metrics = (fun () -> Some (Fs.metrics fs));
+  }
 let of_ffs fs = Of_ffs.make ~name:"SunOS FFS" ~async_writes:false fs
 
 let fresh_lfs ?(config = Lfs_core.Config.default) geometry =

@@ -16,6 +16,9 @@ type t = {
   file_size : Lfs_core.Types.ino -> int;
   sync : unit -> unit;
   drop_caches : unit -> unit;
+  metrics : unit -> Lfs_obs.Metrics.t option;
+      (** the backing file system's observability registry, when it has
+          one ({!of_lfs}); [None] for systems without instrumentation *)
 }
 
 module Make (F : Lfs_core.Fs_intf.S) : sig

@@ -53,7 +53,7 @@ let measure_phase p (fs : Fsops.t) phase ~ops ~blocks body =
     disk_busy_frac = (if elapsed_s > 0.0 then disk_s /. elapsed_s else 0.0);
   }
 
-let run p (fs : Fsops.t) =
+let run ?(on_phase = fun (_ : phase_result) -> ()) p (fs : Fsops.t) =
   let ndirs = ((p.nfiles + p.files_per_dir - 1) / p.files_per_dir) in
   for d = 0 to ndirs - 1 do
     ignore (fs.Fsops.mkdir_path (Printf.sprintf "/d%d" d))
@@ -69,6 +69,7 @@ let run p (fs : Fsops.t) =
           fs.Fsops.write ino ~off:0 payload
         done)
   in
+  on_phase create;
   fs.Fsops.drop_caches ();
   let read =
     measure_phase p fs Read ~ops:p.nfiles ~blocks:(p.nfiles * blocks_per_file)
@@ -79,6 +80,7 @@ let run p (fs : Fsops.t) =
           | None -> failwith "smallfile: file vanished"
         done)
   in
+  on_phase read;
   fs.Fsops.drop_caches ();
   let delete =
     measure_phase p fs Delete ~ops:p.nfiles ~blocks:0 (fun () ->
@@ -88,6 +90,7 @@ let run p (fs : Fsops.t) =
           | None -> failwith "smallfile: directory vanished"
         done)
   in
+  on_phase delete;
   { fs_name = fs.Fsops.name; phases = [ create; read; delete ] }
 
 let predict_create p result ~cpu_multiple =

@@ -32,7 +32,10 @@ type params = {
 val default_params : params
 (** 10000 x 1 KB files, 100 per directory, Sun-4/260 CPU. *)
 
-val run : params -> Fsops.t -> result
+val run : ?on_phase:(phase_result -> unit) -> params -> Fsops.t -> result
+(** [on_phase] fires at each phase boundary (after the phase's sync and
+    measurement, before caches are dropped for the next one) — the hook
+    point for dumping a metrics registry per phase. *)
 
 val predict_create : params -> result -> cpu_multiple:float -> float
 (** Files/sec the create phase would reach with a CPU [cpu_multiple]

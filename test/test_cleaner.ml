@@ -62,6 +62,56 @@ let test_random_requires_rand () =
   | _ -> Alcotest.fail "should require ~rand"
   | exception Invalid_argument _ -> ()
 
+let test_random_victim_deterministic () =
+  let cands = List.init 8 (fun i -> cand i (0.1 +. (0.1 *. float_of_int i)) 1.0) in
+  let run () =
+    let prng = Prng.create ~seed:9 in
+    Cleaner.select ~policy:Config.Random_victim
+      ~rand:(fun n -> Prng.int prng n)
+      ~candidates:cands ~count:8 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list int)) "pinned seed replays the same order" a b;
+  Alcotest.(check (list int)) "a permutation of the candidates"
+    (List.init 8 Fun.id)
+    (List.sort compare a)
+
+let test_select_count_exceeds_candidates () =
+  let cands = [ cand 0 0.5 1.0; cand 1 0.2 1.0; cand 2 0.8 1.0 ] in
+  let prng = Prng.create ~seed:9 in
+  List.iter
+    (fun policy ->
+      let picked =
+        Cleaner.select ~policy
+          ~rand:(fun n -> Prng.int prng n)
+          ~candidates:cands ~count:10 ()
+      in
+      Alcotest.(check (list int))
+        (Config.cleaning_policy_name policy ^ " returns everything, once")
+        [ 0; 1; 2 ]
+        (List.sort compare picked))
+    [ Config.Greedy; Config.Cost_benefit; Config.Age_only; Config.Random_victim ]
+
+let test_select_empty_candidates () =
+  List.iter
+    (fun policy ->
+      Alcotest.(check (list int))
+        (Config.cleaning_policy_name policy ^ " on no candidates")
+        []
+        (Cleaner.select ~policy ~rand:(fun n -> n / 2) ~candidates:[] ~count:4 ()))
+    [ Config.Greedy; Config.Cost_benefit; Config.Age_only; Config.Random_victim ]
+
+let test_tie_break_is_stable () =
+  (* Equal keys keep submission order (stable sort), so victim choice
+     does not depend on unrelated candidate-list churn. *)
+  let ties = [ cand 7 0.5 40.0; cand 3 0.5 40.0; cand 5 0.5 40.0 ] in
+  Alcotest.(check (list int)) "greedy keeps input order on equal u"
+    [ 7; 3; 5 ]
+    (Cleaner.select ~policy:Config.Greedy ~candidates:ties ~count:3 ());
+  Alcotest.(check (list int)) "cost-benefit keeps input order on equal ratio"
+    [ 7; 3; 5 ]
+    (Cleaner.select ~policy:Config.Cost_benefit ~candidates:ties ~count:3 ())
+
 let test_grouping_age_sort () =
   let items = [ ("young", 5.0); ("ancient", 100.0); ("mid", 50.0) ] in
   Alcotest.(check (list string)) "oldest first"
@@ -270,6 +320,10 @@ let suite =
       Alcotest.test_case "age-only" `Quick test_age_only_policy;
       Alcotest.test_case "count cap" `Quick test_select_respects_count;
       Alcotest.test_case "random needs rand" `Quick test_random_requires_rand;
+      Alcotest.test_case "random victim deterministic" `Quick test_random_victim_deterministic;
+      Alcotest.test_case "count exceeds candidates" `Quick test_select_count_exceeds_candidates;
+      Alcotest.test_case "empty candidates" `Quick test_select_empty_candidates;
+      Alcotest.test_case "tie-break stable" `Quick test_tie_break_is_stable;
       Alcotest.test_case "grouping" `Quick test_grouping_age_sort;
       Alcotest.test_case "cleaning triggers" `Quick test_cleaning_triggers_and_reclaims;
       Alcotest.test_case "contents survive" `Quick test_contents_survive_cleaning;

@@ -210,6 +210,85 @@ let test_geometry_presets () =
   Alcotest.(check (float 0.0)) "instant is free" 0.0
     (Geometry.io_time i ~seeks:10 ~bytes:1_000_000)
 
+(* ----- Cache statistics and multi-block (range) reads ----- *)
+
+let test_cache_clear_resets_counters () =
+  let d = Disk.create wren in
+  let c = Block_cache.create ~capacity:8 in
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 1);
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);
+  Alcotest.(check int) "warm hits" 1 (Block_cache.hits c);
+  Alcotest.(check int) "warm misses" 2 (Block_cache.misses c);
+  Block_cache.clear c;
+  Alcotest.(check int) "hits reset" 0 (Block_cache.hits c);
+  Alcotest.(check int) "misses reset" 0 (Block_cache.misses c);
+  (* The new epoch starts cold: the next read is a miss, not a stale hit. *)
+  ignore (Block_cache.read c ~fetch:(Disk.read_block d) 0);
+  Alcotest.(check int) "cold again" 1 (Block_cache.misses c);
+  Alcotest.(check int) "no phantom hits" 0 (Block_cache.hits c)
+
+let range_fetch d addr n = Disk.read_blocks d addr n
+
+let test_cache_read_range_coalesces () =
+  let d = Disk.create wren in
+  for i = 0 to 15 do
+    Disk.write_block d (10 + i) (block (Char.chr (Char.code 'a' + i)))
+  done;
+  let expect = Disk.read_blocks d 10 8 in
+  let reads0 = (Disk.stats d).Io_stats.reads in
+  let c = Block_cache.create ~capacity:32 in
+  let got = Block_cache.read_range c ~block_size:4096 ~fetch:(range_fetch d) 10 8 in
+  Helpers.check_bytes "cold range" expect got;
+  Alcotest.(check int) "one coalesced device read" (reads0 + 1)
+    (Disk.stats d).Io_stats.reads;
+  Alcotest.(check int) "eight misses" 8 (Block_cache.misses c);
+  Alcotest.(check int) "no hits yet" 0 (Block_cache.hits c);
+  let busy = (Disk.stats d).Io_stats.busy_s in
+  let again = Block_cache.read_range c ~block_size:4096 ~fetch:(range_fetch d) 10 8 in
+  Helpers.check_bytes "warm range" expect again;
+  Alcotest.(check int) "warm read is free" (reads0 + 1) (Disk.stats d).Io_stats.reads;
+  Alcotest.(check (float 0.0)) "no extra disk time" busy (Disk.stats d).Io_stats.busy_s;
+  Alcotest.(check int) "eight hits" 8 (Block_cache.hits c)
+
+let test_cache_read_range_partial_overlap () =
+  let d = Disk.create wren in
+  for i = 0 to 7 do
+    Disk.write_block d i (block (Char.chr (Char.code 'A' + i)))
+  done;
+  let c = Block_cache.create ~capacity:32 in
+  ignore (Block_cache.read_range c ~block_size:4096 ~fetch:(range_fetch d) 0 4);
+  let expect = Disk.read_blocks d 2 4 in
+  let reads1 = (Disk.stats d).Io_stats.reads in
+  (* [2,6) overlaps the cached [0,4): two hits, one fetch for [4,6). *)
+  let got = Block_cache.read_range c ~block_size:4096 ~fetch:(range_fetch d) 2 4 in
+  Helpers.check_bytes "overlap contents" expect got;
+  Alcotest.(check int) "two hits" 2 (Block_cache.hits c);
+  Alcotest.(check int) "4 + 2 misses" 6 (Block_cache.misses c);
+  Alcotest.(check int) "one extra device read" (reads1 + 1)
+    (Disk.stats d).Io_stats.reads
+
+let test_vdev_cache_range_reads () =
+  let d = Disk.create wren in
+  let raw = Lfs_disk.Vdev.of_disk d in
+  let cache = Lfs_disk.Vdev_cache.create ~capacity:64 raw in
+  let dev = Lfs_disk.Vdev_cache.vdev cache in
+  Alcotest.(check bool) "hit rate undefined when cold" true
+    (Float.is_nan (Lfs_disk.Vdev_cache.hit_rate cache));
+  let data = Helpers.bytes_of_pattern ~seed:11 (6 * 4096) in
+  Lfs_disk.Vdev.write_blocks dev 20 data;
+  (* Writes populate the cache, so a multi-block read-back is all hits. *)
+  Helpers.check_bytes "range read back" data (Lfs_disk.Vdev.read_blocks dev 20 6);
+  Alcotest.(check int) "write-through warms the cache" 6
+    (Lfs_disk.Vdev_cache.hits cache);
+  Alcotest.(check int) "no misses" 0 (Lfs_disk.Vdev_cache.misses cache);
+  Alcotest.(check (float 1e-9)) "hit rate" 1.0 (Lfs_disk.Vdev_cache.hit_rate cache);
+  (* A disjoint cold range misses per block but costs one lower IO. *)
+  let reads0 = (Disk.stats d).Io_stats.reads in
+  ignore (Lfs_disk.Vdev.read_blocks dev 100 5);
+  Alcotest.(check int) "cold range misses" 5 (Lfs_disk.Vdev_cache.misses cache);
+  Alcotest.(check int) "one lower IO" (reads0 + 1) (Disk.stats d).Io_stats.reads
+
 let test_geometry_capacity () =
   Alcotest.(check int) "capacity" (256 * 4096)
     (Geometry.capacity_bytes (Geometry.wren_iv ~blocks:256))
@@ -256,6 +335,10 @@ let suite =
       Alcotest.test_case "cache put/invalidate" `Quick test_cache_put_and_invalidate;
       Alcotest.test_case "cache returns copies" `Quick test_cache_returns_copies;
       Alcotest.test_case "cache zero capacity" `Quick test_cache_zero_capacity;
+      Alcotest.test_case "cache clear resets counters" `Quick test_cache_clear_resets_counters;
+      Alcotest.test_case "range read coalesces" `Quick test_cache_read_range_coalesces;
+      Alcotest.test_case "range read partial overlap" `Quick test_cache_read_range_partial_overlap;
+      Alcotest.test_case "vdev cache range reads" `Quick test_vdev_cache_range_reads;
       Alcotest.test_case "geometry presets" `Quick test_geometry_presets;
       Alcotest.test_case "geometry capacity" `Quick test_geometry_capacity;
       Alcotest.test_case "random seek averages" `Quick test_random_seek_averages_avg;

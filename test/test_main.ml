@@ -2,6 +2,7 @@ let () =
   Alcotest.run "lfs"
     [
       Test_util.suite;
+      Test_obs.suite;
       Test_disk.suite;
       Test_structures.suite;
       Test_filemap.suite;

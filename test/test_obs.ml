@@ -1,0 +1,243 @@
+(* Tests for the observability layer: the metrics registry itself, the
+   write-cost accounting fix, and the registry as wired into a live
+   mounted file system. *)
+
+module Metrics = Lfs_obs.Metrics
+module Fs = Lfs_core.Fs
+module Fs_stats = Lfs_core.Fs_stats
+module Prng = Lfs_util.Prng
+
+(* ----- Registry unit tests ----- *)
+
+let test_counter_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "passes" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "incremented" 5 (Metrics.counter_value c);
+  (* Get-or-create: a second handle is the same instrument. *)
+  let c2 = Metrics.counter m "passes" in
+  Metrics.incr c2;
+  Alcotest.(check int) "same instrument" 6 (Metrics.counter_value c);
+  match Metrics.value m "passes" with
+  | Some (Metrics.Int 6) -> ()
+  | _ -> Alcotest.fail "value should be Int 6"
+
+let test_gauge_basics () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  Alcotest.(check bool) "undefined until set" true
+    (Float.is_nan (Metrics.float_value m "depth"));
+  Metrics.set g 3.25;
+  Alcotest.(check (float 0.0)) "set value" 3.25 (Metrics.float_value m "depth")
+
+let test_gauge_fn_replaces () =
+  let m = Metrics.create () in
+  let cell = ref 1.0 in
+  Metrics.gauge_fn m "live" (fun () -> !cell);
+  cell := 7.0;
+  Alcotest.(check (float 0.0)) "samples at read time" 7.0
+    (Metrics.float_value m "live");
+  (* Re-registration replaces the callback (remount over a stale layer). *)
+  Metrics.gauge_fn m "live" (fun () -> 42.0);
+  Alcotest.(check (float 0.0)) "replaced" 42.0 (Metrics.float_value m "live")
+
+let test_kind_conflict_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  match Metrics.gauge m "x" with
+  | _ -> Alcotest.fail "kind conflict should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_summary () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  (match Metrics.value m "lat" with
+  | Some (Metrics.Summary { count; _ }) -> Alcotest.(check int) "empty" 0 count
+  | _ -> Alcotest.fail "expected Summary");
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 4.0 ];
+  match Metrics.value m "lat" with
+  | Some (Metrics.Summary { count; sum; mean; vmin; vmax }) ->
+      Alcotest.(check int) "count" 3 count;
+      Alcotest.(check (float 1e-9)) "sum" 6.0 sum;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 mean;
+      Alcotest.(check (float 1e-9)) "min" 0.5 vmin;
+      Alcotest.(check (float 1e-9)) "max" 4.0 vmax
+  | _ -> Alcotest.fail "expected Summary"
+
+let test_span_measures_clock_delta () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "busy" in
+  let clock = ref 10.0 in
+  let r =
+    Metrics.span h ~clock:(fun () -> !clock) (fun () ->
+        clock := !clock +. 2.5;
+        "done")
+  in
+  Alcotest.(check string) "result passed through" "done" r;
+  (* A failing operation still records its partial cost. *)
+  (try
+     Metrics.span h
+       ~clock:(fun () -> !clock)
+       (fun () ->
+         clock := !clock +. 1.5;
+         failwith "boom")
+   with Failure _ -> ());
+  match Metrics.value m "busy" with
+  | Some (Metrics.Summary { count; sum; _ }) ->
+      Alcotest.(check int) "both spans recorded" 2 count;
+      Alcotest.(check (float 1e-9)) "deltas summed" 4.0 sum
+  | _ -> Alcotest.fail "expected Summary"
+
+let test_dist_series () =
+  let m = Metrics.create () in
+  let d = Metrics.dist ~bins:4 m "u" in
+  Metrics.dist_add d 0.1;
+  Metrics.dist_add ~weight:2.0 d 0.9;
+  match Metrics.value m "u" with
+  | Some (Metrics.Series { total; series }) ->
+      Alcotest.(check (float 1e-9)) "total weight" 3.0 total;
+      Alcotest.(check int) "bins" 4 (Array.length series);
+      let fraction_sum =
+        Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 series
+      in
+      Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 fraction_sum
+  | _ -> Alcotest.fail "expected Series"
+
+let test_unknown_name () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "value None" true (Metrics.value m "nope" = None);
+  Alcotest.(check bool) "float_value nan" true
+    (Float.is_nan (Metrics.float_value m "nope"))
+
+let test_validate_flags_bad_values () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "ok");
+  Alcotest.(check int) "clean registry (counter)" 0 (List.length (Metrics.validate m));
+  let g = Metrics.gauge m "g" in
+  Metrics.set g Float.nan;
+  Alcotest.(check bool) "NaN gauge flagged" true
+    (List.exists (fun (n, _) -> n = "g") (Metrics.validate m));
+  Metrics.set g 1.0;
+  Alcotest.(check int) "finite gauge clean" 0 (List.length (Metrics.validate m));
+  let c = Metrics.counter m "neg" in
+  Metrics.incr ~by:(-2) c;
+  Alcotest.(check bool) "negative counter flagged" true
+    (List.exists (fun (n, _) -> n = "neg") (Metrics.validate m))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_report_and_json_render_nan () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "undef" in
+  ignore g;
+  ignore (Metrics.histogram m "empty_hist");
+  let txt = Metrics.report ~title:"t" m in
+  Alcotest.(check bool) "text prints undefined" true
+    (contains ~sub:"undefined" txt);
+  let json = Metrics.to_json m in
+  Alcotest.(check bool) "json has no nan token" false (contains ~sub:"nan" json);
+  Alcotest.(check bool) "json renders null" true (contains ~sub:"null" json)
+
+(* ----- Fs_stats.write_cost: undefined (nan) without fresh data ----- *)
+
+let test_write_cost_undefined_without_fresh_data () =
+  let s = Fs_stats.create () in
+  Alcotest.(check bool) "fresh stats: nan" true (Float.is_nan (Fs_stats.write_cost s));
+  (* Cleaner-only traffic must not masquerade as a 1.0x write cost. *)
+  Fs_stats.note_segment_read s ~blocks:32;
+  Fs_stats.note_written s Lfs_core.Types.Data ~cleaner:true ~blocks:16;
+  Alcotest.(check bool) "cleaner-only interval: still nan" true
+    (Float.is_nan (Fs_stats.write_cost s));
+  Fs_stats.note_written s Lfs_core.Types.Data ~cleaner:false ~blocks:16;
+  Alcotest.(check (float 1e-9)) "defined once fresh data lands"
+    ((16.0 +. 16.0 +. 32.0) /. 16.0)
+    (Fs_stats.write_cost s)
+
+(* ----- The registry wired into a mounted file system ----- *)
+
+let exercise fs =
+  let prng = Prng.create ~seed:21 in
+  for round = 0 to 2 do
+    for i = 0 to 19 do
+      let len = 2_000 + Prng.int prng 30_000 in
+      Fs.write_path fs
+        (Printf.sprintf "/f%d" i)
+        (Bytes.make len (Char.chr (Char.code 'a' + ((i + round) mod 26))))
+    done
+  done;
+  Fs.sync fs;
+  for i = 0 to 19 do
+    if i mod 2 = 0 then Fs.unlink fs ~dir:Fs.root (Printf.sprintf "f%d" i)
+  done;
+  Fs.clean fs;
+  Fs.checkpoint fs
+
+let test_fs_write_cost_gauge_agrees () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  exercise fs;
+  let m = Fs.metrics fs in
+  let from_gauge = Metrics.float_value m "fs.write_cost" in
+  let from_stats = Fs_stats.write_cost (Fs.stats fs) in
+  Alcotest.(check bool) "write cost defined" true (Float.is_finite from_stats);
+  Alcotest.(check (float 1e-9)) "gauge tracks Fs_stats" from_stats from_gauge
+
+let test_fs_metrics_cover_layers () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  (* Exactly three creates through the public API. *)
+  List.iter
+    (fun name -> ignore (Fs.create fs ~dir:Fs.root name))
+    [ "a"; "b"; "c" ];
+  Fs.checkpoint fs;
+  let m = Fs.metrics fs in
+  (match Metrics.value m "fs.op.create.busy_s" with
+  | Some (Metrics.Summary { count; _ }) ->
+      Alcotest.(check int) "create spans" 3 count
+  | _ -> Alcotest.fail "create histogram missing");
+  (* Checkpoint instruments agree with the long-term accounting. *)
+  let ckpts = Fs_stats.checkpoints (Fs.stats fs) in
+  Alcotest.(check (float 0.0)) "checkpoint counter gauge" (float_of_int ckpts)
+    (Metrics.float_value m "fs.checkpoints");
+  (match Metrics.value m "fs.checkpoint.busy_s" with
+  | Some (Metrics.Summary { count; _ }) ->
+      Alcotest.(check int) "one span per checkpoint" ckpts count
+  | _ -> Alcotest.fail "checkpoint histogram missing");
+  (* The handed-in vdev registered IO gauges that track live Io_stats. *)
+  let dev_writes =
+    (Lfs_disk.Vdev.stats (Fs.disk fs)).Lfs_disk.Io_stats.blocks_written
+  in
+  Alcotest.(check bool) "vdev layer registered" true
+    (Metrics.float_value m "vdev.trace.blocks_written" = float_of_int dev_writes)
+
+let test_fs_metrics_validate_clean () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 () in
+  exercise fs;
+  match Metrics.validate (Fs.metrics fs) with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "validate: %s"
+        (String.concat "; "
+           (List.map (fun (n, msg) -> n ^ ": " ^ msg) violations))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter basics" `Quick test_counter_basics;
+      Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+      Alcotest.test_case "gauge_fn replaces" `Quick test_gauge_fn_replaces;
+      Alcotest.test_case "kind conflict" `Quick test_kind_conflict_rejected;
+      Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+      Alcotest.test_case "span clock delta" `Quick test_span_measures_clock_delta;
+      Alcotest.test_case "dist series" `Quick test_dist_series;
+      Alcotest.test_case "unknown name" `Quick test_unknown_name;
+      Alcotest.test_case "validate flags bad values" `Quick test_validate_flags_bad_values;
+      Alcotest.test_case "report/json nan rendering" `Quick test_report_and_json_render_nan;
+      Alcotest.test_case "write cost undefined" `Quick test_write_cost_undefined_without_fresh_data;
+      Alcotest.test_case "fs write-cost gauge agrees" `Quick test_fs_write_cost_gauge_agrees;
+      Alcotest.test_case "fs metrics cover layers" `Quick test_fs_metrics_cover_layers;
+      Alcotest.test_case "fs metrics validate clean" `Quick test_fs_metrics_validate_clean;
+    ] )

@@ -263,6 +263,66 @@ let prop_stripe_matches_single_disk =
         (Vdev.read_blocks striped 0 stripe_blocks)
         (Vdev.read_blocks single 0 stripe_blocks))
 
+(* A cached stack must be observationally identical to the raw device,
+   and every block that travels through the read path must be accounted
+   as exactly one hit or one miss. *)
+
+let cache_prop_blocks = 128
+
+let arb_cache_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (map2
+           (fun (w, addr, seed) len ->
+             (w, min addr (cache_prop_blocks - len), len, seed))
+           (triple bool (int_bound (cache_prop_blocks - 1)) (int_bound 10_000))
+           (int_range 1 12)))
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (fun (w, a, l, s) ->
+             Printf.sprintf "%c@%d+%d#%d" (if w then 'w' else 'r') a l s)
+           ops))
+    ~shrink:QCheck.Shrink.list gen
+
+let prop_cached_stack_matches_raw =
+  QCheck.Test.make ~count:80
+    ~name:"Vdev_cache serves identical bytes and accounts every block"
+    arb_cache_ops
+    (fun ops ->
+      let mk () = Disk.create (Geometry.instant ~blocks:cache_prop_blocks) in
+      let raw = Vdev.of_disk (mk ()) in
+      let cache = Vdev_cache.create ~capacity:32 (Vdev.of_disk (mk ())) in
+      let cached = Vdev_cache.vdev cache in
+      let bs = Vdev.block_size raw in
+      let blocks_read = ref 0 in
+      let reads_match =
+        List.for_all
+          (fun (w, addr, len, seed) ->
+            if w then begin
+              let data = Helpers.bytes_of_pattern ~seed (len * bs) in
+              Vdev.write_blocks raw addr data;
+              Vdev.write_blocks cached addr data;
+              true
+            end
+            else begin
+              blocks_read := !blocks_read + len;
+              Bytes.equal (Vdev.read_blocks raw addr len)
+                (Vdev.read_blocks cached addr len)
+            end)
+          ops
+      in
+      let counts_match =
+        Vdev_cache.hits cache + Vdev_cache.misses cache = !blocks_read
+      in
+      reads_match && counts_match
+      && Bytes.equal
+           (Vdev.read_blocks raw 0 cache_prop_blocks)
+           (Vdev.read_blocks cached 0 cache_prop_blocks))
+
 (* A torn write must persist exactly the planned prefix, and the wrapper
    (cache or trace) must not serve stale data for the torn tail. *)
 let check_torn_write wrap (k, extra) =
@@ -324,6 +384,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_recovery_after_sync_preserves;
       QCheck_alcotest.to_alcotest prop_nvram_no_loss;
       QCheck_alcotest.to_alcotest prop_stripe_matches_single_disk;
+      QCheck_alcotest.to_alcotest prop_cached_stack_matches_raw;
       QCheck_alcotest.to_alcotest prop_torn_write_through_cache;
       QCheck_alcotest.to_alcotest prop_torn_write_through_trace;
     ] )
