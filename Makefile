@@ -43,6 +43,16 @@ ci:
 	dune exec bin/lfs_tool.exe -- stats ci-stats.img --exercise 120 --json --check > ci-stats.json
 	dune exec bin/lfs_tool.exe -- stats ci-stats.img --exercise 120 > /dev/null
 	rm -f ci-stats.img ci-stats.json
+	# Server smoke: a small client sweep over both backends with metric
+	# validation, then the determinism gate — the same seed twice must
+	# produce byte-identical JSON.
+	dune exec bench/main.exe -- server quick
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs ffs --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --json --check > ci-serve-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --json --check > ci-serve-b.json
+	cmp ci-serve-a.json ci-serve-b.json
+	rm -f ci-serve-a.json ci-serve-b.json
 
 clean:
 	dune clean

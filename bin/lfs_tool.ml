@@ -395,10 +395,115 @@ let stats_cmd =
       Fs.checkpoint fs
     end;
     let m = Fs.metrics fs in
+    (* An exercised registry must be self-consistent even without
+       --check: validate before printing so a bad value fails the run
+       instead of sneaking into the report. *)
+    let problems =
+      if check || exercise > 0 then Lfs_obs.Metrics.validate m else []
+    in
     if json then print_string (Lfs_obs.Metrics.to_json m)
     else
       print_string
         (Lfs_obs.Metrics.report ~title:(Printf.sprintf "lfs stats: %s" image) m);
+    match problems with
+    | [] -> ()
+    | problems ->
+        List.iter
+          (fun (name, what) -> Printf.eprintf "bad metric %s: %s\n" name what)
+          problems;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Report the metrics registry of a mounted image: per-layer IO, \
+          cache hit rate, per-op latency, cleaner and checkpoint statistics \
+          (text tables or JSON)")
+    Term.(const run $ image $ exercise $ seed $ json $ check)
+
+let serve_cmd =
+  let module Engine = Lfs_server.Engine in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client sessions")
+  in
+  let ops =
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"M" ~doc:"Requests per client")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed; equal seeds replay identically") in
+  let fs_kind =
+    Arg.(
+      value
+      & opt (enum [ ("lfs", `Lfs); ("ffs", `Ffs) ]) `Lfs
+      & info [ "fs" ] ~docv:"FS"
+          ~doc:"Backend: $(b,lfs) (group commit) or $(b,ffs) (synchronous writes)")
+  in
+  let blocks =
+    Arg.(value & opt int 16384 & info [ "blocks" ] ~doc:"Fresh in-memory device size in 4 KB blocks")
+  in
+  let depth =
+    Arg.(value & opt int 64 & info [ "depth" ] ~docv:"K" ~doc:"Admission bound: waiting requests across all clients")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("block", Engine.Block); ("shed", Engine.Shed) ]) Engine.Block
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Overload policy: $(b,block) the client or $(b,shed) the request")
+  in
+  let window =
+    Arg.(value & opt float 0.01 & info [ "window" ] ~docv:"S" ~doc:"Group-commit batch window, modelled seconds")
+  in
+  let max_batch =
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"B" ~doc:"Flush early at this many batched requests")
+  in
+  let think =
+    Arg.(value & opt float 0.05 & info [ "think" ] ~docv:"S" ~doc:"Mean client think time, modelled seconds")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics registry as JSON (byte-identical for equal seeds)")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Validate the metrics registry and exit 1 on violations")
+  in
+  let run clients ops seed fs_kind blocks depth policy window max_batch think
+      json check =
+    let geom = Lfs_disk.Geometry.wren_iv ~blocks in
+    let fs =
+      match fs_kind with
+      | `Lfs -> Lfs_workload.Fsops.fresh_lfs geom
+      | `Ffs -> Lfs_workload.Fsops.fresh_ffs geom
+    in
+    let cfg =
+      {
+        Engine.default with
+        Engine.clients;
+        ops_per_client = ops;
+        seed;
+        queue_depth = depth;
+        policy;
+        batch_window_s = window;
+        max_batch;
+        think_mean_s = think;
+      }
+    in
+    let r = Engine.run cfg fs in
+    let m = r.Engine.metrics in
+    if json then print_string (Lfs_obs.Metrics.to_json m)
+    else begin
+      Printf.printf
+        "%s: %d clients x %d ops (seed %d, depth %d, policy %s)\n"
+        r.Engine.fs_name clients ops seed depth (Engine.policy_name policy);
+      Printf.printf
+        "completed %d, shed %d, errors %d in %.3f modelled s (%.1f ops/s)\n"
+        r.Engine.completed r.Engine.shed r.Engine.errors r.Engine.elapsed_s
+        r.Engine.throughput_ops_s;
+      Printf.printf "flushes %d, mean batch %.2f, disk %.3f s (%.2f ms/op)\n"
+        r.Engine.flushes r.Engine.mean_batch r.Engine.disk_s
+        (if r.Engine.completed > 0 then
+           1000.0 *. r.Engine.disk_s /. float_of_int r.Engine.completed
+         else Float.nan);
+      print_string (Lfs_obs.Metrics.report ~title:"server metrics" m)
+    end;
     if check then
       match Lfs_obs.Metrics.validate m with
       | [] -> ()
@@ -409,12 +514,14 @@ let stats_cmd =
           exit 1
   in
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "serve"
        ~doc:
-         "Report the metrics registry of a mounted image: per-layer IO, \
-          cache hit rate, per-op latency, cleaner and checkpoint statistics \
-          (text tables or JSON)")
-    Term.(const run $ image $ exercise $ seed $ json $ check)
+         "Serve N deterministic client sessions against a fresh in-memory \
+          file system over the modelled clock: group commit, admission \
+          control, fair dequeue, and per-class latency percentiles")
+    Term.(
+      const run $ clients $ ops $ seed $ fs_kind $ blocks $ depth $ policy
+      $ window $ max_batch $ think $ json $ check)
 
 let () =
   let doc = "manage log-structured file system images" in
@@ -423,4 +530,5 @@ let () =
        (Cmd.group (Cmd.info "lfs_tool" ~doc)
           [ mkfs_cmd; put_cmd; get_cmd; cat_cmd; ls_cmd; mkdir_cmd; mv_cmd;
             rm_cmd; df_cmd; fsck_cmd; info_cmd; clean_cmd; recover_cmd;
-            trace_record_cmd; trace_replay_cmd; crashtest_cmd; stats_cmd ]))
+            trace_record_cmd; trace_replay_cmd; crashtest_cmd; stats_cmd;
+            serve_cmd ]))

@@ -87,6 +87,7 @@ type t = {
   mutable in_cleaner : bool;
   mutable in_checkpoint : bool;
   mutable checkpoint_hook : unit -> unit;
+  log_batch_hook : (blocks:int -> unit) ref;
   cleaning_victims : (int, unit) Hashtbl.t;
   rng : Prng.t;
   obs : obs;
@@ -104,6 +105,8 @@ let root = Types.root_ino
 
 let disk t = t.disk
 let metrics t = t.obs.metrics
+let on_log_batch t f = t.log_batch_hook := f
+let pending_log_blocks t = Log_writer.pending_blocks t.log
 
 (* Modelled time for spans: the outer device's cumulative busy time. *)
 let op_span t h f =
@@ -1205,10 +1208,12 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
     in
     Seg_usage.add_live usage seg ~bytes ~mtime
   in
-  let on_batch ~addr:_ ~blocks:_ =
+  let log_batch_hook = ref (fun ~blocks:_ -> ()) in
+  let on_batch ~addr:_ ~blocks =
     (* Log batches flow through the cache layer, which keeps itself
        coherent when the log reuses cleaned segments. *)
-    Fs_stats.note_written stats Types.Summary ~cleaner:!cleaner_attr ~blocks:1
+    Fs_stats.note_written stats Types.Summary ~cleaner:!cleaner_attr ~blocks:1;
+    !log_batch_hook ~blocks
   in
   let log =
     Log_writer.create layout dev ~pick_clean ~on_append ~on_batch ~cur_seg
@@ -1239,6 +1244,7 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
       in_cleaner = false;
       in_checkpoint = false;
       checkpoint_hook = (fun () -> ());
+      log_batch_hook;
       cleaning_victims = Hashtbl.create 16;
       rng = Prng.create ~seed:0x5EED;
       obs;

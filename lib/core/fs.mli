@@ -115,6 +115,16 @@ val on_checkpoint : t -> (unit -> unit) -> unit
     interval/volume triggers.  {!Nvram_fs} uses it to discard its
     journal exactly when the journalled operations become durable. *)
 
+val on_log_batch : t -> (blocks:int -> unit) -> unit
+(** Register a callback invoked after every physical log batch write
+    with its total block count (payload plus summary).  The serving
+    layer uses it to measure how many blocks each shared group-commit
+    flush carries. *)
+
+val pending_log_blocks : t -> int
+(** Log blocks queued in the writer but not yet on disk — the part of
+    the current batch a {!sync} would flush. *)
+
 val clean : t -> unit
 (** Run cleaning passes until the clean-segment target is reached;
     normally automatic, exposed for experiments. *)

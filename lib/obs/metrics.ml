@@ -126,6 +126,33 @@ let span h ~clock f =
       record ();
       raise e
 
+(* Invert the log map: bucket coordinate [x] in [0, 1] back to a value. *)
+let unmap h x = h.lo *. ((h.hi /. h.lo) ** x)
+
+let percentile h q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Metrics.percentile: quantile outside [0, 1]";
+  if h.count = 0 then Float.nan
+  else begin
+    let nb = Histogram.bins h.buckets in
+    (* Walk the cumulative distribution; interpolate inside the bucket
+       that crosses [q].  The loop invariant keeps [cum <= q] on entry,
+       so [within] is in [0, 1] and the result is monotone in [q]. *)
+    let rec go i cum =
+      if i >= nb then h.vmax
+      else
+        let f = Histogram.fraction h.buckets i in
+        if f > 0. && cum +. f >= q then
+          let within = (q -. cum) /. f in
+          unmap h ((float_of_int i +. within) /. float_of_int nb)
+        else go (i + 1) (cum +. f)
+    in
+    let v = go 0 0. in
+    (* Buckets clamp at [lo, hi]; the summary's exact extrema are
+       tighter bounds, and clamping keeps the estimate monotone. *)
+    Float.min h.vmax (Float.max h.vmin v)
+  end
+
 let dist ?(bins = 20) t name =
   intern t name
     ~make:(fun () ->
@@ -140,7 +167,16 @@ let dist_add ?(weight = 1.0) d v = Histogram.add_weighted d v weight
 type value =
   | Int of int
   | Float of float
-  | Summary of { count : int; sum : float; mean : float; vmin : float; vmax : float }
+  | Summary of {
+      count : int;
+      sum : float;
+      mean : float;
+      vmin : float;
+      vmax : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
   | Series of { total : float; series : (float * float) array }
 
 let value_of = function
@@ -150,7 +186,16 @@ let value_of = function
   | Hist h ->
       if h.count = 0 then
         Summary
-          { count = 0; sum = 0.; mean = Float.nan; vmin = Float.nan; vmax = Float.nan }
+          {
+            count = 0;
+            sum = 0.;
+            mean = Float.nan;
+            vmin = Float.nan;
+            vmax = Float.nan;
+            p50 = Float.nan;
+            p95 = Float.nan;
+            p99 = Float.nan;
+          }
       else
         Summary
           {
@@ -159,6 +204,9 @@ let value_of = function
             mean = h.sum /. float_of_int h.count;
             vmin = h.vmin;
             vmax = h.vmax;
+            p50 = percentile h 0.50;
+            p95 = percentile h 0.95;
+            p99 = percentile h 0.99;
           }
   | Dist d -> Series { total = Histogram.total d; series = Histogram.to_series d }
 
@@ -200,7 +248,7 @@ let report ?title t =
     List.filter_map
       (fun (name, v) ->
         match v with
-        | Summary { count; sum; mean; vmin; vmax } ->
+        | Summary { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
             Some
               [
                 name;
@@ -209,6 +257,9 @@ let report ?title t =
                 fmt_scalar mean;
                 fmt_scalar vmin;
                 fmt_scalar vmax;
+                fmt_scalar p50;
+                fmt_scalar p95;
+                fmt_scalar p99;
               ]
         | _ -> None)
       snap
@@ -227,7 +278,8 @@ let report ?title t =
     if Buffer.length buf > 0 then Buffer.add_char buf '\n';
     Buffer.add_string buf
       (Table.render ~title:"histograms"
-         ~header:[ "metric"; "count"; "sum"; "mean"; "min"; "max" ]
+         ~header:
+           [ "metric"; "count"; "sum"; "mean"; "min"; "max"; "p50"; "p95"; "p99" ]
          summaries)
   end;
   List.iter
@@ -282,12 +334,14 @@ let to_json t =
       (match v with
       | Int n -> Buffer.add_string buf (string_of_int n)
       | Float v -> Buffer.add_string buf (json_float v)
-      | Summary { count; sum; mean; vmin; vmax } ->
+      | Summary { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
           Buffer.add_string buf
             (Printf.sprintf
-               "{\"count\": %d, \"sum\": %s, \"mean\": %s, \"min\": %s, \"max\": %s}"
+               "{\"count\": %d, \"sum\": %s, \"mean\": %s, \"min\": %s, \
+                \"max\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}"
                count (json_float sum) (json_float mean) (json_float vmin)
-               (json_float vmax))
+               (json_float vmax) (json_float p50) (json_float p95)
+               (json_float p99))
       | Series { total; series } ->
           Buffer.add_string buf
             (Printf.sprintf "{\"total\": %s, \"bins\": [" (json_float total));
@@ -317,13 +371,20 @@ let validate t =
       match v with
       | Int n -> if n < 0 then bad name "counter is negative"
       | Float v -> check_finite_nonneg name "gauge" v
-      | Summary { count; sum; mean; vmin; vmax } ->
+      | Summary { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
           if count < 0 then bad name "histogram count is negative"
           else if count > 0 then begin
             check_finite_nonneg name "sum" sum;
             check_finite_nonneg name "mean" mean;
             check_finite_nonneg name "min" vmin;
-            check_finite_nonneg name "max" vmax
+            check_finite_nonneg name "max" vmax;
+            check_finite_nonneg name "p50" p50;
+            check_finite_nonneg name "p95" p95;
+            check_finite_nonneg name "p99" p99;
+            if p50 > p95 || p95 > p99 then
+              bad name "percentiles are non-monotone (p50 <= p95 <= p99)";
+            if count > 0 && (p50 < vmin || p99 > vmax) then
+              bad name "percentiles escape the [min, max] range"
           end
       | Series { total; series } ->
           check_finite_nonneg name "total" total;

@@ -61,6 +61,14 @@ val histogram : ?lo:float -> ?hi:float -> ?bins:int -> t -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val percentile : histogram -> float -> float
+(** [percentile h q] estimates the [q]-quantile ([q] in [\[0, 1\]]) of the
+    observed samples from the log-spaced buckets, interpolating within
+    the bucket that crosses [q] and clamping into the exact
+    [\[min, max\]] observed so far.  [nan] when the histogram is empty;
+    monotone in [q] by construction.  The summary value exposes the
+    common tail quantiles as [p50]/[p95]/[p99]. *)
+
 val span : histogram -> clock:(unit -> float) -> (unit -> 'a) -> 'a
 (** [span h ~clock f] runs [f ()] and records [clock () - clock ()] taken
     across it into [h] — also when [f] raises, so crash-injection runs
@@ -76,8 +84,18 @@ val dist_add : ?weight:float -> dist -> float -> unit
 type value =
   | Int of int  (** counter *)
   | Float of float  (** gauge; [nan] means undefined *)
-  | Summary of { count : int; sum : float; mean : float; vmin : float; vmax : float }
-      (** histogram; [mean]/[vmin]/[vmax] are [nan] when [count = 0] *)
+  | Summary of {
+      count : int;
+      sum : float;
+      mean : float;
+      vmin : float;
+      vmax : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+      (** histogram; everything but [count]/[sum] is [nan] when
+          [count = 0].  Percentiles come from {!percentile}. *)
   | Series of { total : float; series : (float * float) array }
       (** dist, as [(bin center, fraction)] pairs *)
 
@@ -107,4 +125,6 @@ val validate : t -> (string * string) list
 (** [(name, problem)] pairs for values that should never occur in a
     healthy registry: negative counters or gauges, NaN/infinite gauges,
     non-finite or negative histogram summaries (empty histograms are
-    fine), NaN dist totals.  Used by [lfs_tool stats --check]. *)
+    fine), non-monotone percentiles ([p50 <= p95 <= p99], all inside
+    [\[min, max\]]), NaN dist totals.  Used by [lfs_tool stats --check]
+    and [lfs_tool serve --check]. *)

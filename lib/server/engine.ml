@@ -1,0 +1,389 @@
+module Metrics = Lfs_obs.Metrics
+module Io_stats = Lfs_disk.Io_stats
+module Vdev = Lfs_disk.Vdev
+module Prng = Lfs_util.Prng
+module Types = Lfs_core.Types
+module Session = Lfs_workload.Session
+module Fsops = Lfs_workload.Fsops
+module Cpu_model = Lfs_workload.Cpu_model
+
+type policy = Block | Shed
+
+let policy_name = function Block -> "block" | Shed -> "shed"
+
+let policy_of_string = function
+  | "block" -> Some Block
+  | "shed" -> Some Shed
+  | _ -> None
+
+type config = {
+  clients : int;
+  ops_per_client : int;
+  seed : int;
+  think_mean_s : float;
+  queue_depth : int;
+  policy : policy;
+  batch_window_s : float;
+  max_batch : int;
+  session_files : int;
+  write_size : int;
+  cpu : Cpu_model.t;
+}
+
+let default =
+  {
+    clients = 4;
+    ops_per_client = 200;
+    seed = 42;
+    think_mean_s = 0.05;
+    queue_depth = 64;
+    policy = Block;
+    batch_window_s = 0.01;
+    max_batch = 32;
+    session_files = 32;
+    write_size = 8192;
+    cpu = Cpu_model.sun4_260;
+  }
+
+type request = { client : int; op : Session.op; submit : float }
+
+type result = {
+  fs_name : string;
+  clients : int;
+  completed : int;
+  shed : int;
+  errors : int;
+  elapsed_s : float;
+  throughput_ops_s : float;
+  disk_s : float;
+  flushes : int;
+  mean_batch : float;
+  max_queue_depth : int;
+  per_client_completed : int array;
+  per_client_shed : int array;
+  metrics : Lfs_obs.Metrics.t;
+}
+
+let is_durable = function
+  | Session.Create | Session.Write | Session.Delete -> true
+  | Session.Read -> false
+
+let run (cfg : config) (fs : Fsops.t) =
+  if cfg.clients <= 0 then invalid_arg "Engine.run: clients must be positive";
+  if cfg.ops_per_client < 0 then
+    invalid_arg "Engine.run: ops_per_client must be non-negative";
+  if cfg.queue_depth <= 0 then
+    invalid_arg "Engine.run: queue_depth must be positive";
+  if cfg.max_batch <= 0 then invalid_arg "Engine.run: max_batch must be positive";
+  if not (cfg.batch_window_s >= 0.0) then
+    invalid_arg "Engine.run: batch_window_s must be non-negative";
+  if not (cfg.think_mean_s > 0.0) then
+    invalid_arg "Engine.run: think_mean_s must be positive";
+  let sched = Sched.create () in
+  let m = Metrics.create () in
+  let lat_create = Metrics.histogram m "server.latency.create.s" in
+  let lat_write = Metrics.histogram m "server.latency.write.s" in
+  let lat_read = Metrics.histogram m "server.latency.read.s" in
+  let lat_delete = Metrics.histogram m "server.latency.delete.s" in
+  let lat_of = function
+    | Session.Create -> lat_create
+    | Session.Write -> lat_write
+    | Session.Read -> lat_read
+    | Session.Delete -> lat_delete
+  in
+  let completed_c = Metrics.counter m "server.completed" in
+  let shed_c = Metrics.counter m "server.shed" in
+  let errors_c = Metrics.counter m "server.errors" in
+  let flushes_c = Metrics.counter m "server.flushes" in
+  let batch_hist = Metrics.histogram ~lo:1.0 ~hi:1e4 m "server.batch.requests" in
+  let log_batch_hist =
+    Metrics.histogram ~lo:1.0 ~hi:1e6 m "server.log_batch.blocks"
+  in
+  let flush_hist = Metrics.histogram m "server.flush.busy_s" in
+  let qdepth_hist =
+    Metrics.histogram ~lo:1.0 ~hi:1e4 m "server.queue.depth_at_admit"
+  in
+  let qdepth_g = Metrics.gauge m "server.queue.depth" in
+  let qmax_g = Metrics.gauge m "server.queue.depth_max" in
+
+  (* Seeded substreams: one think-time PRNG per client, sessions keyed
+     by (client, seed) — the whole run is a function of [cfg]. *)
+  let master = Prng.create ~seed:cfg.seed in
+  let think = Array.init cfg.clients (fun _ -> Prng.split master) in
+  let sessions =
+    Array.init cfg.clients (fun c ->
+        Session.create ~client:c ~seed:cfg.seed ~files:cfg.session_files
+          ~write_size:cfg.write_size ())
+  in
+
+  (* Setup outside the measured run: the per-client directories. *)
+  let dir_ino =
+    Array.map (fun s -> fs.Fsops.mkdir_path (Session.dir s)) sessions
+  in
+  fs.Fsops.sync ();
+  (match fs.Fsops.on_log_batch with
+  | Some register ->
+      register (fun ~blocks ->
+          Metrics.observe log_batch_hist (float_of_int blocks))
+  | None -> ());
+  let io0 = Io_stats.copy (Vdev.stats fs.Fsops.disk) in
+  let disk_busy () = (Vdev.stats fs.Fsops.disk).Io_stats.busy_s in
+
+  let group_commit = fs.Fsops.async_writes in
+  let block_size = Vdev.block_size fs.Fsops.disk in
+  let blocks_of n = (n + block_size - 1) / block_size in
+
+  (* Serving state.  All iteration is over arrays and FIFOs — no
+     hash-table order anywhere near the event stream. *)
+  (* Fair admission: the waiting room is bounded globally by
+     [queue_depth] and per client by an equal share of it, so a hot
+     session cannot buy up the whole queue and starve the rest —
+     admission fairness is what makes the round-robin dequeue below
+     effective under overload. *)
+  let per_client_cap = max 1 (cfg.queue_depth / cfg.clients) in
+  let queues = Array.init cfg.clients (fun _ -> Queue.create ()) in
+  let queued_total = ref 0 in
+  let blocked : request Queue.t = Queue.create () in
+  let rr = ref 0 in
+  let server_busy = ref false in
+  let batch : request list ref = ref [] in
+  let batch_n = ref 0 in
+  let batch_epoch = ref 0 in
+  let flush_due = ref false in
+  let generated = Array.make cfg.clients 0 in
+  let completed = Array.make cfg.clients 0 in
+  let shed = Array.make cfg.clients 0 in
+  let qmax = ref 0 in
+  let flushes = ref 0 in
+  let batched_reqs = ref 0 in
+  let errors = ref 0 in
+  let last_completion = ref 0.0 in
+
+  let complete req =
+    let lat = Sched.now sched -. req.submit in
+    Metrics.observe (lat_of req.op.Session.cls) lat;
+    Metrics.incr completed_c;
+    completed.(req.client) <- completed.(req.client) + 1;
+    last_completion := Sched.now sched
+  in
+  (* Execute the FS op.  Streams are generated blind to FS state, so a
+     read/delete may name a file that lost the race with its create —
+     those resolve to cheap no-ops; [Fs_error] (e.g. disk full) is
+     counted, never dropped on the floor.  Returns blocks moved, for the
+     CPU cost model. *)
+  let perform req =
+    let op = req.op in
+    try
+      match op.Session.cls with
+      | Session.Create ->
+          (match fs.Fsops.resolve op.Session.path with
+          | Some _ -> ()
+          | None -> ignore (fs.Fsops.create_path op.Session.path));
+          0
+      | Session.Write ->
+          let ino =
+            match fs.Fsops.resolve op.Session.path with
+            | Some ino -> ino
+            | None -> fs.Fsops.create_path op.Session.path
+          in
+          let fill =
+            Char.chr (Char.code 'a' + ((req.client + op.Session.size) mod 26))
+          in
+          fs.Fsops.write ino ~off:0 (Bytes.make op.Session.size fill);
+          blocks_of op.Session.size
+      | Session.Read -> (
+          match fs.Fsops.resolve op.Session.path with
+          | None -> 0
+          | Some ino ->
+              let len = min op.Session.size (fs.Fsops.file_size ino) in
+              if len > 0 then ignore (fs.Fsops.read ino ~off:0 ~len);
+              blocks_of len)
+      | Session.Delete -> (
+          match fs.Fsops.resolve op.Session.path with
+          | None -> 0
+          | Some _ ->
+              fs.Fsops.unlink ~dir:dir_ino.(req.client) op.Session.name;
+              0)
+    with Types.Fs_error _ ->
+      incr errors;
+      Metrics.incr errors_c;
+      0
+  in
+  let set_qdepth () = Metrics.set qdepth_g (float_of_int !queued_total) in
+
+  let rec maybe_start () =
+    if not !server_busy then
+      if !flush_due && !batch_n > 0 then start_flush ()
+      else
+        match pick_next () with
+        | None -> ()
+        | Some req ->
+            server_busy := true;
+            admit_blocked ();
+            let d0 = disk_busy () in
+            let blocks = perform req in
+            let disk_s = disk_busy () -. d0 in
+            let cpu_s = Cpu_model.cost cfg.cpu ~ops:1 ~blocks in
+            Sched.after sched (cpu_s +. disk_s) (fun () -> service_done req)
+  (* Round-robin across per-client FIFOs from the cursor: each dequeue
+     hands the next turn to the following client, so a hot session gets
+     at most one request in before everyone else is offered a slot. *)
+  and pick_next () =
+    let n = cfg.clients in
+    let rec go i tries =
+      if tries = n then None
+      else if Queue.is_empty queues.(i) then go ((i + 1) mod n) (tries + 1)
+      else begin
+        rr := (i + 1) mod n;
+        decr queued_total;
+        set_qdepth ();
+        Some (Queue.pop queues.(i))
+      end
+    in
+    go !rr 0
+  and service_done req =
+    if group_commit && is_durable req.op.Session.cls then begin
+      if !batch_n = 0 then begin
+        (* First member opens the batch and arms its window deadline;
+           the epoch cookie lets an early (max-size) flush invalidate
+           the stale deadline. *)
+        let epoch = !batch_epoch in
+        Sched.after sched cfg.batch_window_s (fun () -> deadline epoch)
+      end;
+      batch := req :: !batch;
+      incr batch_n;
+      if !batch_n >= cfg.max_batch then flush_due := true
+    end
+    else complete req;
+    server_busy := false;
+    maybe_start ()
+  and deadline epoch =
+    if epoch = !batch_epoch && !batch_n > 0 then
+      if !server_busy then flush_due := true else start_flush ()
+  and start_flush () =
+    server_busy := true;
+    flush_due := false;
+    incr batch_epoch;
+    let members = List.rev !batch in
+    let n = !batch_n in
+    batch := [];
+    batch_n := 0;
+    incr flushes;
+    batched_reqs := !batched_reqs + n;
+    Metrics.incr flushes_c;
+    Metrics.observe batch_hist (float_of_int n);
+    (* One shared sync makes the whole batch durable; its disk time is
+       paid once, and every member's completion waits for it. *)
+    let d0 = disk_busy () in
+    fs.Fsops.sync ();
+    let disk_s = disk_busy () -. d0 in
+    Metrics.observe flush_hist disk_s;
+    Sched.after sched disk_s (fun () ->
+        List.iter complete members;
+        server_busy := false;
+        maybe_start ())
+  and admit req =
+    Queue.push req queues.(req.client);
+    incr queued_total;
+    if !queued_total > !qmax then qmax := !queued_total;
+    Metrics.observe qdepth_hist (float_of_int !queued_total);
+    set_qdepth ();
+    maybe_start ()
+  and admissible c =
+    !queued_total < cfg.queue_depth
+    && Queue.length queues.(c) < per_client_cap
+  and admit_blocked () =
+    (* Strict FIFO over blocked clients: the head waits for both a
+       global slot and its own share; its queued requests draining is
+       what frees the share, so no deadlock. *)
+    if not (Queue.is_empty blocked) then begin
+      let req = Queue.peek blocked in
+      if admissible req.client then begin
+        ignore (Queue.pop blocked);
+        admit req;
+        schedule_arrival req.client
+      end
+    end
+  and schedule_arrival c =
+    Sched.after sched
+      (Prng.exponential think.(c) ~mean:cfg.think_mean_s)
+      (fun () -> arrival c)
+  (* Open-loop: the next request follows think time after this one was
+     accepted or shed — except under Block, where the client stalls
+     until its request is admitted. *)
+  and arrival c =
+    if generated.(c) < cfg.ops_per_client then begin
+      generated.(c) <- generated.(c) + 1;
+      let req = { client = c; op = Session.next sessions.(c); submit = Sched.now sched } in
+      if admissible c then begin
+        admit req;
+        schedule_arrival c
+      end
+      else
+        match cfg.policy with
+        | Shed ->
+            shed.(c) <- shed.(c) + 1;
+            Metrics.incr shed_c;
+            schedule_arrival c
+        | Block -> Queue.push req blocked
+    end
+  in
+  for c = 0 to cfg.clients - 1 do
+    schedule_arrival c
+  done;
+  Sched.run sched;
+  fs.Fsops.sync ();
+
+  (* Nothing may be lost silently: every generated request either
+     completed or was shed, and the engine checks its own books. *)
+  let total_completed = Array.fold_left ( + ) 0 completed in
+  let total_shed = Array.fold_left ( + ) 0 shed in
+  for c = 0 to cfg.clients - 1 do
+    if completed.(c) + shed.(c) <> cfg.ops_per_client then
+      failwith
+        (Printf.sprintf
+           "Engine.run: client %d lost requests (%d completed + %d shed <> %d)"
+           c completed.(c) shed.(c) cfg.ops_per_client)
+  done;
+
+  let elapsed_s = !last_completion in
+  let disk_s = (Io_stats.diff (Vdev.stats fs.Fsops.disk) io0).Io_stats.busy_s in
+  let throughput_ops_s =
+    if elapsed_s > 0.0 then float_of_int total_completed /. elapsed_s
+    else Float.nan
+  in
+  let mean_batch =
+    if !flushes > 0 then float_of_int !batched_reqs /. float_of_int !flushes
+    else Float.nan
+  in
+  Metrics.set qmax_g (float_of_int !qmax);
+  Metrics.set (Metrics.gauge m "server.clients") (float_of_int cfg.clients);
+  Metrics.set
+    (Metrics.gauge m "server.ops_per_client")
+    (float_of_int cfg.ops_per_client);
+  Metrics.set (Metrics.gauge m "server.elapsed_s") elapsed_s;
+  Metrics.set (Metrics.gauge m "server.throughput_ops_s") throughput_ops_s;
+  Metrics.set (Metrics.gauge m "server.disk_s") disk_s;
+  Metrics.set
+    (Metrics.gauge m "server.disk_s_per_op")
+    (if total_completed > 0 then disk_s /. float_of_int total_completed
+     else Float.nan);
+  (* Only meaningful on batching backends; a NaN gauge would trip
+     [Metrics.validate] on the FFS baseline, which never flushes. *)
+  if !flushes > 0 then Metrics.set (Metrics.gauge m "server.mean_batch") mean_batch;
+  {
+    fs_name = fs.Fsops.name;
+    clients = cfg.clients;
+    completed = total_completed;
+    shed = total_shed;
+    errors = !errors;
+    elapsed_s;
+    throughput_ops_s;
+    disk_s;
+    flushes = !flushes;
+    mean_batch;
+    max_queue_depth = !qmax;
+    per_client_completed = completed;
+    per_client_shed = shed;
+    metrics = m;
+  }

@@ -1,0 +1,72 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+(* Binary min-heap ordered by (time, seq): seq breaks ties by insertion
+   order, which is what makes same-instant events deterministic. *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable now : float;
+}
+
+let dummy = { time = 0.0; seq = 0; fn = (fun () -> ()) }
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; now = 0.0 }
+let now t = t.now
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- ev;
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+let at t time fn =
+  if Float.is_nan time then invalid_arg "Sched.at: NaN time";
+  let time = Float.max time t.now in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time; seq; fn }
+
+let after t dt fn = at t (t.now +. dt) fn
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.now <- ev.time;
+    ev.fn ()
+  done

@@ -1,0 +1,36 @@
+(** A discrete-event scheduler over the modelled clock.
+
+    The serving engine interleaves many client sessions against one
+    mounted file system without threads: every future action (an op
+    arrival, a service completion, a group-commit deadline) is an event
+    at a modelled time, and {!run} fires them in order.  Ties are broken
+    by insertion order, so a run is a pure function of its seed — the
+    property the determinism CI check and the crash/fault vdevs
+    underneath rely on.
+
+    Times are modelled seconds on the same axis as the vdev layer's
+    [Io_stats.busy_s]; nothing here reads the wall clock. *)
+
+type t
+
+val create : unit -> t
+(** An empty scheduler with [now = 0]. *)
+
+val now : t -> float
+(** Current modelled time: the timestamp of the last event fired. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at t time fn] schedules [fn] at [time] (clamped to [now] if it is
+    in the past, so a zero-delay event still fires after the current
+    one). *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after t dt fn] is [at t (now t +. dt) fn]. *)
+
+val pending : t -> int
+(** Events not yet fired. *)
+
+val run : t -> unit
+(** Fire events in (time, insertion) order until none remain.  Events
+    scheduled while running are honoured, so the call returns only when
+    the simulated system is fully quiescent. *)

@@ -17,6 +17,7 @@ type t = {
   sync : unit -> unit;
   drop_caches : unit -> unit;
   metrics : unit -> Lfs_obs.Metrics.t option;
+  on_log_batch : ((blocks:int -> unit) -> unit) option;
 }
 
 (* Applying this functor doubles as the compile-time proof that the
@@ -37,6 +38,7 @@ module Make (F : Lfs_core.Fs_intf.S) = struct
       sync = (fun () -> F.sync fs);
       drop_caches = (fun () -> F.drop_caches fs);
       metrics = (fun () -> None);
+      on_log_batch = None;
     }
 end
 
@@ -47,6 +49,7 @@ let of_lfs fs =
   {
     (Of_lfs.make ~name:"Sprite LFS" ~async_writes:true fs) with
     metrics = (fun () -> Some (Fs.metrics fs));
+    on_log_batch = Some (Fs.on_log_batch fs);
   }
 let of_ffs fs = Of_ffs.make ~name:"SunOS FFS" ~async_writes:false fs
 

@@ -19,6 +19,10 @@ type t = {
   metrics : unit -> Lfs_obs.Metrics.t option;
       (** the backing file system's observability registry, when it has
           one ({!of_lfs}); [None] for systems without instrumentation *)
+  on_log_batch : ((blocks:int -> unit) -> unit) option;
+      (** register a per-log-batch callback ({!Lfs_core.Fs.on_log_batch});
+          [None] for systems without a log — the serving layer then
+          counts each durable request as its own flush *)
 }
 
 module Make (F : Lfs_core.Fs_intf.S) : sig

@@ -17,4 +17,5 @@ let () =
       Test_sim.suite;
       Test_workload.suite;
       Test_crashtest.suite;
+      Test_server.suite;
     ]

@@ -58,13 +58,43 @@ let test_histogram_summary () =
   | _ -> Alcotest.fail "expected Summary");
   List.iter (Metrics.observe h) [ 0.5; 1.5; 4.0 ];
   match Metrics.value m "lat" with
-  | Some (Metrics.Summary { count; sum; mean; vmin; vmax }) ->
+  | Some (Metrics.Summary { count; sum; mean; vmin; vmax; p50; p95; p99 }) ->
       Alcotest.(check int) "count" 3 count;
       Alcotest.(check (float 1e-9)) "sum" 6.0 sum;
       Alcotest.(check (float 1e-9)) "mean" 2.0 mean;
       Alcotest.(check (float 1e-9)) "min" 0.5 vmin;
-      Alcotest.(check (float 1e-9)) "max" 4.0 vmax
+      Alcotest.(check (float 1e-9)) "max" 4.0 vmax;
+      Alcotest.(check bool) "percentiles monotone" true (p50 <= p95 && p95 <= p99);
+      Alcotest.(check bool) "percentiles in range" true (p50 >= 0.5 && p99 <= 4.0)
   | _ -> Alcotest.fail "expected Summary"
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "p" in
+  Alcotest.(check bool) "empty histogram: nan" true
+    (Float.is_nan (Metrics.percentile h 0.5));
+  (* 100 samples spread over two decades. *)
+  for i = 1 to 100 do
+    Metrics.observe h (0.001 *. float_of_int i)
+  done;
+  let p50 = Metrics.percentile h 0.50 in
+  let p95 = Metrics.percentile h 0.95 in
+  let p99 = Metrics.percentile h 0.99 in
+  (* Bucket estimates: generous tolerances, but the ordering and the
+     clamp to the observed extrema must hold exactly. *)
+  Alcotest.(check bool) "p50 near the median" true (p50 >= 0.03 && p50 <= 0.07);
+  Alcotest.(check bool) "p95 above p50" true (p95 >= p50);
+  Alcotest.(check bool) "p99 above p95" true (p99 >= p95);
+  Alcotest.(check bool) "p0 clamps to min" true (Metrics.percentile h 0.0 >= 0.001);
+  Alcotest.(check (float 1e-12)) "p100 clamps to max" 0.1 (Metrics.percentile h 1.0);
+  (match Metrics.percentile h 1.5 with
+  | _ -> Alcotest.fail "quantile out of range should raise"
+  | exception Invalid_argument _ -> ());
+  (* A single sample: every quantile is that sample. *)
+  let h1 = Metrics.histogram m "p1" in
+  Metrics.observe h1 2.5;
+  Alcotest.(check (float 1e-12)) "single sample p50" 2.5 (Metrics.percentile h1 0.5);
+  Alcotest.(check (float 1e-12)) "single sample p99" 2.5 (Metrics.percentile h1 0.99)
 
 let test_span_measures_clock_delta () =
   let m = Metrics.create () in
@@ -231,6 +261,7 @@ let suite =
       Alcotest.test_case "gauge_fn replaces" `Quick test_gauge_fn_replaces;
       Alcotest.test_case "kind conflict" `Quick test_kind_conflict_rejected;
       Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+      Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
       Alcotest.test_case "span clock delta" `Quick test_span_measures_clock_delta;
       Alcotest.test_case "dist series" `Quick test_dist_series;
       Alcotest.test_case "unknown name" `Quick test_unknown_name;

@@ -1,0 +1,307 @@
+(* Tests for the request-serving engine: the discrete-event scheduler,
+   determinism, group commit, admission control (shed and block),
+   fairness, and dir-log roll-forward under interleaved sessions. *)
+
+module Sched = Lfs_server.Sched
+module Engine = Lfs_server.Engine
+module Session = Lfs_workload.Session
+module Fsops = Lfs_workload.Fsops
+module Metrics = Lfs_obs.Metrics
+module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
+module Geometry = Lfs_disk.Geometry
+module Fs = Lfs_core.Fs
+
+(* ----- Scheduler ----- *)
+
+let test_sched_ordering () =
+  let s = Sched.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  Sched.at s 2.0 (mark "c");
+  Sched.at s 1.0 (mark "a");
+  (* Same instant: insertion order breaks the tie. *)
+  Sched.at s 1.0 (mark "b");
+  (* Past times clamp to now (0), firing before everything later. *)
+  Sched.at s (-5.0) (mark "past");
+  Alcotest.(check int) "pending" 4 (Sched.pending s);
+  Sched.run s;
+  Alcotest.(check (list string)) "fired in (time, insertion) order"
+    [ "past"; "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check (float 0.0)) "now is the last event time" 2.0 (Sched.now s)
+
+let test_sched_nested_events () =
+  let s = Sched.create () in
+  let hits = ref 0 in
+  (* Events scheduled from inside an event still run, including at zero
+     delay (they fire after the current one, not recursively). *)
+  Sched.after s 1.0 (fun () ->
+      Sched.after s 0.0 (fun () -> incr hits);
+      Sched.after s 0.5 (fun () -> incr hits));
+  Sched.run s;
+  Alcotest.(check int) "nested events fired" 2 !hits;
+  Alcotest.(check (float 0.0)) "clock advanced" 1.5 (Sched.now s)
+
+(* ----- Engine fixtures ----- *)
+
+(* Modelled-time geometry: group commit is invisible on an instant
+   disk, so engine tests run on the paper's Wren IV. *)
+let engine_geom ?(blocks = 8192) () = Geometry.wren_iv ~blocks
+
+let small_cfg =
+  {
+    Engine.default with
+    Engine.clients = 4;
+    ops_per_client = 40;
+    session_files = 8;
+    write_size = 4096;
+  }
+
+(* ----- Determinism ----- *)
+
+let test_engine_deterministic () =
+  let once () =
+    let r = Engine.run small_cfg (Fsops.fresh_lfs (engine_geom ())) in
+    (Metrics.to_json r.Engine.metrics, r.Engine.completed, r.Engine.elapsed_s)
+  in
+  let j1, c1, e1 = once () in
+  let j2, c2, e2 = once () in
+  Alcotest.(check int) "same completions" c1 c2;
+  Alcotest.(check (float 0.0)) "same modelled elapsed" e1 e2;
+  Alcotest.(check string) "byte-identical metrics JSON" j1 j2;
+  (* A different seed is a different run. *)
+  let r3 =
+    Engine.run { small_cfg with Engine.seed = 43 } (Fsops.fresh_lfs (engine_geom ()))
+  in
+  Alcotest.(check bool) "different seed diverges" false
+    (Metrics.to_json r3.Engine.metrics = j1)
+
+(* ----- Group commit ----- *)
+
+let test_group_commit_amortises () =
+  let run clients =
+    Engine.run
+      { small_cfg with Engine.clients; ops_per_client = 60 }
+      (Fsops.fresh_lfs (engine_geom ()))
+  in
+  let r1 = run 1 in
+  let r8 = run 8 in
+  Alcotest.(check bool) "all ops completed" true
+    (r1.Engine.completed = 60 && r8.Engine.completed = 480);
+  Alcotest.(check bool) "batches form under concurrency" true
+    (r8.Engine.mean_batch > 1.0);
+  Alcotest.(check bool) "8 clients out-serve 1 client" true
+    (r8.Engine.throughput_ops_s > r1.Engine.throughput_ops_s);
+  let per_op r = r.Engine.disk_s /. float_of_int r.Engine.completed in
+  Alcotest.(check bool) "group commit cuts disk time per op" true
+    (per_op r8 < per_op r1);
+  (* The flush instruments saw the shared syncs. *)
+  Alcotest.(check bool) "flushes counted" true (r8.Engine.flushes > 0);
+  match Metrics.value r8.Engine.metrics "server.batch.requests" with
+  | Some (Metrics.Summary { count; vmax; _ }) ->
+      Alcotest.(check int) "one observation per flush" r8.Engine.flushes count;
+      Alcotest.(check bool) "some batch carried several requests" true (vmax > 1.0)
+  | _ -> Alcotest.fail "batch histogram missing"
+
+let test_ffs_runs_without_batching () =
+  let r =
+    Engine.run small_cfg (Fsops.fresh_ffs (engine_geom ()))
+  in
+  Alcotest.(check int) "all ops completed" 160 r.Engine.completed;
+  Alcotest.(check int) "no group commit on a synchronous backend" 0
+    r.Engine.flushes;
+  Alcotest.(check bool) "mean batch undefined" true
+    (Float.is_nan r.Engine.mean_batch)
+
+(* ----- Admission control ----- *)
+
+let overload_cfg policy =
+  {
+    small_cfg with
+    Engine.clients = 12;
+    ops_per_client = 30;
+    queue_depth = 2;
+    policy;
+    think_mean_s = 0.01;  (* offered load far beyond a depth-2 queue *)
+  }
+
+let test_overload_shed_accounting () =
+  let cfg = overload_cfg Engine.Shed in
+  let r = Engine.run cfg (Fsops.fresh_lfs (engine_geom ())) in
+  Alcotest.(check bool) "overload actually sheds" true (r.Engine.shed > 0);
+  (* No silent loss: every generated request completed or was shed. *)
+  Array.iteri
+    (fun c completed ->
+      Alcotest.(check int)
+        (Printf.sprintf "client %d accounted" c)
+        cfg.Engine.ops_per_client
+        (completed + r.Engine.per_client_shed.(c)))
+    r.Engine.per_client_completed;
+  Alcotest.(check int) "totals add up"
+    (cfg.Engine.clients * cfg.Engine.ops_per_client)
+    (r.Engine.completed + r.Engine.shed);
+  Alcotest.(check bool) "waiting room respected the bound" true
+    (r.Engine.max_queue_depth <= cfg.Engine.queue_depth)
+
+let test_overload_block_completes_everything () =
+  let cfg = overload_cfg Engine.Block in
+  let r = Engine.run cfg (Fsops.fresh_lfs (engine_geom ())) in
+  Alcotest.(check int) "nothing shed under Block" 0 r.Engine.shed;
+  Alcotest.(check int) "every request completed"
+    (cfg.Engine.clients * cfg.Engine.ops_per_client)
+    r.Engine.completed;
+  Alcotest.(check bool) "waiting room respected the bound" true
+    (r.Engine.max_queue_depth <= cfg.Engine.queue_depth)
+
+let test_fair_dequeue_bounds_ratio () =
+  (* Round-robin dequeue: with a waiting room deep enough that every
+     client keeps a request queued (the regime fair dequeue governs),
+     a saturating overload must not let any session starve or run away
+     with the server.  (At tiny depths completion is decided by
+     admission luck, not dequeue order.) *)
+  let cfg =
+    {
+      (overload_cfg Engine.Shed) with
+      Engine.ops_per_client = 60;
+      queue_depth = 24;
+      think_mean_s = 0.005;
+    }
+  in
+  let r = Engine.run cfg (Fsops.fresh_lfs (engine_geom ())) in
+  Alcotest.(check bool) "the sweep saturates (some shed)" true
+    (r.Engine.shed > 0);
+  let mn = Array.fold_left min max_int r.Engine.per_client_completed in
+  let mx = Array.fold_left max 0 r.Engine.per_client_completed in
+  Alcotest.(check bool) "every client completed something" true (mn > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "max/min completed ratio bounded (%d/%d)" mx mn)
+    true
+    (float_of_int mx /. float_of_int mn <= 2.0)
+
+(* ----- Dir-log roll-forward under the scheduler ----- *)
+
+(* Engine run, power cut after its final sync (the checkpoint on disk is
+   stale), roll-forward, and compare the recovered namespace and file
+   contents against a second identical run that stayed mounted — the
+   engine's determinism is the oracle.  Guards the PR 2 inode-reuse fix
+   under scheduler-interleaved create/remove traffic. *)
+let snapshot_state fs clients =
+  List.concat_map
+    (fun c ->
+      let dir = Printf.sprintf "/c%d" c in
+      match Fs.resolve fs dir with
+      | None -> Alcotest.failf "session dir %s missing" dir
+      | Some ino ->
+          Fs.readdir fs ino
+          |> List.map (fun (name, child) ->
+                 let data =
+                   Fs.read fs child ~off:0 ~len:(Fs.file_size fs child)
+                 in
+                 (dir ^ "/" ^ name, Digest.bytes data))
+          |> List.sort compare)
+    (List.init clients (fun c -> c))
+
+let recovery_cfg =
+  {
+    small_cfg with
+    Engine.clients = 3;
+    ops_per_client = 50;
+    session_files = 4;  (* tiny working set: constant name reuse *)
+  }
+
+let test_rollforward_after_engine_run () =
+  let run_engine () =
+    let dev = Vdev.of_disk (Disk.create (engine_geom ())) in
+    Fs.format dev Lfs_core.Config.default;
+    let fs = Fs.mount dev in
+    let r = Engine.run recovery_cfg (Fsops.of_lfs fs) in
+    Alcotest.(check int) "run completed" 150 r.Engine.completed;
+    (dev, fs)
+  in
+  (* Run A: drop the mounted handle without unmount (the crash) and
+     roll the log forward from the stale checkpoint. *)
+  let dev_a, _abandoned = run_engine () in
+  let fs_rec, report = Fs.recover dev_a in
+  Alcotest.(check bool) "roll-forward replayed log writes" true
+    (report.Fs.writes_replayed > 0);
+  Helpers.fsck_clean fs_rec;
+  (* Run B: identical run, still mounted — the deterministic oracle. *)
+  let _dev_b, fs_oracle = run_engine () in
+  Alcotest.(check (list (pair string string)))
+    "recovered namespace and contents match the oracle"
+    (snapshot_state fs_oracle recovery_cfg.Engine.clients)
+    (snapshot_state fs_rec recovery_cfg.Engine.clients)
+
+(* Two interleaved sessions create/remove/recreate the same names
+   between checkpoints — the minimal form of the PR 2 inode-reuse
+   resurrection bug, driven through Session streams. *)
+let test_interleaved_same_name_rollforward () =
+  let disk, fs = Helpers.fresh_fs ~blocks:2048 () in
+  ignore (Fs.mkdir_path fs "/shared");
+  let dir = Option.get (Fs.resolve fs "/shared") in
+  Fs.checkpoint fs;
+  (* Apply two sessions' streams into ONE shared directory, strictly
+     interleaved; track the expected surviving contents. *)
+  let sessions =
+    Array.init 2 (fun c ->
+        Session.create ~client:c ~seed:9 ~files:3 ~write_size:2048 ())
+  in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  for round = 0 to 39 do
+    let s = sessions.(round mod 2) in
+    let op = Session.next s in
+    let path = "/shared/" ^ op.Session.name in
+    match op.Session.cls with
+    | Session.Create | Session.Write ->
+        let len = max 16 op.Session.size in
+        let data =
+          Bytes.make len (Char.chr (Char.code 'a' + (round mod 26)))
+        in
+        Fs.write_path fs path data;
+        Hashtbl.replace model op.Session.name (Bytes.to_string data)
+    | Session.Delete -> (
+        match Fs.resolve fs path with
+        | Some _ ->
+            Fs.unlink fs ~dir op.Session.name;
+            Hashtbl.remove model op.Session.name
+        | None -> ())
+    | Session.Read -> (
+        match Fs.resolve fs path with
+        | Some ino -> ignore (Fs.read fs ino ~off:0 ~len:(Fs.file_size fs ino))
+        | None -> ())
+  done;
+  Fs.sync fs;
+  (* Crash: recover from the checkpoint, rolling forward through the
+     interleaved create/remove records. *)
+  let fs2, _report = Fs.recover (Helpers.vdev disk) in
+  Helpers.fsck_clean fs2;
+  let dir2 = Option.get (Fs.resolve fs2 "/shared") in
+  let live = Fs.readdir fs2 dir2 in
+  Alcotest.(check int) "surviving name count" (Hashtbl.length model)
+    (List.length live);
+  List.iter
+    (fun (name, ino) ->
+      match Hashtbl.find_opt model name with
+      | None -> Alcotest.failf "removed file %s resurrected" name
+      | Some expected ->
+          let data = Fs.read fs2 ino ~off:0 ~len:(Fs.file_size fs2 ino) in
+          Alcotest.(check string)
+            (Printf.sprintf "contents of %s" name)
+            expected (Bytes.to_string data))
+    live
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "sched ordering" `Quick test_sched_ordering;
+      Alcotest.test_case "sched nested events" `Quick test_sched_nested_events;
+      Alcotest.test_case "engine deterministic" `Quick test_engine_deterministic;
+      Alcotest.test_case "group commit amortises" `Quick test_group_commit_amortises;
+      Alcotest.test_case "ffs without batching" `Quick test_ffs_runs_without_batching;
+      Alcotest.test_case "overload shed accounting" `Quick test_overload_shed_accounting;
+      Alcotest.test_case "overload block completes" `Quick test_overload_block_completes_everything;
+      Alcotest.test_case "fair dequeue ratio" `Quick test_fair_dequeue_bounds_ratio;
+      Alcotest.test_case "roll-forward after engine run" `Quick test_rollforward_after_engine_run;
+      Alcotest.test_case "interleaved same-name roll-forward" `Quick
+        test_interleaved_same_name_rollforward;
+    ] )
