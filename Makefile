@@ -53,6 +53,17 @@ ci:
 	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --json --check > ci-serve-b.json
 	cmp ci-serve-a.json ci-serve-b.json
 	rm -f ci-serve-a.json ci-serve-b.json
+	# Background-cleaning smoke: the --bg-clean flag on both backends
+	# (a no-op on ffs), the bench sweep, and the determinism gate again
+	# with the flag on — idle cleaner steps run on the modelled clock,
+	# so equal seeds must still produce byte-identical JSON.
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --bg-clean --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs ffs --bg-clean --check > /dev/null
+	dune exec bench/main.exe -- bgclean quick
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --bg-clean --json --check > ci-bgclean-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --bg-clean --json --check > ci-bgclean-b.json
+	cmp ci-bgclean-a.json ci-bgclean-b.json
+	rm -f ci-bgclean-a.json ci-bgclean-b.json
 
 clean:
 	dune clean

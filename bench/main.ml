@@ -876,6 +876,166 @@ let server () =
      FFS disk ms/op grows with queueing on synchronous writes."
 
 (* ------------------------------------------------------------------ *)
+(* Background vs foreground cleaning at high disk utilisation           *)
+(* ------------------------------------------------------------------ *)
+
+(* The disk is prefilled to ~85% live with dead blocks scattered across
+   the early segments, so the serving run must clean to keep going.
+   Foreground-only: whole cleaning episodes land inside unlucky
+   requests' service times — the p95/p99 write-latency cliff.  With
+   --bg-clean the engine runs budgeted single-victim cleaner steps in
+   idle windows ("clean during idle periods", paper Section 4), paced by
+   the background watermarks, and the tail collapses. *)
+let server_bgclean () =
+  header
+    "Server - background vs foreground cleaning at high disk utilisation"
+    "idle-scheduled cleaner steps keep the clean pool above the \
+     emergency threshold so foreground writers stop stalling on whole \
+     cleaning episodes; same offered load, same seed, same disk image";
+  let module Engine = Lfs_server.Engine in
+  let module Fs = Lfs_core.Fs in
+  let module Metrics = Lfs_obs.Metrics in
+  let ops = if !quick then 80 else 200 in
+  let clients = 8 in
+  let write_size = 32768 in
+  (* 512 KB segments on a 64 MB disk (128 segments) keep a single-victim
+     background step a sub-second stall.  The background band is pinned
+     to the foreground one (engage one segment above the emergency
+     trigger, refill to the same stop), so both modes maintain the same
+     clean pool over the same dirt — total cleaning work is conserved
+     and the comparison isolates *where* it runs, not how much.
+     Live-blocks reads halve what a mostly-dead victim costs. *)
+  let bench_config =
+    {
+      Lfs_core.Config.default with
+      seg_blocks = 128;
+      write_buffer_blocks = 128;
+      bg_clean_start = 5;
+      bg_clean_stop = 8;
+      cleaner_read = Lfs_core.Config.Live_blocks;
+    }
+  in
+  let prefill () =
+    let geom = Lfs_disk.Geometry.wren_iv ~blocks:16384 in
+    let disk = Lfs_disk.Vdev.of_disk (Lfs_disk.Disk.create geom) in
+    Fs.format disk bench_config;
+    let fs = Fs.mount disk in
+    (* The sessions' working set at full size first, so the measured run
+       overwrites in place instead of growing the live set into the
+       little headroom the disk has left. *)
+    let ws = Bytes.make write_size 'w' in
+    for c = 0 to clients - 1 do
+      ignore (Fs.mkdir_path fs (Printf.sprintf "/c%d" c));
+      for f = 0 to 31 do
+        Fs.write_path fs (Printf.sprintf "/c%d/f%d" c f) ws
+      done
+    done;
+    (* Fresh fill in 8-file groups (one segment each) until only a
+       small clean pool remains above the foreground threshold. *)
+    let payload = Bytes.make (16 * 4096) 'x' in
+    ignore (Fs.mkdir_path fs "/fill");
+    let group = ref 0 in
+    while Fs.clean_segment_count fs > 12 do
+      for f = 0 to 7 do
+        Fs.write_path fs (Printf.sprintf "/fill/g%d_%d" !group f) payload
+      done;
+      incr group
+    done;
+    (* Scatter dirt: rewriting six of the eight files of every other
+       group leaves the group's old segment three-quarters dead
+       (u ~ 0.25) — profitable, plentiful dirt at constant live bytes,
+       so both modes pick the same cheap victims and differ only in
+       *when* they clean.  The foreground cleaner fires below its
+       threshold while we churn; its prefill passes are snapshotted away
+       before the measured run. *)
+    for g = 0 to !group - 1 do
+      if g mod 2 = 0 then
+        for f = 0 to 5 do
+          Fs.write_path fs (Printf.sprintf "/fill/g%d_%d" g f) payload
+        done
+    done;
+    (* Top the pool back up to the stop watermark so both modes start
+       from the same settled state — otherwise the initial client burst
+       lands on a near-trigger pool before the first idle window and
+       charges a start-transient foreground pass to the bg-clean run. *)
+    Fs.clean fs;
+    Fs.sync fs;
+    fs
+  in
+  let counter m name =
+    match Metrics.value m name with Some (Metrics.Int n) -> n | _ -> 0
+  in
+  let write_pct m q =
+    match Metrics.value m "server.latency.write.s" with
+    | Some (Metrics.Summary { p95; p99; _ }) ->
+        1000.0 *. (if q = `P95 then p95 else p99)
+    | _ -> Float.nan
+  in
+  let conserve = ref [] in
+  let row ~bg =
+    let fs = prefill () in
+    let m = Fs.metrics fs in
+    let util0 = Fs.utilization fs in
+    let fg_passes0 = counter m "fs.cleaner.fg.passes" in
+    let fg0 = counter m "fs.cleaner.fg.segments" in
+    let bg0 = counter m "fs.cleaner.bg.segments" in
+    let cfg =
+      {
+        Engine.default with
+        Engine.clients;
+        ops_per_client = ops;
+        write_size;
+        (* Open-loop but unsaturated: ~4 req/s offered against a server
+           good for 7+, so real idle windows exist for the background
+           cleaner — and write latency measures service + flush wait,
+           not unbounded queueing. *)
+        think_mean_s = 2.0;
+        bg_clean = bg;
+      }
+    in
+    let r = Engine.run cfg (W.Fsops.of_lfs fs) in
+    let fg_passes = counter m "fs.cleaner.fg.passes" - fg_passes0 in
+    let fg_segs = counter m "fs.cleaner.fg.segments" - fg0 in
+    let bg_segs = counter m "fs.cleaner.bg.segments" - bg0 in
+    conserve := (bg, fg_segs + bg_segs) :: !conserve;
+    dump_metrics
+      ~title:(Printf.sprintf "server bg-clean=%b" bg)
+      (Some r.Engine.metrics);
+    [
+      (if bg then "bg-clean" else "fg-only");
+      pct util0;
+      Printf.sprintf "%.1f" r.Engine.throughput_ops_s;
+      Printf.sprintf "%.2f"
+        (1000.0 *. r.Engine.disk_s /. float_of_int r.Engine.completed);
+      Printf.sprintf "%.1f" (write_pct r.Engine.metrics `P95);
+      Printf.sprintf "%.1f" (write_pct r.Engine.metrics `P99);
+      string_of_int fg_passes;
+      string_of_int fg_segs;
+      string_of_int bg_segs;
+    ]
+  in
+  let rows = [ row ~bg:false; row ~bg:true ] in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "%d clients x %d ops, %d KB max writes (same seed both runs)"
+         clients ops (write_size / 1024))
+    ~header:
+      [ "mode"; "start util"; "ops/s"; "disk ms/op"; "p95 write ms";
+        "p99 write ms"; "fg passes"; "fg segs"; "bg segs" ]
+    rows;
+  (match (List.assoc_opt false !conserve, List.assoc_opt true !conserve) with
+  | Some fg_total, Some bg_total ->
+      Printf.printf
+        "work conservation: %d segments cleaned fg-only vs %d with \
+         bg-clean (same dirt, same load)\n"
+        fg_total bg_total
+  | _ -> ());
+  print_endline
+    "bg-clean moves (nearly) all cleaned segments into background steps \
+     and cuts the write-latency tail."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -980,6 +1140,7 @@ let experiments =
     ("ablate", ablate);
     ("stripe", stripe);
     ("server", server);
+    ("bgclean", server_bgclean);
   ]
 
 let () =
@@ -997,6 +1158,11 @@ let () =
         end
         else true)
       args
+  in
+  (* `bench server --bg-clean` reads naturally; map the flag onto the
+     bgclean experiment. *)
+  let args =
+    List.map (fun a -> if a = "--bg-clean" then "bgclean" else a) args
   in
   let t0 = Unix.gettimeofday () in
   (match args with

@@ -459,6 +459,15 @@ let serve_cmd =
   let think =
     Arg.(value & opt float 0.05 & info [ "think" ] ~docv:"S" ~doc:"Mean client think time, modelled seconds")
   in
+  let bg_clean =
+    Arg.(
+      value & flag
+      & info [ "bg-clean" ]
+          ~doc:
+            "Clean segments in idle windows, paced by the background \
+             watermarks, instead of only when a writer stalls on the \
+             threshold (no-op on $(b,ffs))")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics registry as JSON (byte-identical for equal seeds)")
   in
@@ -466,7 +475,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate the metrics registry and exit 1 on violations")
   in
   let run clients ops seed fs_kind blocks depth policy window max_batch think
-      json check =
+      bg_clean json check =
     let geom = Lfs_disk.Geometry.wren_iv ~blocks in
     let fs =
       match fs_kind with
@@ -484,6 +493,7 @@ let serve_cmd =
         batch_window_s = window;
         max_batch;
         think_mean_s = think;
+        bg_clean;
       }
     in
     let r = Engine.run cfg fs in
@@ -502,6 +512,9 @@ let serve_cmd =
         (if r.Engine.completed > 0 then
            1000.0 *. r.Engine.disk_s /. float_of_int r.Engine.completed
          else Float.nan);
+      if bg_clean then
+        Printf.printf "background cleaner: %d idle steps\n"
+          r.Engine.bg_clean_steps;
       print_string (Lfs_obs.Metrics.report ~title:"server metrics" m)
     end;
     if check then
@@ -521,7 +534,7 @@ let serve_cmd =
           control, fair dequeue, and per-class latency percentiles")
     Term.(
       const run $ clients $ ops $ seed $ fs_kind $ blocks $ depth $ policy
-      $ window $ max_batch $ think $ json $ check)
+      $ window $ max_batch $ think $ bg_clean $ json $ check)
 
 let () =
   let doc = "manage log-structured file system images" in

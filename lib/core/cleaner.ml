@@ -10,18 +10,60 @@ let take n l =
   in
   go n [] l
 
+(* Decorated candidate: the sort key is computed exactly once, and
+   [pos] (the input position) breaks ties, reproducing the stable-sort
+   ordering of the naive implementation.  Fs hands candidates over in
+   ascending segment order, so ties are effectively broken by segment
+   id — deterministic regardless of how the list was built. *)
+type keyed = { key : float; pos : int; kseg : int }
+
+(* [before a b]: does [a] come ahead of [b] in the cleaning order?
+   Keys are "smaller cleans first". *)
+let before a b = a.key < b.key || (a.key = b.key && a.pos < b.pos)
+
+(* Top-k partial selection: one pass over [keyed], maintaining the best
+   [k] seen so far in a sorted buffer.  O(n*k) comparisons but zero key
+   recomputation; for the cleaner k is [segs_per_pass], a small
+   constant, while n is every dirty segment on the disk. *)
+let top_k k keyed =
+  let buf = Array.make k { key = 0.0; pos = 0; kseg = 0 } in
+  let len = ref 0 in
+  List.iter
+    (fun c ->
+      if !len < k || before c buf.(!len - 1) then begin
+        (* Insert in order, dropping the current worst when full. *)
+        let i = ref (min !len (k - 1)) in
+        while !i > 0 && before c buf.(!i - 1) do
+          buf.(!i) <- buf.(!i - 1);
+          decr i
+        done;
+        buf.(!i) <- c;
+        if !len < k then incr len
+      end)
+    keyed;
+  Array.to_list (Array.sub buf 0 !len)
+
 let select ~policy ?rand ~candidates ~count () =
   let empty, nonempty = List.partition (fun c -> c.u = 0.0) candidates in
+  let by_key key_of =
+    (* Decorate-sort-undecorate: the key function runs once per
+       candidate instead of once per comparison. *)
+    let keyed =
+      List.mapi (fun pos c -> { key = key_of c; pos; kseg = c.seg }) nonempty
+    in
+    let n = List.length keyed in
+    let want = max 0 (count - List.length empty) in
+    if want = 0 then []
+    else if want < n / 4 then top_k want keyed
+    else
+      List.stable_sort (fun a b -> if before a b then -1 else 1) keyed
+      |> take want
+  in
   let ordered =
     match policy with
-    | Config.Greedy ->
-        List.stable_sort (fun a b -> compare a.u b.u) nonempty
-    | Config.Cost_benefit ->
-        List.stable_sort
-          (fun a b -> compare (benefit_cost b) (benefit_cost a))
-          nonempty
-    | Config.Age_only ->
-        List.stable_sort (fun a b -> compare b.age a.age) nonempty
+    | Config.Greedy -> by_key (fun c -> c.u)
+    | Config.Cost_benefit -> by_key (fun c -> -.benefit_cost c)
+    | Config.Age_only -> by_key (fun c -> -.c.age)
     | Config.Random_victim ->
         let rand =
           match rand with
@@ -36,8 +78,9 @@ let select ~policy ?rand ~candidates ~count () =
           arr.(j) <- tmp
         done;
         Array.to_list arr
+        |> List.mapi (fun pos c -> { key = 0.0; pos; kseg = c.seg })
   in
-  take count (List.map (fun c -> c.seg) (empty @ ordered))
+  take count (List.map (fun c -> c.seg) empty @ List.map (fun c -> c.kseg) ordered)
 
 let order_for_grouping ~grouping pairs =
   match grouping with

@@ -8,6 +8,8 @@ type t = {
   max_inodes : int;
   clean_start : int;
   clean_stop : int;
+  bg_clean_start : int;
+  bg_clean_stop : int;
   segs_per_pass : int;
   write_buffer_blocks : int;
   cache_blocks : int;
@@ -25,6 +27,8 @@ let default =
     max_inodes = 65536;
     clean_start = 4;
     clean_stop = 8;
+    bg_clean_start = 12;
+    bg_clean_stop = 16;
     segs_per_pass = 8;
     write_buffer_blocks = 256;
     cache_blocks = 4096;
@@ -42,6 +46,8 @@ let small =
     max_inodes = 512;
     clean_start = 3;
     clean_stop = 5;
+    bg_clean_start = 7;
+    bg_clean_stop = 9;
     segs_per_pass = 4;
     write_buffer_blocks = 16;
     cache_blocks = 64;
@@ -68,6 +74,12 @@ let validate t ~disk_blocks =
   if t.clean_start < 2 then fail "Config: clean_start %d < 2" t.clean_start;
   if t.clean_stop <= t.clean_start then
     fail "Config: clean_stop %d <= clean_start %d" t.clean_stop t.clean_start;
+  if t.bg_clean_start < t.clean_start then
+    fail "Config: bg_clean_start %d < clean_start %d (background must engage \
+          before the emergency threshold)" t.bg_clean_start t.clean_start;
+  if t.bg_clean_stop <= t.bg_clean_start then
+    fail "Config: bg_clean_stop %d <= bg_clean_start %d" t.bg_clean_stop
+      t.bg_clean_start;
   if t.segs_per_pass < 1 then fail "Config: segs_per_pass %d < 1" t.segs_per_pass;
   if t.write_buffer_blocks < 1 then
     fail "Config: write_buffer_blocks %d < 1" t.write_buffer_blocks;

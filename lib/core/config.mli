@@ -28,6 +28,16 @@ type t = {
   max_inodes : int;        (** capacity of the inode map *)
   clean_start : int;       (** start cleaning below this many clean segs *)
   clean_stop : int;        (** stop cleaning at this many clean segs *)
+  bg_clean_start : int;
+      (** background watermark: an idle-time cleaner ({!Fs.clean_step})
+          starts working when the clean pool drops below this.  Sits
+          above [clean_start] so background passes absorb the cleaning
+          load before any foreground writer ever stalls on it (the
+          paper's "clean at night or during idle periods", Section 4). *)
+  bg_clean_stop : int;
+      (** background watermark: idle-time cleaning pauses once the pool
+          recovers to this many clean segments (hysteresis, so the
+          background cleaner does not thrash around one threshold). *)
   segs_per_pass : int;     (** victims examined per cleaning pass *)
   write_buffer_blocks : int;  (** dirty blocks buffered before a log flush *)
   cache_blocks : int;      (** LRU buffer-cache capacity for reads *)

@@ -40,6 +40,17 @@ type obs = {
   ckpt_blocks : Metrics.histogram;
   victim_u : Metrics.dist;
   cleaner_passes : Metrics.counter;
+  (* Foreground (threshold-triggered, writer-stalling) and background
+     (idle-time {!clean_step}) cleaning accounted separately, so a bench
+     can show cleaning load migrating out of the write path. *)
+  fg_passes : Metrics.counter;
+  bg_passes : Metrics.counter;
+  fg_segments : Metrics.counter;
+  bg_segments : Metrics.counter;
+  fg_busy : Metrics.histogram;
+  bg_busy : Metrics.histogram;
+  cleaner_stall : Metrics.histogram;
+      (* disk time a foreground [clean] invocation held up its caller *)
 }
 
 let make_obs () =
@@ -61,6 +72,13 @@ let make_obs () =
       Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.checkpoint.blocks";
     victim_u = Metrics.dist metrics "fs.cleaner.victim_u";
     cleaner_passes = Metrics.counter metrics "fs.cleaner.passes";
+    fg_passes = Metrics.counter metrics "fs.cleaner.fg.passes";
+    bg_passes = Metrics.counter metrics "fs.cleaner.bg.passes";
+    fg_segments = Metrics.counter metrics "fs.cleaner.fg.segments";
+    bg_segments = Metrics.counter metrics "fs.cleaner.bg.segments";
+    fg_busy = Metrics.histogram metrics "fs.cleaner.fg.busy_s";
+    bg_busy = Metrics.histogram metrics "fs.cleaner.bg.busy_s";
+    cleaner_stall = Metrics.histogram metrics "fs.cleaner.stall_s";
   }
 
 type t = {
@@ -85,6 +103,7 @@ type t = {
   mutable blocks_since_ckpt : int;
   mutable ckpt_region : int;  (* region to write next *)
   mutable in_cleaner : bool;
+  mutable bg_active : bool;  (* background cleaner engaged (hysteresis latch) *)
   mutable in_checkpoint : bool;
   mutable checkpoint_hook : unit -> unit;
   log_batch_hook : (blocks:int -> unit) ref;
@@ -471,10 +490,43 @@ let parse_segment_image t ~seg buf =
   walk 0;
   List.rev !results
 
-(* Live-blocks cleaning: walk the summary chain reading one block at a
-   time, handing out on-demand payload thunks that charge the device
-   only for blocks actually needed (Section 3.4's untried idea). *)
-let parse_segment_chain_live t ~seg =
+(* Read [addrs] into [prefetched], coalescing consecutive addresses into
+   one ranged read each.  Runs contain exactly the requested blocks (no
+   dead filler), so the read accounting still reflects "just the live
+   blocks"; going through [t.dev] keeps the block cache coherent and
+   lets already-cached blocks satisfy part of a run. *)
+let prefetch_runs t ~prefetched addrs =
+  let addrs =
+    List.sort_uniq compare
+      (List.filter (fun a -> not (Hashtbl.mem prefetched a)) addrs)
+  in
+  let bs = block_size t in
+  let read_run first len =
+    Fs_stats.note_segment_read t.stats ~blocks:len;
+    let buf = Vdev.read_blocks t.dev first len in
+    for i = 0 to len - 1 do
+      Hashtbl.replace prefetched (first + i) (Bytes.sub buf (i * bs) bs)
+    done
+  in
+  let rec go = function
+    | [] -> ()
+    | first :: rest ->
+        let rec run last = function
+          | a :: more when a = last + 1 -> run a more
+          | tail ->
+              read_run first (last - first + 1);
+              go tail
+        in
+        run first rest
+  in
+  go addrs
+
+(* Live-blocks cleaning: walk the summary chain, handing out payload
+   thunks that serve from [prefetched] when the coalescing pass already
+   pulled the block in, and fall back to a single cached read otherwise
+   — the device is only ever charged for blocks actually needed
+   (Section 3.4's untried idea). *)
+let parse_segment_chain_live t ~prefetched ~seg =
   let seg_blocks = t.layout.Layout.seg_blocks in
   let first = Layout.seg_first_block t.layout seg in
   let results = ref [] in
@@ -494,8 +546,11 @@ let parse_segment_chain_live t ~seg =
                 (fun i e ->
                   let addr = first + slot + 1 + i in
                   let payload () =
-                    Fs_stats.note_segment_read t.stats ~blocks:1;
-                    Vdev.read_block t.dev addr
+                    match Hashtbl.find_opt prefetched addr with
+                    | Some b -> b
+                    | None ->
+                        Fs_stats.note_segment_read t.stats ~blocks:1;
+                        Vdev.read_block t.dev addr
                   in
                   results := (e, addr, payload) :: !results)
                 su.Summary.entries;
@@ -636,12 +691,18 @@ let relocate_item t item =
       Seg_usage.set_block_addr t.usage i fresh;
       if old <> Types.nil_addr then kill_addr t old ~bytes:(block_size t)
 
-let clean_victims t victims =
+let clean_victims t ~bg victims =
   (* Read the victims and identify live data across all of them, then
      write the survivors out grouped by the mount-time policy. *)
   List.iter (fun seg -> Hashtbl.replace t.cleaning_victims seg ()) victims;
   Metrics.incr t.obs.cleaner_passes;
+  Metrics.incr (if bg then t.obs.bg_passes else t.obs.fg_passes);
+  Metrics.incr
+    ~by:(List.length victims)
+    (if bg then t.obs.bg_segments else t.obs.fg_segments);
+  let prefetched = Hashtbl.create 64 in
   let live = ref [] in
+  let data_addrs = ref [] in
   List.iter
     (fun seg ->
       let u = seg_utilization t seg in
@@ -661,16 +722,37 @@ let clean_victims t victims =
               List.map
                 (fun (e, addr, payload) -> (e, addr, fun () -> payload))
                 (parse_segment_image t ~seg buf)
-          | Config.Live_blocks -> parse_segment_chain_live t ~seg
+          | Config.Live_blocks ->
+              let entries = parse_segment_chain_live t ~prefetched ~seg in
+              (* Classification decodes inode blocks immediately; pull
+                 them in as coalesced runs before it starts. *)
+              prefetch_runs t ~prefetched
+                (List.filter_map
+                   (fun ((e : Summary.entry), addr, _) ->
+                     match e.Summary.kind with
+                     | Types.Inode_block -> Some addr
+                     | _ -> None)
+                   entries);
+              entries
         in
         List.iter
           (fun (e, addr, payload) ->
             List.iter
-              (fun item -> live := (item, e.Summary.mtime) :: !live)
+              (fun item ->
+                (match item with
+                | Live_data _ -> data_addrs := addr :: !data_addrs
+                | _ -> ());
+                live := (item, e.Summary.mtime) :: !live)
               (classify_live t e addr payload))
           entries
       end)
     victims;
+  (* Live data payloads are only read at relocation time; now that the
+     live set is known, fetch it as coalesced runs across all victims so
+     the thunks hit [prefetched] instead of seeking block by block. *)
+  (match t.config.Config.cleaner_read with
+  | Config.Live_blocks -> prefetch_runs t ~prefetched !data_addrs
+  | Config.Whole_segment -> ());
   let ordered =
     Cleaner.order_for_grouping ~grouping:t.config.Config.grouping_policy
       (List.rev !live)
@@ -693,77 +775,174 @@ let clean_victims t victims =
     victims;
   Hashtbl.reset t.cleaning_victims
 
+(* A background pass must compact, not merely copy: relocating a
+   (nearly) fully-live segment consumes as much clean space as it frees,
+   so an idle loop at a pool it cannot raise would churn the disk
+   forever.  The emergency path keeps no such floor — under
+   [clean_start] any yield matters. *)
+let bg_max_u = 0.95
+
+(* One budgeted victim batch.  [candidates] holds the dirty-segment ids
+   scanned once by the caller; cleaned victims are subtracted so later
+   passes never re-walk the whole usage table.  Utilisation and age are
+   still re-read per pass (relocation changes both).  Returns
+   [(cleaned, freed)]: how many victims the pass consumed and the net
+   change in clean segments — a pass can clean a victim yet free nothing
+   this step (the relocation rolled the log into a fresh segment) while
+   still compacting. *)
+let clean_pass t ~bg ~max_victims ~candidates =
+  op_span t (if bg then t.obs.bg_busy else t.obs.fg_busy) @@ fun () ->
+  let before = clean_segment_count t in
+  let cur = Log_writer.current_segment t.log in
+  let nxt = Log_writer.reserved_segment t.log in
+  let scored =
+    !candidates
+    |> List.filter (fun s ->
+           s <> cur && s <> nxt && Seg_usage.live_bytes t.usage s > 0)
+    |> List.map (fun s ->
+           {
+             Cleaner.seg = s;
+             u = seg_utilization t s;
+             age = Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage s);
+           })
+  in
+  let scored =
+    if bg then List.filter (fun c -> c.Cleaner.u <= bg_max_u) scored
+    else scored
+  in
+  (* Below the critical threshold (the pool can no longer absorb even
+     one buffer flush), yield is all that matters: fall back to greedy
+     so a cost-benefit (or ablation) policy that favours old nearly-full
+     segments cannot starve the writer of clean segments. *)
+  let policy =
+    if !(t.reusable_len) < flush_need t then Config.Greedy
+    else t.config.Config.cleaning_policy
+  in
+  let victims =
+    Cleaner.select ~policy
+      ~rand:(fun n -> Prng.int t.rng n)
+      ~candidates:scored ~count:max_victims ()
+  in
+  (* Relocation writes into clean segments before any victim is freed,
+     so bound the pass by what the reusable pool can absorb, keeping one
+     segment of slack for the checkpoint and 30% headroom for the inode
+     and indirect blocks rewritten alongside the relocated data. *)
+  let budget = Float.max 0.7 (float_of_int (!(t.reusable_len) - 1)) in
+  let victims =
+    let acc = ref 0.0 in
+    List.filter
+      (fun s ->
+        let cost = (seg_utilization t s *. 1.3) +. 0.05 in
+        if !acc +. cost <= budget then begin
+          acc := !acc +. cost;
+          true
+        end
+        else false)
+      victims
+  in
+  if victims = [] then (0, 0)
+  else begin
+    clean_victims t ~bg victims;
+    (* Persist the pass: victims only become reusable once the
+       checkpoint no longer references their old contents. *)
+    checkpoint t;
+    candidates := List.filter (fun s -> not (List.mem s victims)) !candidates;
+    (List.length victims, clean_segment_count t - before)
+  end
+
 let clean t =
   if t.in_cleaner then ()
   else begin
     t.in_cleaner <- true;
+    let before = Io_stats.copy (Vdev.stats t.disk) in
     Fun.protect
-      ~finally:(fun () -> t.in_cleaner <- false)
+      ~finally:(fun () ->
+        t.in_cleaner <- false;
+        (* The whole invocation — flush, passes, checkpoints — stalls
+           the foreground caller that triggered it. *)
+        let d = Io_stats.diff (Vdev.stats t.disk) before in
+        Metrics.observe t.obs.cleaner_stall d.Io_stats.busy_s)
       (fun () ->
         flush_internal t ~cleaner:false;
+        (* Scan the usage table once; passes subtract their victims. *)
+        let candidates = ref (Seg_usage.dirty_segments t.usage) in
         let continue_cleaning = ref true in
         while
           !continue_cleaning && clean_segment_count t < clean_stop_effective t
         do
-          let before = clean_segment_count t in
-          let cur = Log_writer.current_segment t.log in
-          let nxt = Log_writer.reserved_segment t.log in
-          let candidates =
-            Seg_usage.dirty_segments t.usage
-            |> List.filter (fun s -> s <> cur && s <> nxt)
-            |> List.map (fun s ->
-                   {
-                     Cleaner.seg = s;
-                     u = seg_utilization t s;
-                     age = Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage s);
-                   })
+          let _, freed =
+            clean_pass t ~bg:false
+              ~max_victims:t.config.Config.segs_per_pass ~candidates
           in
-          (* Below the critical threshold (the pool can no longer absorb
-             even one buffer flush), yield is all that matters: fall back
-             to greedy so a cost-benefit (or ablation) policy that
-             favours old nearly-full segments cannot starve the writer of
-             clean segments. *)
-          let policy =
-            if !(t.reusable_len) < flush_need t then Config.Greedy
-            else t.config.Config.cleaning_policy
-          in
-          let victims =
-            Cleaner.select ~policy
-              ~rand:(fun n -> Prng.int t.rng n)
-              ~candidates ~count:t.config.Config.segs_per_pass ()
-          in
-          (* Relocation writes into clean segments before any victim is
-             freed, so bound the pass by what the reusable pool can
-             absorb, keeping one segment of slack for the checkpoint and
-             30% headroom for the inode and indirect blocks rewritten
-             alongside the relocated data. *)
-          let budget = Float.max 0.7 (float_of_int (!(t.reusable_len) - 1)) in
-          let victims =
-            let acc = ref 0.0 in
-            List.filter
-              (fun s ->
-                let cost = (seg_utilization t s *. 1.3) +. 0.05 in
-                if !acc +. cost <= budget then begin
-                  acc := !acc +. cost;
-                  true
-                end
-                else false)
-              victims
-          in
-          if victims = [] then continue_cleaning := false
-          else begin
-            clean_victims t victims;
-            (* Persist the pass: victims only become reusable once the
-               checkpoint no longer references their old contents. *)
-            checkpoint t;
-            if clean_segment_count t <= before then continue_cleaning := false
-          end
+          if freed <= 0 then continue_cleaning := false
         done;
         (* Segments that emptied by themselves since the last checkpoint
            also only become reusable once a checkpoint stops referencing
            their contents — so always finish with one, even when no pass
            ran. *)
         checkpoint t)
+  end
+
+(* {2 Idle-time background cleaning}
+
+   The paper suggests cleaning "at night or during idle periods"
+   (Section 4): an idle caller pulls the clean pool up to a high
+   watermark well above the emergency threshold, so foreground writers
+   (almost) never hit the stall in [clean].  The effective watermarks sit
+   strictly above the foreground trigger, [clean_start_effective]. *)
+
+let bg_clean_start_effective t =
+  max t.config.Config.bg_clean_start (clean_start_effective t + 1)
+
+let bg_clean_stop_effective t =
+  max t.config.Config.bg_clean_stop (bg_clean_start_effective t + 2)
+
+(* Hysteresis latch: engage when the pool falls below the low watermark,
+   stay engaged until it refills to the high one.  Returns the segments
+   still owed (0 = nothing to do right now). *)
+let bg_pending t =
+  let n = clean_segment_count t in
+  if t.bg_active then
+    if n >= bg_clean_stop_effective t then begin
+      t.bg_active <- false;
+      0
+    end
+    else bg_clean_stop_effective t - n
+  else if n < bg_clean_start_effective t then begin
+    t.bg_active <- true;
+    bg_clean_stop_effective t - n
+  end
+  else 0
+
+let clean_step ?max_segments t =
+  if t.in_cleaner then 0
+  else if bg_pending t = 0 then 0
+  else begin
+    let max_victims =
+      match max_segments with
+      | Some n -> max 1 n
+      | None -> t.config.Config.segs_per_pass
+    in
+    t.in_cleaner <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_cleaner <- false)
+      (fun () ->
+        flush_internal t ~cleaner:false;
+        let candidates = ref (Seg_usage.dirty_segments t.usage) in
+        let cleaned, _freed = clean_pass t ~bg:true ~max_victims ~candidates in
+        if cleaned = 0 then begin
+          (* Nothing worth cleaning: every remaining dirty segment is
+             pinned, nearly fully live, or over budget.  Disengage so an
+             idle caller stops spinning — the watermarks may simply be
+             unreachable at this utilisation; the latch re-arms when the
+             pool next drains below the low watermark.  (A pass that
+             cleaned a victim but freed nothing net still compacted —
+             the log just rolled into a fresh segment — so it keeps the
+             latch engaged.) *)
+          t.bg_active <- false;
+          0
+        end
+        else bg_pending t)
   end
 
 let on_checkpoint t hook = t.checkpoint_hook <- hook
@@ -1242,6 +1421,7 @@ let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
       blocks_since_ckpt = 0;
       ckpt_region;
       in_cleaner = false;
+      bg_active = false;
       in_checkpoint = false;
       checkpoint_hook = (fun () -> ());
       log_batch_hook;

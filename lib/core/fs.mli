@@ -127,7 +127,22 @@ val pending_log_blocks : t -> int
 
 val clean : t -> unit
 (** Run cleaning passes until the clean-segment target is reached;
-    normally automatic, exposed for experiments. *)
+    normally automatic, exposed for experiments.  Invocations triggered
+    by the write path stall their caller for the whole duration — the
+    stall is recorded in the [fs.cleaner.stall_s] histogram. *)
+
+val clean_step : ?max_segments:int -> t -> int
+(** One budgeted background cleaning pass, meant to be called from idle
+    time (the paper's "clean at night or during idle periods", §4).
+    Paced by the [bg_clean_start]/[bg_clean_stop] watermarks with
+    hysteresis: a step only does work once the clean pool has dropped
+    below the low watermark, and steps keep reporting work until the
+    pool refills to the high one.  Cleans at most [max_segments] victims
+    (default [segs_per_pass]) and checkpoints, then returns how many
+    segments are still owed — [0] means "nothing to do right now", so a
+    scheduler can stop polling until the next idle window.  Work done
+    here is attributed to [fs.cleaner.bg.*] instead of [fs.cleaner.fg.*]
+    and never shows up in [fs.cleaner.stall_s]. *)
 
 val clean_segment_count : t -> int
 

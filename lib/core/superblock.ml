@@ -5,7 +5,7 @@ module Vdev = Lfs_disk.Vdev
 type t = { config : Config.t; layout : Layout.t }
 
 let magic = 0x4C46_5331 (* "LFS1" *)
-let format_version = 1
+let format_version = 2
 
 let create config ~disk_blocks =
   { config; layout = Layout.compute config ~disk_blocks }
@@ -34,6 +34,8 @@ let store t disk =
   Codec.put_int c t.config.Config.max_inodes;
   Codec.put_int c t.config.Config.clean_start;
   Codec.put_int c t.config.Config.clean_stop;
+  Codec.put_int c t.config.Config.bg_clean_start;
+  Codec.put_int c t.config.Config.bg_clean_stop;
   Codec.put_int c t.config.Config.segs_per_pass;
   Codec.put_int c t.config.Config.write_buffer_blocks;
   Codec.put_int c t.config.Config.cache_blocks;
@@ -73,6 +75,8 @@ let load disk =
   let max_inodes = Codec.get_int c in
   let clean_start = Codec.get_int c in
   let clean_stop = Codec.get_int c in
+  let bg_clean_start = Codec.get_int c in
+  let bg_clean_stop = Codec.get_int c in
   let segs_per_pass = Codec.get_int c in
   let write_buffer_blocks = Codec.get_int c in
   let cache_blocks = Codec.get_int c in
@@ -101,6 +105,8 @@ let load disk =
       max_inodes;
       clean_start;
       clean_stop;
+      bg_clean_start;
+      bg_clean_stop;
       segs_per_pass;
       write_buffer_blocks;
       cache_blocks;

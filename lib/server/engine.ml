@@ -28,6 +28,8 @@ type config = {
   session_files : int;
   write_size : int;
   cpu : Cpu_model.t;
+  bg_clean : bool;
+      (* clean in idle windows, paced by the FS's background watermarks *)
 }
 
 let default =
@@ -43,6 +45,7 @@ let default =
     session_files = 32;
     write_size = 8192;
     cpu = Cpu_model.sun4_260;
+    bg_clean = false;
   }
 
 type request = { client : int; op : Session.op; submit : float }
@@ -58,6 +61,7 @@ type result = {
   disk_s : float;
   flushes : int;
   mean_batch : float;
+  bg_clean_steps : int;
   max_queue_depth : int;
   per_client_completed : int array;
   per_client_shed : int array;
@@ -105,6 +109,8 @@ let run (cfg : config) (fs : Fsops.t) =
   in
   let qdepth_g = Metrics.gauge m "server.queue.depth" in
   let qmax_g = Metrics.gauge m "server.queue.depth_max" in
+  let bg_steps_c = Metrics.counter m "server.bg_clean.steps" in
+  let bg_busy_hist = Metrics.histogram m "server.bg_clean.busy_s" in
 
   (* Seeded substreams: one think-time PRNG per client, sessions keyed
      by (client, seed) — the whole run is a function of [cfg]. *)
@@ -116,9 +122,16 @@ let run (cfg : config) (fs : Fsops.t) =
           ~write_size:cfg.write_size ())
   in
 
-  (* Setup outside the measured run: the per-client directories. *)
+  (* Setup outside the measured run: the per-client directories.  A
+     pre-populated image (high-utilisation benchmarks) may already have
+     them. *)
   let dir_ino =
-    Array.map (fun s -> fs.Fsops.mkdir_path (Session.dir s)) sessions
+    Array.map
+      (fun s ->
+        match fs.Fsops.resolve (Session.dir s) with
+        | Some ino -> ino
+        | None -> fs.Fsops.mkdir_path (Session.dir s))
+      sessions
   in
   fs.Fsops.sync ();
   (match fs.Fsops.on_log_batch with
@@ -158,6 +171,8 @@ let run (cfg : config) (fs : Fsops.t) =
   let batched_reqs = ref 0 in
   let errors = ref 0 in
   let last_completion = ref 0.0 in
+  let bg_steps = ref 0 in
+  let bg_step = if cfg.bg_clean then fs.Fsops.clean_step else None in
 
   let complete req =
     let lat = Sched.now sched -. req.submit in
@@ -216,7 +231,7 @@ let run (cfg : config) (fs : Fsops.t) =
       if !flush_due && !batch_n > 0 then start_flush ()
       else
         match pick_next () with
-        | None -> ()
+        | None -> maybe_bg_clean ()
         | Some req ->
             server_busy := true;
             admit_blocked ();
@@ -225,6 +240,28 @@ let run (cfg : config) (fs : Fsops.t) =
             let disk_s = disk_busy () -. d0 in
             let cpu_s = Cpu_model.cost cfg.cpu ~ops:1 ~blocks in
             Sched.after sched (cpu_s +. disk_s) (fun () -> service_done req)
+  (* Idle window: no runnable request and no flush due.  Run one
+     budgeted cleaner step on the modelled clock — the FS's watermark
+     hysteresis decides whether there is anything to do.  The step
+     itself is synchronous; its disk time occupies the server, so
+     requests arriving meanwhile queue up and preempt further steps
+     (the next step only runs if the queue is empty again). *)
+  and maybe_bg_clean () =
+    match bg_step with
+    | None -> ()
+    | Some step ->
+        let d0 = disk_busy () in
+        let (_ : int) = step ~max_segments:1 in
+        let disk_s = disk_busy () -. d0 in
+        if disk_s > 0.0 then begin
+          incr bg_steps;
+          Metrics.incr bg_steps_c;
+          Metrics.observe bg_busy_hist disk_s;
+          server_busy := true;
+          Sched.after sched disk_s (fun () ->
+              server_busy := false;
+              maybe_start ())
+        end
   (* Round-robin across per-client FIFOs from the cursor: each dequeue
      hands the next turn to the following client, so a hot session gets
      at most one request in before everyone else is offered a slot. *)
@@ -382,6 +419,7 @@ let run (cfg : config) (fs : Fsops.t) =
     disk_s;
     flushes = !flushes;
     mean_batch;
+    bg_clean_steps = !bg_steps;
     max_queue_depth = !qmax;
     per_client_completed = completed;
     per_client_shed = shed;

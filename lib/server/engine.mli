@@ -55,6 +55,11 @@ type config = {
   session_files : int;  (** per-client working-set size *)
   write_size : int;  (** max bytes of one write/read *)
   cpu : Cpu_model.t;
+  bg_clean : bool;
+      (** run budgeted {!Lfs_workload.Fsops.clean_step} passes in idle
+          windows (empty queue, no flush due), paced by the FS's
+          background watermarks and preempted by arrivals; no-op on
+          backends without a cleaner *)
 }
 
 val default : config
@@ -72,6 +77,7 @@ type result = {
   disk_s : float;  (** modelled disk busy time during serving *)
   flushes : int;
   mean_batch : float;  (** requests per flush; [nan] when no flushes *)
+  bg_clean_steps : int;  (** idle cleaner steps that did work *)
   max_queue_depth : int;
   per_client_completed : int array;
   per_client_shed : int array;

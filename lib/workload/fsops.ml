@@ -18,6 +18,7 @@ type t = {
   drop_caches : unit -> unit;
   metrics : unit -> Lfs_obs.Metrics.t option;
   on_log_batch : ((blocks:int -> unit) -> unit) option;
+  clean_step : (max_segments:int -> int) option;
 }
 
 (* Applying this functor doubles as the compile-time proof that the
@@ -39,6 +40,7 @@ module Make (F : Lfs_core.Fs_intf.S) = struct
       drop_caches = (fun () -> F.drop_caches fs);
       metrics = (fun () -> None);
       on_log_batch = None;
+      clean_step = None;
     }
 end
 
@@ -50,6 +52,7 @@ let of_lfs fs =
     (Of_lfs.make ~name:"Sprite LFS" ~async_writes:true fs) with
     metrics = (fun () -> Some (Fs.metrics fs));
     on_log_batch = Some (Fs.on_log_batch fs);
+    clean_step = Some (fun ~max_segments -> Fs.clean_step ~max_segments fs);
   }
 let of_ffs fs = Of_ffs.make ~name:"SunOS FFS" ~async_writes:false fs
 

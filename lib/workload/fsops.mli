@@ -23,6 +23,11 @@ type t = {
       (** register a per-log-batch callback ({!Lfs_core.Fs.on_log_batch});
           [None] for systems without a log — the serving layer then
           counts each durable request as its own flush *)
+  clean_step : (max_segments:int -> int) option;
+      (** one budgeted background cleaning pass
+          ({!Lfs_core.Fs.clean_step}), returning the segments still owed;
+          [None] for systems without a cleaner — a serving layer's
+          [--bg-clean] knob is then a no-op *)
 }
 
 module Make (F : Lfs_core.Fs_intf.S) : sig

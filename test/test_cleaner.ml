@@ -112,6 +112,56 @@ let test_tie_break_is_stable () =
     [ 7; 3; 5 ]
     (Cleaner.select ~policy:Config.Cost_benefit ~candidates:ties ~count:3 ())
 
+(* The decorate-sort-undecorate rewrite (with its top-k fast path) must
+   order victims exactly like the original sort-everything
+   implementation: empties first in submission order, then ascending
+   key with submission-order tie-break.  Checked against a straight
+   reference re-implementation across list shapes that exercise both
+   the top-k path (count << candidates) and the full sort. *)
+let reference_select ~policy ~candidates ~count =
+  let key =
+    match policy with
+    | Config.Greedy -> fun c -> c.Cleaner.u
+    | Config.Cost_benefit -> fun c -> -.Cleaner.benefit_cost c
+    | Config.Age_only -> fun c -> -.c.Cleaner.age
+    | Config.Random_victim -> invalid_arg "reference_select: random"
+  in
+  let empty, nonempty = List.partition (fun c -> c.Cleaner.u = 0.0) candidates in
+  let ordered =
+    List.stable_sort (fun a b -> compare (key a) (key b)) nonempty
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take count (List.map (fun c -> c.Cleaner.seg) (empty @ ordered))
+
+let test_select_matches_reference () =
+  let prng = Prng.create ~seed:21 in
+  for trial = 1 to 50 do
+    let n = 1 + Prng.int prng 40 in
+    let candidates =
+      List.init n (fun i ->
+          (* Coarse buckets force plenty of exact key ties. *)
+          cand i
+            (float_of_int (Prng.int prng 5) /. 4.0)
+            (float_of_int (Prng.int prng 4) *. 10.0))
+    in
+    List.iter
+      (fun policy ->
+        List.iter
+          (fun count ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "trial %d: %s, %d of %d" trial
+                 (Config.cleaning_policy_name policy)
+                 count n)
+              (reference_select ~policy ~candidates ~count)
+              (Cleaner.select ~policy ~candidates ~count ()))
+          [ 1; 2; n / 4; n / 2; n; n + 3 ])
+      [ Config.Greedy; Config.Cost_benefit; Config.Age_only ]
+  done
+
 let test_grouping_age_sort () =
   let items = [ ("young", 5.0); ("ancient", 100.0); ("mid", 50.0) ] in
   Alcotest.(check (list string)) "oldest first"
@@ -281,6 +331,121 @@ let test_live_blocks_reads_less_when_sparse () =
     (Printf.sprintf "live (%d) < whole (%d)" live whole)
     true (live < whole)
 
+(* ----- Budgeted background cleaning (clean_step) ----- *)
+
+let counter fs name =
+  match Lfs_obs.Metrics.value (Fs.metrics fs) name with
+  | Some (Lfs_obs.Metrics.Int n) -> n
+  | _ -> 0
+
+(* Narrow background band just above the emergency one so tests can
+   reach it with a few dozen writes. *)
+let bg_config = { Helpers.test_config with Config.bg_clean_start = 6; bg_clean_stop = 8 }
+
+(* Drain the clean pool to [pool] and leave reclaimable dirt behind:
+   a fresh fill pins live data until [pool + 3] clean segments remain,
+   then rewrites of alternate fill files (half a segment each) dig the
+   rest of the way while turning their old segments half dead. *)
+let drain_to fs ~pool =
+  let n = ref 0 in
+  while Fs.clean_segment_count fs > pool + 3 do
+    Fs.write_path fs (Printf.sprintf "/fill%d" !n) (Bytes.make 32_768 'f');
+    incr n
+  done;
+  let g = ref 0 in
+  while Fs.clean_segment_count fs > pool && !g < !n do
+    Fs.write_path fs (Printf.sprintf "/fill%d" !g) (Bytes.make 32_768 'r');
+    g := !g + 2
+  done
+
+let test_clean_step_idle_above_watermark () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config:bg_config () in
+  Fs.write_path fs "/a" (Bytes.make 20_000 'a');
+  Alcotest.(check int) "nothing owed on a mostly-clean disk" 0
+    (Fs.clean_step fs);
+  Alcotest.(check int) "no background pass ran" 0
+    (counter fs "fs.cleaner.bg.passes")
+
+let test_clean_step_latch_needs_low_watermark () =
+  (* In the middle of the band with the latch never engaged, a step is
+     a no-op: hysteresis only arms below the low watermark. *)
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config:bg_config () in
+  drain_to fs ~pool:7;
+  Alcotest.(check int) "mid-band, latch off: nothing owed" 0
+    (Fs.clean_step fs);
+  Alcotest.(check int) "no background pass ran" 0
+    (counter fs "fs.cleaner.bg.passes")
+
+let test_clean_step_refills_to_high_watermark () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config:bg_config () in
+  drain_to fs ~pool:5;
+  let fg_before = counter fs "fs.cleaner.fg.passes" in
+  let steps = ref 0 in
+  while Fs.clean_step fs > 0 && !steps < 500 do
+    incr steps
+  done;
+  Alcotest.(check bool) "terminates" true (!steps < 500);
+  Alcotest.(check bool) "background passes ran" true
+    (counter fs "fs.cleaner.bg.passes" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pool refilled to the high watermark (%d)"
+       (Fs.clean_segment_count fs))
+    true
+    (Fs.clean_segment_count fs >= bg_config.Config.bg_clean_stop);
+  Alcotest.(check int) "no foreground pass charged" fg_before
+    (counter fs "fs.cleaner.fg.passes");
+  (* Refilled and disengaged: further steps are no-ops. *)
+  let bg_passes = counter fs "fs.cleaner.bg.passes" in
+  Alcotest.(check int) "disengaged after refill" 0 (Fs.clean_step fs);
+  Alcotest.(check int) "no extra pass" bg_passes
+    (counter fs "fs.cleaner.bg.passes");
+  Helpers.fsck_clean fs
+
+let test_clean_step_respects_budget () =
+  let _, fs = Helpers.fresh_fs ~blocks:2048 ~config:bg_config () in
+  drain_to fs ~pool:5;
+  let segs0 = counter fs "fs.cleaner.bg.segments" in
+  ignore (Fs.clean_step ~max_segments:1 fs);
+  let cleaned = counter fs "fs.cleaner.bg.segments" - segs0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single step cleaned at most one victim (%d)" cleaned)
+    true (cleaned <= 1);
+  Helpers.fsck_clean fs
+
+(* ----- Whole-segment vs live-blocks equivalence ----- *)
+
+(* Property: the cleaner's read policy is an I/O strategy, not a
+   semantic one — the same workload leaves the same live data whether
+   victims are read wholesale or block-by-block through the cache. *)
+let test_read_policy_equivalence () =
+  List.iter
+    (fun seed ->
+      let run cleaner_read =
+        let config = { Helpers.test_config with Config.cleaner_read } in
+        let _, fs = Helpers.fresh_fs ~blocks:2048 ~config () in
+        let prng = Prng.create ~seed in
+        let model = Helpers.random_ops ~ops:300 fs prng in
+        Fs.clean fs;
+        Fs.sync fs;
+        Helpers.fsck_clean fs;
+        (fs, model)
+      in
+      let fs_whole, model_whole = run Config.Whole_segment in
+      let fs_live, model_live = run Config.Live_blocks in
+      (* Same op stream on both: the models must agree, and each file
+         system must hold exactly its model's live set. *)
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: same surviving file count" seed)
+        (Hashtbl.length model_whole)
+        (Hashtbl.length model_live);
+      Helpers.check_model fs_whole model_whole;
+      Helpers.check_model fs_live model_whole;
+      let live fs = (Fs.live_breakdown fs).Fs.total_bytes in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: identical live bytes" seed)
+        (live fs_whole) (live fs_live))
+    [ 1; 2; 3 ]
+
 let test_checkpoint_by_blocks () =
   let config =
     { Helpers.test_config with Config.checkpoint_interval_blocks = 64 }
@@ -324,6 +489,7 @@ let suite =
       Alcotest.test_case "count exceeds candidates" `Quick test_select_count_exceeds_candidates;
       Alcotest.test_case "empty candidates" `Quick test_select_empty_candidates;
       Alcotest.test_case "tie-break stable" `Quick test_tie_break_is_stable;
+      Alcotest.test_case "select matches reference" `Quick test_select_matches_reference;
       Alcotest.test_case "grouping" `Quick test_grouping_age_sort;
       Alcotest.test_case "cleaning triggers" `Quick test_cleaning_triggers_and_reclaims;
       Alcotest.test_case "contents survive" `Quick test_contents_survive_cleaning;
@@ -336,6 +502,16 @@ let suite =
       Alcotest.test_case "live breakdown" `Quick test_live_breakdown_sums;
       Alcotest.test_case "live-blocks cleaning safe" `Quick test_live_blocks_cleaning_safe;
       Alcotest.test_case "live-blocks reads less" `Quick test_live_blocks_reads_less_when_sparse;
+      Alcotest.test_case "clean_step idle above watermark" `Quick
+        test_clean_step_idle_above_watermark;
+      Alcotest.test_case "clean_step latch hysteresis" `Quick
+        test_clean_step_latch_needs_low_watermark;
+      Alcotest.test_case "clean_step refills to high watermark" `Quick
+        test_clean_step_refills_to_high_watermark;
+      Alcotest.test_case "clean_step respects budget" `Quick
+        test_clean_step_respects_budget;
+      Alcotest.test_case "read-policy equivalence" `Quick
+        test_read_policy_equivalence;
       Alcotest.test_case "checkpoint by volume" `Quick test_checkpoint_by_blocks;
       Alcotest.test_case "volume checkpoint bounds recovery" `Quick
         test_checkpoint_by_blocks_bounds_recovery;

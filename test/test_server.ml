@@ -232,6 +232,104 @@ let test_rollforward_after_engine_run () =
     (snapshot_state fs_oracle recovery_cfg.Engine.clients)
     (snapshot_state fs_rec recovery_cfg.Engine.clients)
 
+(* ----- Background cleaning under the engine ----- *)
+
+(* A high-utilisation image whose clean pool sits at the stop watermark:
+   the measured run's writes drain it into the background band, so an
+   engine with --bg-clean has real cleaning to schedule.  Small segments
+   keep each single-victim step a short stall; the band is two segments
+   above the emergency trigger. *)
+let bg_fs_config =
+  {
+    Lfs_core.Config.default with
+    seg_blocks = 64;
+    write_buffer_blocks = 64;
+    bg_clean_start = 7;
+    bg_clean_stop = 10;
+  }
+
+let prefilled_bg_fs () =
+  let dev = Vdev.of_disk (Disk.create (engine_geom ~blocks:4096 ())) in
+  Fs.format dev bg_fs_config;
+  let fs = Fs.mount dev in
+  let payload = Bytes.make 32768 'p' in
+  ignore (Fs.mkdir_path fs "/fill");
+  let n = ref 0 in
+  while Fs.clean_segment_count fs > 10 do
+    Fs.write_path fs (Printf.sprintf "/fill/g%d" !n) payload;
+    incr n
+  done;
+  (* Dirt at constant live bytes, then settle the pool at the stop
+     watermark so the run starts from a reproducible state. *)
+  for g = 0 to !n - 1 do
+    if g mod 2 = 0 then
+      Fs.write_path fs (Printf.sprintf "/fill/g%d" g) payload
+  done;
+  Fs.clean fs;
+  Fs.sync fs;
+  (dev, fs)
+
+let bg_cfg =
+  {
+    small_cfg with
+    Engine.ops_per_client = 60;
+    think_mean_s = 0.2;  (* unsaturated: real idle windows *)
+    bg_clean = true;
+  }
+
+let test_engine_bg_clean_deterministic () =
+  let once () =
+    let _dev, fs = prefilled_bg_fs () in
+    let r = Engine.run bg_cfg (Fsops.of_lfs fs) in
+    (Metrics.to_json r.Engine.metrics, r.Engine.bg_clean_steps)
+  in
+  let j1, s1 = once () in
+  let j2, s2 = once () in
+  Alcotest.(check bool) "background steps actually ran" true (s1 > 0);
+  Alcotest.(check int) "same step count" s1 s2;
+  Alcotest.(check string) "byte-identical metrics JSON" j1 j2
+
+let test_engine_bg_clean_keeps_foreground_out () =
+  let _dev, fs = prefilled_bg_fs () in
+  let fs_metrics = Fs.metrics fs in
+  let counter name =
+    match Metrics.value fs_metrics name with
+    | Some (Metrics.Int n) -> n
+    | _ -> 0
+  in
+  let fg0 = counter "fs.cleaner.fg.passes" in
+  let r = Engine.run bg_cfg (Fsops.of_lfs fs) in
+  Alcotest.(check int) "all ops completed"
+    (bg_cfg.Engine.clients * bg_cfg.Engine.ops_per_client)
+    r.Engine.completed;
+  Alcotest.(check bool) "background cleaning kept up" true
+    (r.Engine.bg_clean_steps > 0);
+  Alcotest.(check bool) "background segments cleaned" true
+    (counter "fs.cleaner.bg.segments" > 0);
+  Alcotest.(check int) "zero foreground passes during the run" fg0
+    (counter "fs.cleaner.fg.passes");
+  Helpers.fsck_clean fs
+
+let test_rollforward_after_bg_clean_run () =
+  (* Crash after a run that interleaved background cleaning with client
+     traffic; the deterministic twin run that stayed mounted is the
+     oracle for the recovered state. *)
+  let run_engine () =
+    let dev, fs = prefilled_bg_fs () in
+    let r = Engine.run bg_cfg (Fsops.of_lfs fs) in
+    Alcotest.(check bool) "background steps ran" true
+      (r.Engine.bg_clean_steps > 0);
+    (dev, fs)
+  in
+  let dev_a, _abandoned = run_engine () in
+  let fs_rec, _report = Fs.recover dev_a in
+  Helpers.fsck_clean fs_rec;
+  let _dev_b, fs_oracle = run_engine () in
+  Alcotest.(check (list (pair string string)))
+    "recovered namespace and contents match the oracle"
+    (snapshot_state fs_oracle bg_cfg.Engine.clients)
+    (snapshot_state fs_rec bg_cfg.Engine.clients)
+
 (* Two interleaved sessions create/remove/recreate the same names
    between checkpoints — the minimal form of the PR 2 inode-reuse
    resurrection bug, driven through Session streams. *)
@@ -302,6 +400,11 @@ let suite =
       Alcotest.test_case "overload block completes" `Quick test_overload_block_completes_everything;
       Alcotest.test_case "fair dequeue ratio" `Quick test_fair_dequeue_bounds_ratio;
       Alcotest.test_case "roll-forward after engine run" `Quick test_rollforward_after_engine_run;
+      Alcotest.test_case "bg-clean deterministic" `Quick test_engine_bg_clean_deterministic;
+      Alcotest.test_case "bg-clean keeps foreground out" `Quick
+        test_engine_bg_clean_keeps_foreground_out;
+      Alcotest.test_case "roll-forward after bg-clean run" `Quick
+        test_rollforward_after_bg_clean_run;
       Alcotest.test_case "interleaved same-name roll-forward" `Quick
         test_interleaved_same_name_rollforward;
     ] )
