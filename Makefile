@@ -64,6 +64,17 @@ ci:
 	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --bg-clean --json --check > ci-bgclean-b.json
 	cmp ci-bgclean-a.json ci-bgclean-b.json
 	rm -f ci-bgclean-a.json ci-bgclean-b.json
+	# IO-depth smoke: the queued submit/complete pipeline on both
+	# backends, the depth sweep, and the determinism gate — device
+	# completions are events on the modelled clock, so equal seeds must
+	# still produce byte-identical JSON.
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --io-depth 8 --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs ffs --io-depth 8 --check > /dev/null
+	dune exec bench/main.exe -- iodepth quick
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --io-depth 8 --json --check > ci-iodepth-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --io-depth 8 --json --check > ci-iodepth-b.json
+	cmp ci-iodepth-a.json ci-iodepth-b.json
+	rm -f ci-iodepth-a.json ci-iodepth-b.json
 
 clean:
 	dune clean

@@ -468,6 +468,16 @@ let serve_cmd =
              watermarks, instead of only when a writer stalls on the \
              threshold (no-op on $(b,ffs))")
   in
+  let io_depth =
+    Arg.(
+      value & opt int 1
+      & info [ "io-depth" ] ~docv:"N"
+          ~doc:
+            "Device requests kept in flight together.  $(b,1) serves \
+             strictly serially (the historical timings); larger values \
+             overlap request IO through the per-device elevator, with \
+             group-commit flushes acting as fsync barriers")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics registry as JSON (byte-identical for equal seeds)")
   in
@@ -475,7 +485,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate the metrics registry and exit 1 on violations")
   in
   let run clients ops seed fs_kind blocks depth policy window max_batch think
-      bg_clean json check =
+      bg_clean io_depth json check =
     let geom = Lfs_disk.Geometry.wren_iv ~blocks in
     let fs =
       match fs_kind with
@@ -494,6 +504,7 @@ let serve_cmd =
         max_batch;
         think_mean_s = think;
         bg_clean;
+        io_depth;
       }
     in
     let r = Engine.run cfg fs in
@@ -501,8 +512,9 @@ let serve_cmd =
     if json then print_string (Lfs_obs.Metrics.to_json m)
     else begin
       Printf.printf
-        "%s: %d clients x %d ops (seed %d, depth %d, policy %s)\n"
-        r.Engine.fs_name clients ops seed depth (Engine.policy_name policy);
+        "%s: %d clients x %d ops (seed %d, depth %d, policy %s, io-depth %d)\n"
+        r.Engine.fs_name clients ops seed depth (Engine.policy_name policy)
+        io_depth;
       Printf.printf
         "completed %d, shed %d, errors %d in %.3f modelled s (%.1f ops/s)\n"
         r.Engine.completed r.Engine.shed r.Engine.errors r.Engine.elapsed_s
@@ -534,7 +546,7 @@ let serve_cmd =
           control, fair dequeue, and per-class latency percentiles")
     Term.(
       const run $ clients $ ops $ seed $ fs_kind $ blocks $ depth $ policy
-      $ window $ max_batch $ think $ bg_clean $ json $ check)
+      $ window $ max_batch $ think $ bg_clean $ io_depth $ json $ check)
 
 let () =
   let doc = "manage log-structured file system images" in

@@ -344,7 +344,12 @@ let flush_internal t ~cleaner =
       flush_filemaps_and_inodes t;
       Log_writer.sync t.log)
 
-let sync t = flush_internal t ~cleaner:false
+(* [sync] is the fsync barrier: flush, then await every outstanding log
+   write so durability is settled before returning.  Internal flushes
+   (buffer pressure, the cleaner) skip the barrier and pipeline. *)
+let sync t =
+  flush_internal t ~cleaner:false;
+  ignore (Log_writer.barrier t.log)
 
 (* {1 Checkpoints} *)
 
@@ -416,6 +421,9 @@ let checkpoint t =
             (Seg_usage.dirty_blocks t.usage);
           Log_writer.sync t.log
         done;
+        (* The checkpoint region must not land ahead of the log blocks
+           it points at: barrier before writing it. *)
+        ignore (Log_writer.barrier t.log);
         let region =
           {
             Checkpoint.timestamp = t.clock;

@@ -51,7 +51,17 @@ val append :
 (** Queue one block for the log and return its (final) disk address. *)
 
 val sync : t -> unit
-(** Write any buffered batch to disk. *)
+(** Submit any buffered batch to disk as one tagged sequential transfer.
+    Under queued device modes the write pipelines ahead of the next
+    {!barrier}; in the default Direct mode it completes immediately. *)
+
+val barrier : t -> float
+(** Await every batch write not yet confirmed (the fsync barrier);
+    returns an upper bound on the completion time of the latest one, or
+    [neg_infinity] when none was pending. *)
+
+val unflushed_batches : t -> int
+(** Batch writes submitted but not yet confirmed by {!barrier}. *)
 
 val current_segment : t -> int
 val current_offset : t -> int

@@ -2,19 +2,46 @@ type t = {
   geometry : Geometry.t;
   data : bytes array;
   stats : Io_stats.t;
-  mutable head : int;  (* block index just past the previous transfer *)
+  queue : Io_queue.t;
+  mutable mode : Io_queue.mode;
   mutable crash_countdown : int option;  (* blocks until power cut *)
   mutable crashed : bool;
 }
 
 exception Crashed
 
+(* Modelled duration of one transfer: reposition (none when the head is
+   already at [addr]), transfer at media bandwidth, fixed per-IO
+   overhead.  A cold head ([-1], fresh or rebooted device) pays an
+   average-ish seek of a third of the disk. *)
+let service_fn geometry ~head ~addr ~nblocks =
+  let seeked = addr <> head in
+  let reposition =
+    if not seeked then 0.0
+    else begin
+      let distance_blocks =
+        if head < 0 then geometry.Geometry.blocks / 3 else abs (addr - head)
+      in
+      Geometry.seek_time geometry ~distance_blocks
+      +. geometry.Geometry.rotational_latency_s
+    end
+  in
+  let transfer =
+    if geometry.Geometry.bandwidth_bytes_per_s = infinity then 0.0
+    else
+      float_of_int (nblocks * geometry.Geometry.block_size)
+      /. geometry.Geometry.bandwidth_bytes_per_s
+  in
+  (reposition +. transfer +. geometry.Geometry.per_io_overhead_s, seeked)
+
 let create geometry =
+  let stats = Io_stats.create () in
   {
     geometry;
     data = Array.init geometry.Geometry.blocks (fun _ -> Bytes.make geometry.Geometry.block_size '\000');
-    stats = Io_stats.create ();
-    head = -1;
+    stats;
+    queue = Io_queue.create ~service:(service_fn geometry) ~stats;
+    mode = Io_queue.Direct;
     crash_countdown = None;
     crashed = false;
   }
@@ -23,6 +50,18 @@ let geometry t = t.geometry
 let block_size t = t.geometry.Geometry.block_size
 let nblocks t = t.geometry.Geometry.blocks
 let stats t = t.stats
+(* Entering queued mode re-bases the idle device into the caller's clock
+   domain: the horizon accumulated by Direct-mode service (total busy
+   time since creation) is history, not future busy time, so the first
+   queued request must not wait behind it. *)
+let set_mode t m =
+  (match m with
+  | Io_queue.Queued clock when Io_queue.depth t.queue = 0 ->
+      Io_queue.set_horizon t.queue (clock ())
+  | _ -> ());
+  t.mode <- m
+
+let get_mode t = t.mode
 
 let check_range t addr n what =
   if addr < 0 || n < 0 || addr + n > nblocks t then
@@ -30,33 +69,29 @@ let check_range t addr n what =
       (Printf.sprintf "Disk.%s: blocks [%d, %d) out of range [0, %d)" what addr
          (addr + n) (nblocks t))
 
-let charge t ~addr ~n =
-  let reposition =
-    if addr = t.head then 0.0
-    else begin
-      t.stats.Io_stats.seeks <- t.stats.Io_stats.seeks + 1;
-      let distance_blocks =
-        if t.head < 0 then nblocks t / 3 else abs (addr - t.head)
-      in
-      Geometry.seek_time t.geometry ~distance_blocks
-      +. t.geometry.Geometry.rotational_latency_s
-    end
+(* Enqueue the transfer on the time plane.  [Direct] services it on the
+   spot — submission order, zero wait, the historical synchronous
+   timings; [Queued] leaves it for await/drain/pump. *)
+let enqueue t ?now ~addr ~n () =
+  let now =
+    match now with
+    | Some s -> s
+    | None -> (
+        match t.mode with
+        | Io_queue.Direct -> Io_queue.horizon t.queue
+        | Io_queue.Queued clock -> clock ())
   in
-  let transfer =
-    if t.geometry.Geometry.bandwidth_bytes_per_s = infinity then 0.0
-    else float_of_int (n * block_size t) /. t.geometry.Geometry.bandwidth_bytes_per_s
-  in
-  t.stats.Io_stats.busy_s <-
-    t.stats.Io_stats.busy_s +. reposition +. transfer
-    +. t.geometry.Geometry.per_io_overhead_s;
-  t.head <- addr + n
+  let tag = Io_queue.submit t.queue ~now ~addr ~nblocks:n in
+  (match t.mode with
+  | Io_queue.Direct -> ignore (Io_queue.await (Io_queue.Tag (t.queue, tag)))
+  | Io_queue.Queued _ -> ());
+  Io_queue.Tag (t.queue, tag)
 
 let ensure_alive t = if t.crashed then raise Crashed
 
-let read_blocks t addr n =
+let submit_read ?now t addr n =
   ensure_alive t;
   check_range t addr n "read_blocks";
-  charge t ~addr ~n;
   t.stats.Io_stats.reads <- t.stats.Io_stats.reads + 1;
   t.stats.Io_stats.blocks_read <- t.stats.Io_stats.blocks_read + n;
   let bs = block_size t in
@@ -64,8 +99,9 @@ let read_blocks t addr n =
   for i = 0 to n - 1 do
     Bytes.blit t.data.(addr + i) 0 out (i * bs) bs
   done;
-  out
+  (enqueue t ?now ~addr ~n (), out)
 
+let read_blocks t addr n = snd (submit_read t addr n)
 let read_block t addr = read_blocks t addr 1
 
 (* How many of the next [n] blocks may still be persisted before the
@@ -86,33 +122,51 @@ let consume_countdown t n =
       end
       else t.crash_countdown <- Some k
 
-let write_blocks t addr b =
+let submit_write ?now t addr b =
   ensure_alive t;
   let bs = block_size t in
   if Bytes.length b mod bs <> 0 then
     invalid_arg "Disk.write_blocks: buffer is not a whole number of blocks";
   let n = Bytes.length b / bs in
   check_range t addr n "write_blocks";
-  charge t ~addr ~n;
   t.stats.Io_stats.writes <- t.stats.Io_stats.writes + 1;
   t.stats.Io_stats.blocks_written <- t.stats.Io_stats.blocks_written + n;
+  let tk = enqueue t ?now ~addr ~n () in
   let persist = writable_prefix t n in
   for i = 0 to persist - 1 do
     Bytes.blit b (i * bs) t.data.(addr + i) 0 bs
   done;
   consume_countdown t n;
-  if t.crashed then raise Crashed
+  if t.crashed then raise Crashed;
+  tk
+
+let write_blocks t addr b = ignore (submit_write t addr b)
 
 let write_block t addr b =
   if Bytes.length b <> block_size t then
     invalid_arg "Disk.write_block: buffer is not exactly one block";
   write_blocks t addr b
 
+(* Zeroing is a write of zeros: it charges modelled time, counts in the
+   stats, and respects an armed crash (a torn zero clears only its
+   writable prefix). *)
 let zero_blocks t addr n =
+  ensure_alive t;
   check_range t addr n "zero_blocks";
-  for i = 0 to n - 1 do
+  t.stats.Io_stats.writes <- t.stats.Io_stats.writes + 1;
+  t.stats.Io_stats.blocks_written <- t.stats.Io_stats.blocks_written + n;
+  ignore (enqueue t ~addr ~n ());
+  let persist = writable_prefix t n in
+  for i = 0 to persist - 1 do
     Bytes.fill t.data.(addr + i) 0 (block_size t) '\000'
-  done
+  done;
+  consume_countdown t n;
+  if t.crashed then raise Crashed
+
+let drain t = Io_queue.drain t.queue
+let pump t ~now = Io_queue.pump t.queue ~now
+let outstanding_in t ~lo ~hi = Io_queue.outstanding_in t.queue ~lo ~hi
+let queue_depth t = Io_queue.depth t.queue
 
 let plan_crash t ~after_blocks =
   assert (after_blocks >= 0);
@@ -124,14 +178,20 @@ let is_crashed t = t.crashed
 let reboot t =
   t.crashed <- false;
   t.crash_countdown <- None;
-  t.head <- -1
+  Io_queue.reset t.queue;
+  Io_queue.set_head t.queue (-1)
 
 let snapshot t =
+  let stats = Io_stats.copy t.stats in
+  let queue = Io_queue.create ~service:(service_fn t.geometry) ~stats in
+  Io_queue.set_head queue (Io_queue.head t.queue);
+  Io_queue.set_horizon queue (Io_queue.horizon t.queue);
   {
     geometry = t.geometry;
     data = Array.map Bytes.copy t.data;
-    stats = Io_stats.copy t.stats;
-    head = t.head;
+    stats;
+    queue;
+    mode = Io_queue.Direct;
     crash_countdown = t.crash_countdown;
     crashed = t.crashed;
   }
@@ -147,7 +207,12 @@ let restore t ~from =
   s.Io_stats.blocks_written <- s'.Io_stats.blocks_written;
   s.Io_stats.seeks <- s'.Io_stats.seeks;
   s.Io_stats.busy_s <- s'.Io_stats.busy_s;
-  t.head <- from.head;
+  s.Io_stats.queue_wait_s <- s'.Io_stats.queue_wait_s;
+  s.Io_stats.max_queue_depth <- s'.Io_stats.max_queue_depth;
+  (* Pending time-plane requests do not survive a restore. *)
+  Io_queue.reset t.queue;
+  Io_queue.set_head t.queue (Io_queue.head from.queue);
+  Io_queue.set_horizon t.queue (Io_queue.horizon from.queue);
   t.crash_countdown <- from.crash_countdown;
   t.crashed <- from.crashed
 

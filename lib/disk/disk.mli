@@ -5,11 +5,22 @@
     accesses (starting exactly where the previous transfer ended) cost no
     seek — this is the property log-structured writing exploits.
 
+    IO is split into two planes.  The data plane runs at submit time in
+    submission order: contents move, crash countdowns tick.  The time
+    plane is a per-device {!Io_queue}: every transfer takes a tag, and a
+    C-LOOK elevator decides when the device is modelled to finish it.
+    In the default [Direct] mode each submit is serviced immediately,
+    reproducing synchronous timings exactly; under
+    [Queued] ({!set_mode}) submits queue and overlap until awaited,
+    drained, or pumped.
+
     Crash injection: {!plan_crash} arms a countdown of blocks after which
     the device "loses power": the offending write is torn (a prefix may
     reach the medium) and {!Crashed} is raised.  All subsequent IO raises
     {!Crashed} until {!reboot}.  This lets tests cut power at any point
-    of a checkpoint or segment write and exercise recovery. *)
+    of a checkpoint or segment write and exercise recovery.  Countdowns
+    are consumed at submit time, so crash points are independent of
+    queueing. *)
 
 type t
 
@@ -27,6 +38,9 @@ val nblocks : t -> int
 val stats : t -> Io_stats.t
 (** Live view of the cumulative statistics (mutated by every IO). *)
 
+val set_mode : t -> Io_queue.mode -> unit
+val get_mode : t -> Io_queue.mode
+
 val read_block : t -> int -> bytes
 (** [read_block d addr] returns a copy of block [addr]. *)
 
@@ -43,8 +57,28 @@ val write_blocks : t -> int -> bytes -> unit
     contiguous blocks as one transfer. *)
 
 val zero_blocks : t -> int -> int -> unit
-(** [zero_blocks d addr n] clears blocks without charging IO time (used
-    by mkfs). *)
+(** [zero_blocks d addr n] writes zeros over blocks [addr, addr+n): it
+    charges modelled time, counts as a write in {!Io_stats}, and
+    respects an armed {!plan_crash} exactly like {!write_blocks} (a torn
+    zero clears only its writable prefix). *)
+
+val submit_read : ?now:float -> t -> int -> int -> Io_queue.ticket * bytes
+(** Tagged read: the data is copied out at submit time; the ticket
+    resolves at the modelled completion.  [now] defaults to the device
+    horizon ([Direct]) or the queued-mode clock. *)
+
+val submit_write : ?now:float -> t -> int -> bytes -> Io_queue.ticket
+(** Tagged write: contents (and any crash) land at submit time; the
+    ticket resolves at the modelled completion. *)
+
+val drain : t -> float
+(** Service every outstanding request; returns the final horizon. *)
+
+val pump : t -> now:float -> (int * float) list
+(** See {!Io_queue.pump}. *)
+
+val outstanding_in : t -> lo:int -> hi:int -> int
+val queue_depth : t -> int
 
 val plan_crash : t -> after_blocks:int -> unit
 (** Arm a power cut after [after_blocks] more blocks have been written.
@@ -55,14 +89,17 @@ val cancel_crash : t -> unit
 val is_crashed : t -> bool
 
 val reboot : t -> unit
-(** Clear the crashed state; contents are whatever survived. *)
+(** Clear the crashed state; contents are whatever survived.  Pending
+    queued requests are dropped and the head goes cold. *)
 
 val snapshot : t -> t
-(** Deep copy (contents and stats); the copy is independent. *)
+(** Deep copy (contents and stats); the copy is independent and starts
+    in [Direct] mode with an idle queue. *)
 
 val restore : t -> from:t -> unit
 (** Overwrite contents and stats of [t] with those of [from].  The two
-    devices must have identical geometry. *)
+    devices must have identical geometry.  Pending queued requests on
+    [t] are dropped. *)
 
 val save_file : t -> string -> unit
 (** Persist contents to a raw image file. *)

@@ -2,7 +2,9 @@
 
     Time is the modelled disk busy time; callers compare it against a CPU
     model to derive elapsed time (Section 5.1's "disk was 17% busy"
-    analysis). *)
+    analysis).  [queue_wait_s] and [max_queue_depth] describe the request
+    queue in front of the device: how long submits waited for service and
+    the deepest the queue ever got (1 under synchronous callers). *)
 
 type t = {
   mutable reads : int;           (** read operations *)
@@ -11,6 +13,8 @@ type t = {
   mutable blocks_written : int;
   mutable seeks : int;           (** non-sequential repositionings *)
   mutable busy_s : float;        (** total modelled device busy time *)
+  mutable queue_wait_s : float;  (** total time requests waited for service *)
+  mutable max_queue_depth : int; (** high watermark of outstanding requests *)
 }
 
 val create : unit -> t
@@ -19,11 +23,13 @@ val copy : t -> t
 
 val diff : t -> t -> t
 (** [diff now before] is the per-field difference: activity since
-    [before] was captured with {!copy}. *)
+    [before] was captured with {!copy}.  [max_queue_depth], a watermark,
+    carries [now]'s value. *)
 
 val merge : t -> t -> t
 (** Per-field sum: the combined activity of two devices (busy time is a
-    sum of per-spindle busy times, not wall-clock). *)
+    sum of per-spindle busy times, not wall-clock; [max_queue_depth] is
+    the max of the two watermarks). *)
 
 val bytes_read : block_size:int -> t -> int
 val bytes_written : block_size:int -> t -> int

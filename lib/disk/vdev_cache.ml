@@ -2,20 +2,32 @@ type t = { lower : Vdev.t; cache : Block_cache.t; view : Vdev.t }
 
 let make_view lower cache name =
   let bs = Vdev.block_size lower in
-  let fetch addr n = Vdev.read_blocks lower addr n in
-  let read_blocks addr n =
+  (* Cache hits complete at submit time (a [Done] ticket); misses
+     forward to the lower device and join its tickets. *)
+  let submit_read ?now addr n =
     if Vdev.is_crashed lower then raise Vdev.Crashed;
-    Block_cache.read_range cache ~block_size:bs ~fetch addr n
+    let tickets = ref [] in
+    let fetch addr n =
+      let tk, b = Vdev.submit_read ?now lower addr n in
+      tickets := tk :: !tickets;
+      b
+    in
+    let b = Block_cache.read_range cache ~block_size:bs ~fetch addr n in
+    let tk =
+      match !tickets with [] -> Io_queue.Done | ts -> Io_queue.Join ts
+    in
+    (tk, b)
   in
-  let write_blocks addr b =
+  let submit_write ?now addr b =
     let n = Bytes.length b / bs in
     (* Invalidate first: if the write below is torn, nothing stale
        survives in the cache. *)
     Block_cache.invalidate_range cache addr n;
-    Vdev.write_blocks lower addr b;
+    let tk = Vdev.submit_write ?now lower addr b in
     for i = 0 to n - 1 do
       Block_cache.put cache (addr + i) (Bytes.sub b (i * bs) bs)
-    done
+    done;
+    tk
   in
   let zero_blocks addr n =
     Block_cache.invalidate_range cache addr n;
@@ -24,9 +36,11 @@ let make_view lower cache name =
   {
     lower with
     Vdev.name;
-    read_blocks;
-    write_blocks;
+    read_blocks = (fun addr n -> snd (submit_read addr n));
+    write_blocks = (fun addr b -> ignore (submit_write addr b));
     zero_blocks;
+    submit_read;
+    submit_write;
   }
 
 let create ?(name = "cache") ~capacity lower =

@@ -62,24 +62,30 @@ let clear_rot t =
 let flip b off (byte, mask) =
   Bytes.set b (off + byte) (Char.chr (Char.code (Bytes.get b (off + byte)) lxor mask))
 
-let read_blocks t addr n =
+let submit_read ?now t addr n =
   check_alive t;
   let bs = t.lower.Vdev.block_size in
-  let b = t.lower.Vdev.read_blocks addr n in
+  let tk, b = Vdev.submit_read ?now t.lower addr n in
   for i = 0 to n - 1 do
     match Hashtbl.find_opt t.read_rot (addr + i) with
     | Some rot -> flip b (i * bs) rot
     | None -> ()
   done;
-  b
+  (tk, b)
 
 (* Write blocks [first, first+count) of the transfer individually so a
    reordered subset costs the same interface calls either way. *)
-let write_sub lower bs addr b ~first ~count =
+let submit_sub ?now lower bs addr b ~first ~count tickets =
   if count > 0 then
-    lower.Vdev.write_blocks (addr + first) (Bytes.sub b (first * bs) (count * bs))
+    tickets :=
+      Vdev.submit_write ?now lower (addr + first)
+        (Bytes.sub b (first * bs) (count * bs))
+      :: !tickets
 
-let write_blocks t addr b =
+(* Crash points are decided here, at submit time, by counting payload
+   blocks in submission order — queued service timing cannot move them,
+   which keeps crashtest enumeration deterministic. *)
+let submit_write ?now t addr b =
   check_alive t;
   let bs = t.lower.Vdev.block_size in
   let len = Bytes.length b in
@@ -106,11 +112,12 @@ let write_blocks t addr b =
     in
     rotted 0
   in
+  let tickets = ref [] in
   if t.countdown >= 0 && n >= t.countdown then begin
     (* This write triggers the power cut. *)
     let keep = t.countdown in
     (match t.mode with
-    | Torn -> write_sub t.lower bs addr b ~first:0 ~count:keep
+    | Torn -> submit_sub ?now t.lower bs addr b ~first:0 ~count:keep tickets
     | Dropped -> ()
     | Reordered ->
         (* Persist [keep] of the [n] blocks, chosen uniformly: the disk
@@ -118,7 +125,7 @@ let write_blocks t addr b =
         let order = Array.init n (fun i -> i) in
         Prng.shuffle t.prng order;
         for k = 0 to keep - 1 do
-          write_sub t.lower bs addr b ~first:order.(k) ~count:1
+          submit_sub ?now t.lower bs addr b ~first:order.(k) ~count:1 tickets
         done);
     t.written <- t.written + keep;
     t.countdown <- -1;
@@ -127,20 +134,26 @@ let write_blocks t addr b =
   end
   else begin
     if t.countdown >= 0 then t.countdown <- t.countdown - n;
-    t.lower.Vdev.write_blocks addr b;
+    tickets := [ Vdev.submit_write ?now t.lower addr b ];
     t.written <- t.written + n
-  end
+  end;
+  Io_queue.Join !tickets
 
 let vdev t =
   {
     t.lower with
     Vdev.name = Printf.sprintf "fault(%s)" t.lower.Vdev.name;
-    read_blocks = (fun addr n -> read_blocks t addr n);
-    write_blocks = (fun addr b -> write_blocks t addr b);
+    read_blocks = (fun addr n -> snd (submit_read t addr n));
+    write_blocks = (fun addr b -> ignore (submit_write t addr b));
     zero_blocks =
       (fun addr n ->
-        (* mkfs path: bypasses the crash countdown, like Disk. *)
+        (* mkfs path: charged and crash-checked by the layers below, but
+           exempt from this layer's payload countdown so crash-point
+           enumeration (payload writes only) stays stable. *)
+        check_alive t;
         t.lower.Vdev.zero_blocks addr n);
+    submit_read = (fun ?now addr n -> submit_read ?now t addr n);
+    submit_write = (fun ?now addr b -> submit_write ?now t addr b);
     plan_crash = (fun ~after_blocks -> plan_crash t ~mode:Torn ~after_blocks ());
     cancel_crash = (fun () -> cancel_crash t);
     is_crashed = (fun () -> is_crashed t);

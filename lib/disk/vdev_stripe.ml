@@ -27,28 +27,36 @@ let iter_extents t addr n f =
 
 let ensure_alive t = if t.crashed then raise Vdev.Crashed
 
-let read_blocks t addr n =
+(* Fan the read across the children and join their tickets: each child
+   queue services its extent independently, so the stripe completes at
+   the max child completion instead of the sum — this is where stripe
+   parallelism pays under queued IO. *)
+let submit_read ?now t addr n =
   ensure_alive t;
   check_range t addr n "read_blocks";
   let bs = t.block_size and nch = Array.length t.children in
   let out = Bytes.create (n * bs) in
+  let tickets = ref [] in
   iter_extents t addr n (fun ~child ~caddr ~first ~count ->
-      let buf = Vdev.read_blocks t.children.(child) caddr count in
+      let tk, buf = Vdev.submit_read ?now t.children.(child) caddr count in
+      tickets := tk :: !tickets;
       for i = 0 to count - 1 do
         Bytes.blit buf (i * bs) out ((first + (i * nch) - addr) * bs) bs
       done);
-  out
+  (Io_queue.Join !tickets, out)
 
 (* Persist the first [persist] blocks of [b]; used for both intact and
    torn writes. *)
-let write_prefix t addr b persist =
+let submit_prefix ?now t addr b persist =
   let bs = t.block_size and nch = Array.length t.children in
+  let tickets = ref [] in
   iter_extents t addr persist (fun ~child ~caddr ~first ~count ->
       let buf = Bytes.create (count * bs) in
       for i = 0 to count - 1 do
         Bytes.blit b ((first + (i * nch) - addr) * bs) buf (i * bs) bs
       done;
-      Vdev.write_blocks t.children.(child) caddr buf)
+      tickets := Vdev.submit_write ?now t.children.(child) caddr buf :: !tickets);
+  !tickets
 
 let writable_prefix t n =
   match t.crash_countdown with None -> n | Some k -> min k n
@@ -64,20 +72,25 @@ let consume_countdown t n =
       end
       else t.crash_countdown <- Some k
 
-let write_blocks t addr b =
+let submit_write ?now t addr b =
   ensure_alive t;
   if Bytes.length b mod t.block_size <> 0 then
     invalid_arg "Vdev_stripe.write_blocks: buffer is not a whole number of blocks";
   let n = Bytes.length b / t.block_size in
   check_range t addr n "write_blocks";
-  write_prefix t addr b (writable_prefix t n);
+  let tickets = submit_prefix ?now t addr b (writable_prefix t n) in
   consume_countdown t n;
-  if t.crashed then raise Vdev.Crashed
+  if t.crashed then raise Vdev.Crashed;
+  Io_queue.Join tickets
 
 let zero_blocks t addr n =
+  ensure_alive t;
   check_range t addr n "zero_blocks";
-  iter_extents t addr n (fun ~child ~caddr ~first:_ ~count ->
-      Vdev.zero_blocks t.children.(child) caddr count)
+  iter_extents t addr (writable_prefix t n)
+    (fun ~child ~caddr ~first:_ ~count ->
+      Vdev.zero_blocks t.children.(child) caddr count);
+  consume_countdown t n;
+  if t.crashed then raise Vdev.Crashed
 
 let stats t =
   Array.fold_left
@@ -113,9 +126,28 @@ let create ?name children =
     Vdev.name;
     block_size;
     nblocks = t.nblocks;
-    read_blocks = (fun addr n -> read_blocks t addr n);
-    write_blocks = (fun addr b -> write_blocks t addr b);
+    read_blocks = (fun addr n -> snd (submit_read t addr n));
+    write_blocks = (fun addr b -> ignore (submit_write t addr b));
     zero_blocks = (fun addr n -> zero_blocks t addr n);
+    submit_read = (fun ?now addr n -> submit_read ?now t addr n);
+    submit_write = (fun ?now addr b -> submit_write ?now t addr b);
+    drain =
+      (fun () ->
+        Array.fold_left
+          (fun acc c -> Float.max acc (Vdev.drain c))
+          neg_infinity t.children);
+    pump =
+      (fun ~now ->
+        Array.fold_left
+          (fun acc c -> acc @ Vdev.pump c ~now)
+          [] t.children);
+    outstanding_in =
+      (fun ~lo ~hi ->
+        Array.fold_left
+          (fun acc c -> acc + Vdev.outstanding_in c ~lo ~hi)
+          0 t.children);
+    set_mode = (fun m -> Array.iter (fun c -> Vdev.set_mode c m) t.children);
+    get_mode = (fun () -> Vdev.get_mode t.children.(0));
     stats = (fun () -> stats t);
     plan_crash = (fun ~after_blocks ->
       assert (after_blocks >= 0);

@@ -48,6 +48,9 @@ let create ?(name = "trace") ?(capacity = 1024) lower =
     }
   in
   let bs = Vdev.block_size lower in
+  (* Busy time is measured as the delta around the submit; under queued
+     IO service happens later, so entries record the submit-time cost
+     (zero) — the per-op timings are a Direct-mode notion. *)
   let view =
     {
       lower with
@@ -60,6 +63,13 @@ let create ?(name = "trace") ?(capacity = 1024) lower =
           record t Write addr n (fun () -> Vdev.write_blocks lower addr b));
       zero_blocks =
         (fun addr n -> record t Zero addr n (fun () -> Vdev.zero_blocks lower addr n));
+      submit_read =
+        (fun ?now addr n ->
+          record t Read addr n (fun () -> Vdev.submit_read ?now lower addr n));
+      submit_write =
+        (fun ?now addr b ->
+          let n = Bytes.length b / bs in
+          record t Write addr n (fun () -> Vdev.submit_write ?now lower addr b));
     }
   in
   t.view <- Some view;

@@ -30,6 +30,8 @@ type config = {
   cpu : Cpu_model.t;
   bg_clean : bool;
       (* clean in idle windows, paced by the FS's background watermarks *)
+  io_depth : int;
+      (* device requests kept in flight; 1 = the serial-equivalent path *)
 }
 
 let default =
@@ -46,9 +48,17 @@ let default =
     write_size = 8192;
     cpu = Cpu_model.sun4_260;
     bg_clean = false;
+    io_depth = 1;
   }
 
 type request = { client : int; op : Session.op; submit : float }
+
+(* Queued-mode bookkeeping: the contiguous range of leaf tags a piece of
+   work submitted on the single-threaded data plane.  The work's IO is
+   finished once no tag in [lo, hi) is outstanding, at the latest of
+   their service finish times. *)
+type io_kind = Op of request | Bg | Flush of request list
+type io_span = { lo : int; hi : int; cpu_s : float; started_s : float; kind : io_kind }
 
 type result = {
   fs_name : string;
@@ -83,6 +93,7 @@ let run (cfg : config) (fs : Fsops.t) =
     invalid_arg "Engine.run: batch_window_s must be non-negative";
   if not (cfg.think_mean_s > 0.0) then
     invalid_arg "Engine.run: think_mean_s must be positive";
+  if cfg.io_depth <= 0 then invalid_arg "Engine.run: io_depth must be positive";
   let sched = Sched.create () in
   let m = Metrics.create () in
   let lat_create = Metrics.histogram m "server.latency.create.s" in
@@ -142,6 +153,15 @@ let run (cfg : config) (fs : Fsops.t) =
   let io0 = Io_stats.copy (Vdev.stats fs.Fsops.disk) in
   let disk_busy () = (Vdev.stats fs.Fsops.disk).Io_stats.busy_s in
 
+  (* io_depth > 1 switches the device stack to queued submission: sync
+     calls submit without waiting, device completions become events on
+     the shared clock, and up to [io_depth] requests keep their IO in
+     flight together.  Depth 1 keeps the historical serial path (and its
+     exact timings). *)
+  let queued = cfg.io_depth > 1 in
+  if queued then
+    Vdev.set_mode fs.Fsops.disk (Vdev.Queued (fun () -> Sched.now sched));
+
   let group_commit = fs.Fsops.async_writes in
   let block_size = Vdev.block_size fs.Fsops.disk in
   let blocks_of n = (n + block_size - 1) / block_size in
@@ -173,6 +193,13 @@ let run (cfg : config) (fs : Fsops.t) =
   let last_completion = ref 0.0 in
   let bg_steps = ref 0 in
   let bg_step = if cfg.bg_clean then fs.Fsops.clean_step else None in
+  (* Queued-mode state: in-flight spans, per-tag finish times (recorded
+     as the elevator commits each service), and the cleaner latch. *)
+  let inflight : io_span list ref = ref [] in
+  let inflight_n = ref 0 in
+  let finish_of : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let bg_busy = ref false in
+  let bg_last = ref neg_infinity in
 
   let complete req =
     let lat = Sched.now sched -. req.submit in
@@ -227,7 +254,8 @@ let run (cfg : config) (fs : Fsops.t) =
   let set_qdepth () = Metrics.set qdepth_g (float_of_int !queued_total) in
 
   let rec maybe_start () =
-    if not !server_busy then
+    if queued then maybe_start_queued ()
+    else if not !server_busy then
       if !flush_due && !batch_n > 0 then start_flush ()
       else
         match pick_next () with
@@ -240,6 +268,139 @@ let run (cfg : config) (fs : Fsops.t) =
             let disk_s = disk_busy () -. d0 in
             let cpu_s = Cpu_model.cost cfg.cpu ~ops:1 ~blocks in
             Sched.after sched (cpu_s +. disk_s) (fun () -> service_done req)
+  (* Queued pipeline: a due flush starts immediately (it does not occupy
+     a service slot), then the request slots are refilled up to
+     [io_depth].  Each start runs the op's data plane instantly and
+     brackets its leaf tags; the op finishes when its tag range drains. *)
+  and maybe_start_queued () =
+    if !flush_due && !batch_n > 0 then start_flush_queued ();
+    start_requests ()
+  and start_requests () =
+    if !inflight_n < cfg.io_depth then
+      match pick_next () with
+      | None ->
+          if !inflight_n = 0 && not !bg_busy then maybe_bg_clean_queued ()
+      | Some req ->
+          incr inflight_n;
+          admit_blocked ();
+          let lo = Vdev.next_tag () in
+          let blocks = perform req in
+          let hi = Vdev.next_tag () in
+          let cpu_s = Cpu_model.cost cfg.cpu ~ops:1 ~blocks in
+          if hi = lo then
+            (* No device IO (cache hits, no-op resolves): CPU only. *)
+            Sched.after sched cpu_s (fun () -> op_io_done req)
+          else
+            inflight :=
+              !inflight
+              @ [ { lo; hi; cpu_s; started_s = Sched.now sched; kind = Op req } ];
+          device_progress ();
+          start_requests ()
+  (* Surface every service the elevator committed since the last call:
+     record finish times, schedule a tick at each completion (the tick
+     commits the next pick, making device completions first-class
+     events), then settle any span whose tag range has drained. *)
+  and device_progress () =
+    let started = Vdev.pump fs.Fsops.disk ~now:(Sched.now sched) in
+    List.iter
+      (fun (tag, fin) ->
+        Hashtbl.replace finish_of tag fin;
+        Sched.at sched fin device_tick)
+      started;
+    check_inflight ()
+  and device_tick () = device_progress ()
+  and check_inflight () =
+    let ready, rest =
+      List.partition
+        (fun sp -> Vdev.outstanding_in fs.Fsops.disk ~lo:sp.lo ~hi:sp.hi = 0)
+        !inflight
+    in
+    if ready <> [] then begin
+      inflight := rest;
+      List.iter
+        (fun sp ->
+          let fin = ref (Sched.now sched) in
+          for tag = sp.lo to sp.hi - 1 do
+            (match Hashtbl.find_opt finish_of tag with
+            | Some f -> if f > !fin then fin := f
+            | None -> ());
+            Hashtbl.remove finish_of tag
+          done;
+          match sp.kind with
+          | Op req -> Sched.at sched (!fin +. sp.cpu_s) (fun () -> op_io_done req)
+          | Bg ->
+              let fin = !fin in
+              Sched.at sched fin (fun () -> bg_done sp.started_s fin)
+          | Flush members ->
+              let fin = !fin in
+              Metrics.observe flush_hist (Float.max 0.0 (fin -. sp.started_s));
+              Sched.at sched fin (fun () ->
+                  List.iter complete members;
+                  maybe_start ()))
+        ready
+    end
+  and op_io_done req =
+    decr inflight_n;
+    finish_op req;
+    maybe_start ()
+  (* Idle window with nothing in flight: run one budgeted cleaner step.
+     Its reads and the log writer's writes share the elevator, so victim
+     read-in overlaps write-out, and foreground arrivals keep starting
+     while it runs.  At most one step per modelled instant, so a
+     zero-cost geometry cannot spin the clock in place. *)
+  and maybe_bg_clean_queued () =
+    match bg_step with
+    | None -> ()
+    | Some step ->
+        if Sched.now sched > !bg_last then begin
+          let lo = Vdev.next_tag () in
+          let (_ : int) = step ~max_segments:1 in
+          let hi = Vdev.next_tag () in
+          if hi > lo then begin
+            bg_last := Sched.now sched;
+            incr bg_steps;
+            Metrics.incr bg_steps_c;
+            bg_busy := true;
+            inflight :=
+              !inflight
+              @ [ { lo; hi; cpu_s = 0.0; started_s = Sched.now sched; kind = Bg } ];
+            device_progress ()
+          end
+        end
+  and bg_done started_s fin =
+    bg_busy := false;
+    Metrics.observe bg_busy_hist (Float.max 0.0 (fin -. started_s));
+    maybe_start ()
+  and start_flush_queued () =
+    flush_due := false;
+    incr batch_epoch;
+    let members = List.rev !batch in
+    let n = !batch_n in
+    batch := [];
+    batch_n := 0;
+    incr flushes;
+    batched_reqs := !batched_reqs + n;
+    Metrics.incr flushes_c;
+    Metrics.observe batch_hist (float_of_int n);
+    (* The shared sync is the fsync barrier for the batch's own log
+       writes (and any cleaning it triggered) — bracket its tags and
+       complete the members when exactly that IO has drained.  Other
+       requests' in-flight reads are not part of the barrier. *)
+    let t0 = Sched.now sched in
+    let lo = Vdev.next_tag () in
+    fs.Fsops.sync ();
+    let hi = Vdev.next_tag () in
+    if hi = lo then begin
+      (* Everything durable already reached the device (pressure-flushed
+         earlier): the batch completes on the spot. *)
+      Metrics.observe flush_hist 0.0;
+      List.iter complete members
+    end
+    else begin
+      inflight :=
+        !inflight @ [ { lo; hi; cpu_s = 0.0; started_s = t0; kind = Flush members } ];
+      device_progress ()
+    end
   (* Idle window: no runnable request and no flush due.  Run one
      budgeted cleaner step on the modelled clock — the FS's watermark
      hysteresis decides whether there is anything to do.  The step
@@ -278,7 +439,7 @@ let run (cfg : config) (fs : Fsops.t) =
       end
     in
     go !rr 0
-  and service_done req =
+  and finish_op req =
     if group_commit && is_durable req.op.Session.cls then begin
       if !batch_n = 0 then begin
         (* First member opens the batch and arms its window deadline;
@@ -291,12 +452,19 @@ let run (cfg : config) (fs : Fsops.t) =
       incr batch_n;
       if !batch_n >= cfg.max_batch then flush_due := true
     end
-    else complete req;
+    else complete req
+  and service_done req =
+    finish_op req;
     server_busy := false;
     maybe_start ()
   and deadline epoch =
     if epoch = !batch_epoch && !batch_n > 0 then
-      if !server_busy then flush_due := true else start_flush ()
+      if queued then begin
+        start_flush_queued ();
+        start_requests ()
+      end
+      else if !server_busy then flush_due := true
+      else start_flush ()
   and start_flush () =
     server_busy := true;
     flush_due := false;
@@ -370,6 +538,12 @@ let run (cfg : config) (fs : Fsops.t) =
   done;
   Sched.run sched;
   fs.Fsops.sync ();
+  if queued then begin
+    (* Settle any stragglers on the device clock and hand the stack back
+       in the mode we found it. *)
+    ignore (Vdev.drain fs.Fsops.disk);
+    Vdev.set_mode fs.Fsops.disk Vdev.Direct
+  end;
 
   (* Nothing may be lost silently: every generated request either
      completed or was shed, and the engine checks its own books. *)
@@ -394,6 +568,8 @@ let run (cfg : config) (fs : Fsops.t) =
     else Float.nan
   in
   Metrics.set qmax_g (float_of_int !qmax);
+  Metrics.set (Metrics.gauge m "server.io_depth") (float_of_int cfg.io_depth);
+  Vdev.register_metrics ~prefix:"server.dev" m fs.Fsops.disk;
   Metrics.set (Metrics.gauge m "server.clients") (float_of_int cfg.clients);
   Metrics.set
     (Metrics.gauge m "server.ops_per_client")

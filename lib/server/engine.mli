@@ -60,11 +60,20 @@ type config = {
           windows (empty queue, no flush due), paced by the FS's
           background watermarks and preempted by arrivals; no-op on
           backends without a cleaner *)
+  io_depth : int;
+      (** device requests kept in flight together.  [1] (the default)
+          serves strictly serially over the Direct device mode,
+          reproducing the historical timings exactly.  [> 1] switches
+          the device stack to queued submission for the run: up to
+          [io_depth] requests overlap their IO, the per-device C-LOOK
+          elevator orders outstanding transfers, group-commit flushes
+          become fsync barriers ({!Lfs_disk.Vdev.drain}), and idle-window
+          cleaner passes overlap with foreground service. *)
 }
 
 val default : config
 (** 4 clients x 200 ops, seed 42, 50 ms think, depth 64, Block,
-    10 ms window, batch cap 32, Sun-4/260 CPU. *)
+    10 ms window, batch cap 32, Sun-4/260 CPU, io_depth 1. *)
 
 type result = {
   fs_name : string;

@@ -311,6 +311,138 @@ let test_random_seek_averages_avg () =
     true
     (mean > 0.9 *. g.Geometry.avg_seek_s && mean < 1.1 *. g.Geometry.avg_seek_s)
 
+(* ---- The submit/complete pipeline ---------------------------------- *)
+
+module Io_queue = Lfs_disk.Io_queue
+module Vdev = Lfs_disk.Vdev
+
+(* Regression: zeroing is a real write — it charges modelled time and
+   counts in the stats like any other transfer. *)
+let test_zero_blocks_is_a_write () =
+  let d = Disk.create wren in
+  Disk.zero_blocks d 0 4;
+  let s = Disk.stats d in
+  Alcotest.(check int) "counts as one write" 1 s.Io_stats.writes;
+  Alcotest.(check int) "blocks written" 4 s.Io_stats.blocks_written;
+  Alcotest.(check bool) "charges modelled time" true (s.Io_stats.busy_s > 0.0)
+
+(* Regression: zeroing respects an armed crash — the countdown ticks, a
+   torn zero clears only its writable prefix, and a crashed device
+   rejects further zeroing like any other IO. *)
+let test_zero_blocks_respects_crash () =
+  let d = Disk.create wren in
+  Disk.write_blocks d 0 (Bytes.cat (block 'A') (block 'B'));
+  Disk.plan_crash d ~after_blocks:1;
+  (match Disk.zero_blocks d 0 2 with
+  | () -> Alcotest.fail "zero past the countdown should crash"
+  | exception Disk.Crashed -> ());
+  (match Disk.zero_blocks d 5 1 with
+  | () -> Alcotest.fail "crashed device must reject zeroing"
+  | exception Disk.Crashed -> ());
+  Disk.reboot d;
+  Helpers.check_bytes "prefix zeroed" (block '\000') (Disk.read_block d 0);
+  Helpers.check_bytes "suffix survives the torn zero" (block 'B')
+    (Disk.read_block d 1)
+
+let leaf_tag = function
+  | Io_queue.Tag (_, tag) -> tag
+  | _ -> Alcotest.fail "expected a leaf ticket"
+
+(* In Queued mode the C-LOOK elevator services outstanding requests by
+   ascending address from the head — not in submission order — and
+   wraps to the lowest address when nothing lies ahead. *)
+let test_elevator_clook_order () =
+  let d = Disk.create wren in
+  let now = ref 0.0 in
+  Disk.set_mode d (Io_queue.Queued (fun () -> !now));
+  let t100 = leaf_tag (fst (Disk.submit_read d 100 1)) in
+  let t10 = leaf_tag (fst (Disk.submit_read d 10 1)) in
+  let t50 = leaf_tag (fst (Disk.submit_read d 50 1)) in
+  Alcotest.(check int) "three outstanding" 3 (Disk.queue_depth d);
+  Alcotest.(check int) "watermark saw all three" 3
+    (Disk.stats d).Io_stats.max_queue_depth;
+  now := 1e9;
+  let order = ref [] in
+  (* The engine's completion ticks in miniature: collect each committed
+     service and advance the clock to its finish so the elevator may
+     commit its next pick. *)
+  let rec go () =
+    match Disk.pump d ~now:!now with
+    | [] -> ()
+    | started ->
+        order := !order @ List.map fst started;
+        List.iter (fun (_, fin) -> if fin > !now then now := fin) started;
+        go ()
+  in
+  go ();
+  Alcotest.(check (list int)) "ascending from a cold head" [ t10; t50; t100 ]
+    !order;
+  (* Head now sits past block 100: 200 is ahead, 5 forces the wrap. *)
+  let t5 = leaf_tag (fst (Disk.submit_read d 5 1)) in
+  let t200 = leaf_tag (fst (Disk.submit_read d 200 1)) in
+  order := [];
+  go ();
+  Alcotest.(check (list int)) "sweep on, then wrap" [ t200; t5 ] !order;
+  Alcotest.(check bool) "later arrivals waited" true
+    ((Disk.stats d).Io_stats.queue_wait_s > 0.0)
+
+(* The synchronous API is submit-then-await: in Direct mode both spell
+   the same data, the same timings, and zero queue wait. *)
+let test_direct_sync_equals_submit_await () =
+  let d1 = Disk.create wren and d2 = Disk.create wren in
+  Disk.write_blocks d1 7 (block 'q');
+  let b1 = Disk.read_blocks d1 7 1 in
+  ignore (Disk.submit_write d2 7 (block 'q'));
+  let tk, b2 = Disk.submit_read d2 7 1 in
+  ignore (Io_queue.await tk);
+  Helpers.check_bytes "same data" b1 b2;
+  Alcotest.(check (float 1e-12)) "same busy time"
+    (Disk.stats d1).Io_stats.busy_s (Disk.stats d2).Io_stats.busy_s;
+  Alcotest.(check (float 0.0)) "no queue wait in direct" 0.0
+    (Disk.stats d2).Io_stats.queue_wait_s;
+  Alcotest.(check int) "nothing left outstanding" 0 (Disk.queue_depth d2)
+
+(* A drain is the fsync barrier: it services everything outstanding and
+   returns the completion horizon, while the data plane already ran at
+   submit time. *)
+let test_queued_drain_barrier () =
+  let d = Disk.create wren in
+  let now = ref 0.0 in
+  Disk.set_mode d (Io_queue.Queued (fun () -> !now));
+  ignore (Disk.submit_write d 3 (block 'd'));
+  ignore (Disk.submit_write d 9 (block 'e'));
+  Alcotest.(check int) "both queued" 2 (Disk.queue_depth d);
+  let fin = Disk.drain d in
+  Alcotest.(check int) "nothing outstanding after the barrier" 0
+    (Disk.queue_depth d);
+  Alcotest.(check (float 1e-12)) "barrier time is the device busy time"
+    (Disk.stats d).Io_stats.busy_s fin;
+  Helpers.check_bytes "contents landed at submit" (block 'd')
+    (snd (Disk.submit_read d 3 1));
+  ignore (Disk.drain d)
+
+(* Satellite: the vdev layer validates read results against
+   n * block_size, so a misbehaving compositor fails at the boundary
+   instead of corrupting its caller. *)
+let test_vdev_read_length_validated () =
+  let d = Vdev.of_disk (Disk.create wren) in
+  let short =
+    { d with Vdev.read_blocks = (fun _ n -> Bytes.create ((n * 4096) - 1)) }
+  in
+  (match Vdev.read_blocks short 0 2 with
+  | _ -> Alcotest.fail "short read must be rejected"
+  | exception Invalid_argument _ -> ());
+  let long =
+    {
+      d with
+      Vdev.submit_read =
+        (fun ?now:_ _ n -> (Io_queue.Done, Bytes.create ((n * 4096) + 1)));
+    }
+  in
+  match Vdev.submit_read long 0 1 with
+  | _ -> Alcotest.fail "oversized read must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   ( "disk",
     [
@@ -342,4 +474,10 @@ let suite =
       Alcotest.test_case "geometry presets" `Quick test_geometry_presets;
       Alcotest.test_case "geometry capacity" `Quick test_geometry_capacity;
       Alcotest.test_case "random seek averages" `Quick test_random_seek_averages_avg;
+      Alcotest.test_case "zero blocks is a write" `Quick test_zero_blocks_is_a_write;
+      Alcotest.test_case "zero blocks respects crash" `Quick test_zero_blocks_respects_crash;
+      Alcotest.test_case "elevator C-LOOK order" `Quick test_elevator_clook_order;
+      Alcotest.test_case "direct sync = submit+await" `Quick test_direct_sync_equals_submit_await;
+      Alcotest.test_case "queued drain barrier" `Quick test_queued_drain_barrier;
+      Alcotest.test_case "vdev read length validated" `Quick test_vdev_read_length_validated;
     ] )

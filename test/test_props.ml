@@ -376,6 +376,123 @@ let prop_torn_write_through_trace =
     (check_torn_write (fun disk ->
          Vdev_trace.vdev (Vdev_trace.create (Vdev.of_disk disk))))
 
+(* ----- Submit/complete vs synchronous data equivalence ----- *)
+
+(* Scheduling lives purely on the time plane: a program of tagged
+   submits, awaits and drains must leave exactly the bytes the
+   synchronous API leaves, on every composition of the device stack. *)
+
+module Vdev_fault = Lfs_disk.Vdev_fault
+module Io_queue = Lfs_disk.Io_queue
+
+let sq_blocks = 128
+
+type sq_op =
+  | Sq_read of int * int
+  | Sq_write of int * int * int
+  | Sq_await
+  | Sq_drain
+
+let print_sq = function
+  | Sq_read (a, l) -> Printf.sprintf "r@%d+%d" a l
+  | Sq_write (a, l, s) -> Printf.sprintf "w@%d+%d#%d" a l s
+  | Sq_await -> "await"
+  | Sq_drain -> "drain"
+
+let sq_stack_names = [| "plain"; "cache"; "stripe"; "trace"; "fault" |]
+
+let sq_stack = function
+  | 0 -> Vdev.of_disk (Disk.create (Geometry.instant ~blocks:sq_blocks))
+  | 1 ->
+      Vdev_cache.vdev
+        (Vdev_cache.create ~capacity:16
+           (Vdev.of_disk (Disk.create (Geometry.instant ~blocks:sq_blocks))))
+  | 2 ->
+      Vdev_stripe.create
+        (Array.init 4 (fun _ ->
+             Vdev.of_disk (Disk.create (Geometry.instant ~blocks:(sq_blocks / 4)))))
+  | 3 ->
+      Vdev_trace.vdev
+        (Vdev_trace.create
+           (Vdev.of_disk (Disk.create (Geometry.instant ~blocks:sq_blocks))))
+  | _ ->
+      Vdev_fault.vdev
+        (Vdev_fault.create
+           (Vdev.of_disk (Disk.create (Geometry.instant ~blocks:sq_blocks))))
+
+let arb_sq_prog =
+  let gen =
+    QCheck.Gen.(
+      pair (int_bound 4)
+        (list_size (int_range 1 50)
+           (frequency
+              [
+                ( 4,
+                  map2
+                    (fun (a, s) l -> Sq_write (min a (sq_blocks - l), l, s))
+                    (pair (int_bound (sq_blocks - 1)) (int_bound 10_000))
+                    (int_range 1 8) );
+                ( 4,
+                  map2
+                    (fun a l -> Sq_read (min a (sq_blocks - l), l))
+                    (int_bound (sq_blocks - 1))
+                    (int_range 1 8) );
+                (1, return Sq_await);
+                (1, return Sq_drain);
+              ])))
+  in
+  QCheck.make
+    ~print:(fun (c, ops) ->
+      Printf.sprintf "%s: %s" sq_stack_names.(c)
+        (String.concat "; " (List.map print_sq ops)))
+    ~shrink:(fun (c, ops) ->
+      QCheck.Iter.map (fun ops -> (c, ops)) (QCheck.Shrink.list ops))
+    gen
+
+let prop_queued_data_equivalence =
+  QCheck.Test.make ~count:100
+    ~name:"queued submit/await programs are data-equivalent to the sync path"
+    arb_sq_prog
+    (fun (comp, ops) ->
+      let sync_v = sq_stack comp in
+      let queued_v = sq_stack comp in
+      let now = ref 0.0 in
+      Vdev.set_mode queued_v (Vdev.Queued (fun () -> !now));
+      let bs = Vdev.block_size sync_v in
+      let tickets = ref [] in
+      let reads_match =
+        List.for_all
+          (fun op ->
+            now := !now +. 1.0;
+            match op with
+            | Sq_write (addr, len, seed) ->
+                let data = Helpers.bytes_of_pattern ~seed (len * bs) in
+                Vdev.write_blocks sync_v addr data;
+                tickets := Vdev.submit_write queued_v addr data :: !tickets;
+                true
+            | Sq_read (addr, len) ->
+                let want = Vdev.read_blocks sync_v addr len in
+                let tk, got = Vdev.submit_read queued_v addr len in
+                tickets := tk :: !tickets;
+                Bytes.equal want got
+            | Sq_await ->
+                (match !tickets with
+                | [] -> ()
+                | tk :: _ -> ignore (Vdev.await tk));
+                true
+            | Sq_drain ->
+                ignore (Vdev.drain queued_v);
+                true)
+          ops
+      in
+      ignore (Vdev.drain queued_v);
+      let settled = Vdev.outstanding_in queued_v ~lo:0 ~hi:max_int = 0 in
+      Vdev.set_mode queued_v Vdev.Direct;
+      reads_match && settled
+      && Bytes.equal
+           (Vdev.read_blocks sync_v 0 sq_blocks)
+           (Vdev.read_blocks queued_v 0 sq_blocks))
+
 let suite =
   ( "properties",
     [
@@ -387,4 +504,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_cached_stack_matches_raw;
       QCheck_alcotest.to_alcotest prop_torn_write_through_cache;
       QCheck_alcotest.to_alcotest prop_torn_write_through_trace;
+      QCheck_alcotest.to_alcotest prop_queued_data_equivalence;
     ] )

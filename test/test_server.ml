@@ -388,6 +388,70 @@ let test_interleaved_same_name_rollforward () =
             expected (Bytes.to_string data))
     live
 
+(* ----- The IO-depth pipeline ----- *)
+
+(* Queued serving must stay a pure function of the config: equal seeds,
+   byte-identical metrics, no lost requests — with device completions as
+   first-class events on the shared clock. *)
+let test_engine_io_depth_deterministic () =
+  let cfg = { small_cfg with Engine.clients = 8; io_depth = 4 } in
+  let once () =
+    let r = Engine.run cfg (Fsops.fresh_lfs (engine_geom ())) in
+    (Metrics.to_json r.Engine.metrics, r.Engine.completed, r.Engine.elapsed_s)
+  in
+  let j1, c1, e1 = once () in
+  let j2, c2, e2 = once () in
+  Alcotest.(check int) "same completions" c1 c2;
+  Alcotest.(check (float 0.0)) "same modelled elapsed" e1 e2;
+  Alcotest.(check string) "byte-identical metrics JSON" j1 j2
+
+(* Overlapping request IO must help, not hurt: same offered load, same
+   seed, and the pipelined run finishes no later than the serial one
+   while serving cached reads without queueing behind durable writes. *)
+let test_engine_io_depth_overlaps () =
+  let cfg =
+    { small_cfg with Engine.clients = 8; ops_per_client = 60; think_mean_s = 0.1 }
+  in
+  let run io_depth =
+    Engine.run { cfg with Engine.io_depth } (Fsops.fresh_lfs (engine_geom ()))
+  in
+  let serial = run 1 in
+  let piped = run 8 in
+  Alcotest.(check int) "both complete everything" serial.Engine.completed
+    piped.Engine.completed;
+  Alcotest.(check bool) "pipelined run no slower" true
+    (piped.Engine.elapsed_s <= serial.Engine.elapsed_s +. 1e-9);
+  let p95_read r =
+    match Metrics.value r.Engine.metrics "server.latency.read.s" with
+    | Some (Metrics.Summary { p95; _ }) -> p95
+    | _ -> Float.nan
+  in
+  Alcotest.(check bool) "read tail shrinks" true
+    (p95_read piped < p95_read serial);
+  (* The device queue instruments saw the overlap... *)
+  let gauge r name =
+    match Metrics.value r.Engine.metrics name with
+    | Some (Metrics.Float f) -> f
+    | _ -> Float.nan
+  in
+  Alcotest.(check bool) "queue wait recorded" true
+    (gauge piped "server.dev.queue_wait_s" > 0.0);
+  (* ...and depth 1 stayed on the serial path: zero wait by construction. *)
+  Alcotest.(check (float 0.0)) "serial path has no device queue" 0.0
+    (gauge serial "server.dev.queue_wait_s")
+
+(* The engine hands the device stack back in Direct mode, so post-run
+   tooling (fsck, stats, another engine run) sees the synchronous API. *)
+let test_engine_io_depth_restores_mode () =
+  let fs = Fsops.fresh_lfs (engine_geom ()) in
+  let r = Engine.run { small_cfg with Engine.io_depth = 4 } fs in
+  Alcotest.(check int) "completed" (4 * 40) r.Engine.completed;
+  (match Vdev.get_mode fs.Fsops.disk with
+  | Vdev.Direct -> ()
+  | Vdev.Queued _ -> Alcotest.fail "engine must restore Direct mode");
+  Alcotest.(check int) "nothing outstanding" 0
+    (Vdev.outstanding_in fs.Fsops.disk ~lo:0 ~hi:max_int)
+
 let suite =
   ( "server",
     [
@@ -407,4 +471,10 @@ let suite =
         test_rollforward_after_bg_clean_run;
       Alcotest.test_case "interleaved same-name roll-forward" `Quick
         test_interleaved_same_name_rollforward;
+      Alcotest.test_case "io-depth deterministic" `Quick
+        test_engine_io_depth_deterministic;
+      Alcotest.test_case "io-depth overlaps requests" `Quick
+        test_engine_io_depth_overlaps;
+      Alcotest.test_case "io-depth restores direct mode" `Quick
+        test_engine_io_depth_restores_mode;
     ] )

@@ -217,6 +217,8 @@ let arb_io_stats =
             blocks_written;
             seeks;
             busy_s = float_of_int busy /. 16.0;
+            queue_wait_s = float_of_int seeks /. 8.0;
+            max_queue_depth = reads mod 32;
           })
         (tup6 (int_bound 1000) (int_bound 1000) (int_bound 10000)
            (int_bound 10000) (int_bound 1000) (int_bound 1000)))
@@ -232,6 +234,8 @@ let stats_equal a b =
   && a.Io_stats.blocks_written = b.Io_stats.blocks_written
   && a.Io_stats.seeks = b.Io_stats.seeks
   && Float.abs (a.Io_stats.busy_s -. b.Io_stats.busy_s) < 1e-9
+  (* max_queue_depth is a watermark, not additive — excluded here. *)
+  && Float.abs (a.Io_stats.queue_wait_s -. b.Io_stats.queue_wait_s) < 1e-9
 
 let prop_io_stats_copy_independent =
   QCheck.Test.make ~count:100 ~name:"io_stats copy is independent" arb_io_stats
