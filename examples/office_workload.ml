@@ -12,7 +12,7 @@
 module W = Lfs_workload
 
 let run_burst (fs : W.Fsops.t) =
-  let before = Lfs_disk.Io_stats.copy (Lfs_disk.Vdev.stats fs.W.Fsops.disk) in
+  let before = W.Fsops.io_stats fs in
   (* A "compile-like" burst: sources, intermediate files that get
      deleted, and results, across a few directories. *)
   for d = 0 to 9 do
@@ -37,7 +37,7 @@ let run_burst (fs : W.Fsops.t) =
     fs.W.Fsops.write ino ~off:0 (Bytes.make 4096 'O')
   done;
   fs.W.Fsops.sync ();
-  let after = Lfs_disk.Vdev.stats fs.W.Fsops.disk in
+  let after = W.Fsops.io_stats fs in
   Lfs_disk.Io_stats.diff after before
 
 let () =

@@ -122,7 +122,7 @@ type recovery_report = {
 
 let root = Types.root_ino
 
-let disk t = t.disk
+let devices t = [ t.disk ]
 let metrics t = t.obs.metrics
 let on_log_batch t f = t.log_batch_hook := f
 let pending_log_blocks t = Log_writer.pending_blocks t.log

@@ -153,7 +153,9 @@ val drop_caches : t -> unit
 
 (** {1 Introspection for benchmarks, fsck and tests} *)
 
-val disk : t -> Lfs_disk.Vdev.t
+val devices : t -> Lfs_disk.Vdev.t list
+(** Singleton: the device this mount sits on ({!Fs_intf.S.devices}). *)
+
 val layout : t -> Layout.t
 val config : t -> Config.t
 val stats : t -> Fs_stats.t

@@ -1,18 +1,18 @@
 (** The file-system surface shared by every implementation in the tree.
 
-    {!Fs} (the log-structured file system) and {!Lfs_ffs.Ffs} (the FFS
-    baseline) both satisfy {!S} as-is, so workload generators, the
+    {!Fs} (the log-structured file system), {!Lfs_ffs.Ffs} (the FFS
+    baseline) and [Lfs_shard.Shard_router] (N LFS instances behind one
+    namespace) all satisfy {!S} as-is, so workload generators, the
     benchmarks and the crash-point enumeration harness can be written
-    once as functors over this signature and run against either system
+    once as functors over this signature and run against any of them
     unchanged ([lib/workload]'s {!Lfs_workload.Fsops.Make},
     [lib/crashtest]'s [Crashtest.Make]).
 
     The signature deliberately covers only the common namespace / IO /
-    lifecycle operations.  Lifecycle pieces that differ between the two
-    systems — mount-time configuration, LFS's [recover]/[checkpoint],
-    FFS's [fsck_scan] — stay on the concrete modules; harnesses that
-    need them (the crashtest subjects) extend [S] with exactly the extra
-    operations they require.
+    lifecycle operations.  Mount-time construction and crash recovery
+    live in the {!DURABLE} extension; pieces that are genuinely
+    implementation-specific (LFS cleaning knobs, FFS's [fsck_scan])
+    stay on the concrete modules.
 
     Error conventions follow {!Types}: absence of a name is an expected
     outcome and is reported as [None] ([lookup], [resolve], [read_path]);
@@ -53,11 +53,69 @@ module type S = sig
   (** {1 Lifecycle} *)
 
   val sync : t -> unit
-  (** Make every acknowledged operation durable. *)
+  (** Make every acknowledged operation durable.  For multi-device
+      implementations this is a fan-out barrier: it returns only once
+      every underlying device has made its share durable. *)
 
   val drop_caches : t -> unit
   (** Forget volatile caches so subsequent reads hit the device. *)
 
-  val disk : t -> Lfs_disk.Vdev.t
-  (** The device the file system is mounted on. *)
+  val devices : t -> Lfs_disk.Vdev.t list
+  (** The devices the file system is mounted on, in a stable order.
+      Singleton for {!Fs} and [Ffs]; one per shard for the router.
+      Never empty. *)
+end
+
+(** A mounted file system packed with the module that knows how to
+    drive it.  This is how tools hold "some file system" without
+    dispatching over a closed variant of implementations: anything
+    satisfying {!S} can be packed, handed across an API boundary, and
+    unpacked with ordinary pattern matching:
+
+    {[
+      let sync (Any.Any ((module F), fs)) = F.sync fs
+    ]} *)
+module Any = struct
+  type t = Any : (module S with type t = 'a) * 'a -> t
+
+  let pack (type a) (module F : S with type t = a) (fs : a) : t =
+    Any ((module F), fs)
+
+  let devices (Any ((module F), fs)) = F.devices fs
+  let sync (Any ((module F), fs)) = F.sync fs
+  let drop_caches (Any ((module F), fs)) = F.drop_caches fs
+end
+
+(** Durability lifecycle: construction, crash recovery and checkpoint.
+
+    {!S} describes a file system that is already mounted; [DURABLE]
+    additionally knows how to make one (and bring one back after a
+    crash) from a list of devices.  Concrete modules keep their richer
+    constructors (configs, recovery reports); a [DURABLE] instance is
+    an adapter that bakes those choices in, so harnesses that exercise
+    the crash cycle — the crashtest functor above all — compose over
+    any implementation, including the shard router, without ad-hoc
+    module plumbing.
+
+    [format]/[mount]/[recover] take the device list in the same stable
+    order that {!S.devices} reports.  Single-device implementations
+    require a singleton list and raise [Invalid_argument] otherwise. *)
+module type DURABLE = sig
+  include S
+
+  val format : Lfs_disk.Vdev.t list -> unit
+  (** Write a fresh, empty file system across [devices]. *)
+
+  val mount : Lfs_disk.Vdev.t list -> t
+  (** Mount a cleanly formatted (or cleanly unmounted) system. *)
+
+  val recover : Lfs_disk.Vdev.t list -> t
+  (** Mount after a crash, replaying whatever the implementation can
+      roll forward.  For implementations without a recovery protocol
+      this is [mount]. *)
+
+  val checkpoint : t -> unit
+  (** Force a durable consistency point stronger than {!S.sync} if the
+      implementation distinguishes the two (LFS checkpoint regions);
+      otherwise equivalent to [sync]. *)
 end

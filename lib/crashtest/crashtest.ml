@@ -6,15 +6,21 @@ module Geometry = Lfs_disk.Geometry
 module Fsops = Lfs_workload.Fsops
 
 module type SUBJECT = sig
-  include Lfs_core.Fs_intf.S
+  include Lfs_core.Fs_intf.DURABLE
 
   val subject_name : string
   val async_writes : bool
-  val format : Lfs_disk.Vdev.t -> unit
-  val mount : Lfs_disk.Vdev.t -> t
-  val recover : Lfs_disk.Vdev.t -> t
+  val ndevices : int
   val fsck_errors : t -> string list
 end
+
+(* Single-device subjects take exactly one device. *)
+let the_dev = function
+  | [ d ] -> d
+  | devs ->
+      invalid_arg
+        (Printf.sprintf "crashtest subject: expected 1 device, got %d"
+           (List.length devs))
 
 (* Small configurations keep segments and write buffers tight so even a
    short workload crosses many flush and checkpoint boundaries — the
@@ -37,9 +43,10 @@ module Lfs = struct
 
   let subject_name = "lfs"
   let async_writes = true
-  let format dev = Lfs_core.Fs.format dev lfs_config
-  let mount dev = Lfs_core.Fs.mount dev
-  let recover dev = fst (Lfs_core.Fs.recover dev)
+  let ndevices = 1
+  let format devs = Lfs_core.Fs.format (the_dev devs) lfs_config
+  let mount devs = Lfs_core.Fs.mount (the_dev devs)
+  let recover devs = fst (Lfs_core.Fs.recover (the_dev devs))
   let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
 end
 
@@ -57,11 +64,14 @@ module Ffs = struct
 
   let subject_name = "ffs"
   let async_writes = false
-  let format dev = Lfs_ffs.Ffs.format dev ffs_config
-  let mount dev = Lfs_ffs.Ffs.mount dev
+  let ndevices = 1
+  let format devs = Lfs_ffs.Ffs.format (the_dev devs) ffs_config
+  let mount devs = Lfs_ffs.Ffs.mount (the_dev devs)
 
-  (* FFS has no roll-forward; post-crash "recovery" is a plain mount. *)
-  let recover dev = Lfs_ffs.Ffs.mount dev
+  (* FFS has no roll-forward; post-crash "recovery" is a plain mount,
+     and it draws no checkpoint/sync distinction either. *)
+  let recover devs = Lfs_ffs.Ffs.mount (the_dev devs)
+  let checkpoint t = Lfs_ffs.Ffs.sync t
   let fsck_errors _ = []
 end
 
@@ -380,9 +390,15 @@ module Make (S : SUBJECT) = struct
   let make_fsops fs =
     Ops.make ~name:S.subject_name ~async_writes:S.async_writes fs
 
+  (* [S.ndevices] fresh devices; device 0 wears the fault layer, so the
+     crash-point space is that device's writes — for multi-device
+     subjects the other devices never crash and the oracle checks their
+     durable state survives a neighbour's power cut. *)
   let fresh_fault ~blocks ~seed =
-    let disk = Disk.create (Geometry.instant ~blocks) in
-    Vdev_fault.create ~seed (Vdev.of_disk disk)
+    let mk () = Vdev.of_disk (Disk.create (Geometry.instant ~blocks)) in
+    let fault = Vdev_fault.create ~seed (mk ()) in
+    let rest = List.init (S.ndevices - 1) (fun _ -> mk ()) in
+    (fault, Vdev_fault.vdev fault :: rest)
 
   (* Walk the recovered tree.  Only paths the model knows as directories
      are entered; everything else is read as a file.  Returns
@@ -450,16 +466,15 @@ module Make (S : SUBJECT) = struct
     if stride < 1 then invalid_arg "Crashtest.run: stride";
     if modes = [] then invalid_arg "Crashtest.run: modes";
     (* Reference run: learn the crash-point space and the event log. *)
-    let fault = fresh_fault ~blocks ~seed in
-    let dev = Vdev_fault.vdev fault in
-    S.format dev;
+    let fault, devs = fresh_fault ~blocks ~seed in
+    S.format devs;
     let base = Vdev_fault.blocks_written fault in
-    let fs = S.mount dev in
+    let fs = S.mount devs in
     let probe = new_probe ~root:S.root in
     w.run (instrument probe (make_fsops fs));
     let total = Vdev_fault.blocks_written fault - base in
     let events = List.rev probe.events_rev in
-    let bs = dev.Vdev.block_size in
+    let bs = (List.hd devs).Vdev.block_size in
     let points =
       match cuts with
       | Some cs -> List.filter (fun c -> c >= 0 && c < total) cs
@@ -483,14 +498,13 @@ module Make (S : SUBJECT) = struct
         let fail bucket stage detail =
           bucket := { cut; mode; stage; detail } :: !bucket
         in
-        let fault = fresh_fault ~blocks ~seed in
-        let dev = Vdev_fault.vdev fault in
-        S.format dev;
+        let fault, devs = fresh_fault ~blocks ~seed in
+        S.format devs;
         Vdev_fault.plan_crash fault ~mode ~after_blocks:cut ();
         let rprobe = new_probe ~root:S.root in
         let crashed =
           try
-            let fs = S.mount dev in
+            let fs = S.mount devs in
             w.run (instrument rprobe (make_fsops fs));
             false
           with Vdev.Crashed -> true
@@ -498,7 +512,7 @@ module Make (S : SUBJECT) = struct
         if crashed then incr crashes
         else fail fsck_failures "replay" "power cut never fired (non-deterministic workload?)";
         Vdev_fault.reboot fault;
-        match (try Ok (S.recover dev) with e -> Error e) with
+        match (try Ok (S.recover devs) with e -> Error e) with
         | Error e -> fail fsck_failures "recover" (Printexc.to_string e)
         | Ok fs2 -> (
             match S.fsck_errors fs2 with

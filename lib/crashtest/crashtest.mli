@@ -19,27 +19,36 @@
       deletions).
 
     The harness is a functor over {!SUBJECT}, a small extension of the
-    shared {!Lfs_core.Fs_intf.S} surface, so the same enumeration runs
-    against the LFS and the FFS baseline.  FFS has no recovery protocol
-    and writes metadata in place, so its runs are expected to report
-    oracle divergences — the harness reports them, it does not crash.
+    shared {!Lfs_core.Fs_intf.DURABLE} lifecycle, so the same
+    enumeration runs against the LFS, the FFS baseline and the shard
+    router.  FFS has no recovery protocol and writes metadata in place,
+    so its runs are expected to report oracle divergences — the harness
+    reports them, it does not crash.
+
+    Multi-device subjects (the shard router) declare [ndevices]; the
+    harness plants the fault layer on device 0 only, so the enumeration
+    crashes one shard at every one of its write points while the other
+    shards keep serving — the oracle then checks that the surviving
+    shards' durable state is intact alongside the crashed shard's
+    recovery.
 
     All randomness (crash modes per point, reorder subsets, script
     workloads) derives from one seed, so every reported failure replays
     exactly from the printed seed. *)
 
 module type SUBJECT = sig
-  include Lfs_core.Fs_intf.S
+  include Lfs_core.Fs_intf.DURABLE
+  (** [format]/[mount]/[recover] take the full device list (singleton
+      for LFS/FFS, one per shard for the router) with a harness-chosen
+      small config baked in; [recover] is roll-forward for LFS, a plain
+      mount for FFS. *)
 
   val subject_name : string
   val async_writes : bool
 
-  val format : Lfs_disk.Vdev.t -> unit
-  (** Make a fresh file system (with a harness-chosen small config). *)
-
-  val mount : Lfs_disk.Vdev.t -> t
-  val recover : Lfs_disk.Vdev.t -> t
-  (** Post-crash mount: roll-forward for LFS, plain mount for FFS. *)
+  val ndevices : int
+  (** How many devices the subject mounts across.  The harness creates
+      exactly this many and faults device 0. *)
 
   val fsck_errors : t -> string list
   (** Structural-consistency errors; [[]] means clean.  Subjects with no
@@ -105,9 +114,10 @@ module Make (S : SUBJECT) : sig
     ?modes:Lfs_disk.Vdev_fault.mode list ->
     workload ->
     report
-  (** [run w] records [w] once on a fresh [?blocks]-block device
-      (default 1024) to learn the crash-point space, then replays one
-      crash per point.  [?stride] (default 1) thins the enumeration but
+  (** [run w] records [w] once on fresh [?blocks]-block devices
+      (default 1024 each, [S.ndevices] of them) to learn the crash-point
+      space — the writes that reached device 0 — then replays one crash
+      per point.  [?stride] (default 1) thins the enumeration but
       always keeps the final write; [?cuts] replays exactly the given
       points instead.  The crash mode at each point is drawn from
       [?modes] (default all three) using [?seed] (default 0). *)

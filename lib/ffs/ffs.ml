@@ -58,7 +58,7 @@ type t = {
 
 let root = Types.root_ino
 
-let disk t = t.disk
+let devices t = [ t.disk ]
 
 let magic = 0x4646_5331 (* "FFS1" *)
 

@@ -64,7 +64,7 @@ val read_path : t -> string -> bytes option
     convention as {!Lfs_core.Fs.read_path}). *)
 
 val sync : t -> unit
-val disk : t -> Lfs_disk.Vdev.t
+val devices : t -> Lfs_disk.Vdev.t list
 
 val free_blocks : t -> int
 

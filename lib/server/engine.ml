@@ -150,8 +150,14 @@ let run (cfg : config) (fs : Fsops.t) =
       register (fun ~blocks ->
           Metrics.observe log_batch_hist (float_of_int blocks))
   | None -> ());
-  let io0 = Io_stats.copy (Vdev.stats fs.Fsops.disk) in
-  let disk_busy () = (Vdev.stats fs.Fsops.disk).Io_stats.busy_s in
+  (* All device interaction goes over the full [devices] list so a
+     sharded volume's per-shard vdevs pump, drain and account exactly
+     like a single disk: busy time sums per spindle, IO tags are
+     allocated from one global counter so a span's [lo, hi) range spans
+     every device at once. *)
+  let devs = fs.Fsops.devices in
+  let io0 = Fsops.io_stats fs in
+  let disk_busy () = (Fsops.io_stats fs).Io_stats.busy_s in
 
   (* io_depth > 1 switches the device stack to queued submission: sync
      calls submit without waiting, device completions become events on
@@ -160,10 +166,12 @@ let run (cfg : config) (fs : Fsops.t) =
      exact timings). *)
   let queued = cfg.io_depth > 1 in
   if queued then
-    Vdev.set_mode fs.Fsops.disk (Vdev.Queued (fun () -> Sched.now sched));
+    List.iter
+      (fun d -> Vdev.set_mode d (Vdev.Queued (fun () -> Sched.now sched)))
+      devs;
 
   let group_commit = fs.Fsops.async_writes in
-  let block_size = Vdev.block_size fs.Fsops.disk in
+  let block_size = Vdev.block_size (List.hd devs) in
   let blocks_of n = (n + block_size - 1) / block_size in
 
   (* Serving state.  All iteration is over arrays and FIFOs — no
@@ -301,7 +309,9 @@ let run (cfg : config) (fs : Fsops.t) =
      commits the next pick, making device completions first-class
      events), then settle any span whose tag range has drained. *)
   and device_progress () =
-    let started = Vdev.pump fs.Fsops.disk ~now:(Sched.now sched) in
+    let started =
+      List.concat_map (fun d -> Vdev.pump d ~now:(Sched.now sched)) devs
+    in
     List.iter
       (fun (tag, fin) ->
         Hashtbl.replace finish_of tag fin;
@@ -312,7 +322,10 @@ let run (cfg : config) (fs : Fsops.t) =
   and check_inflight () =
     let ready, rest =
       List.partition
-        (fun sp -> Vdev.outstanding_in fs.Fsops.disk ~lo:sp.lo ~hi:sp.hi = 0)
+        (fun sp ->
+          List.for_all
+            (fun d -> Vdev.outstanding_in d ~lo:sp.lo ~hi:sp.hi = 0)
+            devs)
         !inflight
     in
     if ready <> [] then begin
@@ -541,8 +554,8 @@ let run (cfg : config) (fs : Fsops.t) =
   if queued then begin
     (* Settle any stragglers on the device clock and hand the stack back
        in the mode we found it. *)
-    ignore (Vdev.drain fs.Fsops.disk);
-    Vdev.set_mode fs.Fsops.disk Vdev.Direct
+    List.iter (fun d -> ignore (Vdev.drain d)) devs;
+    List.iter (fun d -> Vdev.set_mode d Vdev.Direct) devs
   end;
 
   (* Nothing may be lost silently: every generated request either
@@ -558,7 +571,7 @@ let run (cfg : config) (fs : Fsops.t) =
   done;
 
   let elapsed_s = !last_completion in
-  let disk_s = (Io_stats.diff (Vdev.stats fs.Fsops.disk) io0).Io_stats.busy_s in
+  let disk_s = (Io_stats.diff (Fsops.io_stats fs) io0).Io_stats.busy_s in
   let throughput_ops_s =
     if elapsed_s > 0.0 then float_of_int total_completed /. elapsed_s
     else Float.nan
@@ -569,7 +582,15 @@ let run (cfg : config) (fs : Fsops.t) =
   in
   Metrics.set qmax_g (float_of_int !qmax);
   Metrics.set (Metrics.gauge m "server.io_depth") (float_of_int cfg.io_depth);
-  Vdev.register_metrics ~prefix:"server.dev" m fs.Fsops.disk;
+  (* One device keeps the historical [server.dev.*] names; a sharded
+     volume's devices register as [server.dev<i>.*] in shard order. *)
+  (match devs with
+  | [ d ] -> Vdev.register_metrics ~prefix:"server.dev" m d
+  | ds ->
+      List.iteri
+        (fun i d ->
+          Vdev.register_metrics ~prefix:(Printf.sprintf "server.dev%d" i) m d)
+        ds);
   Metrics.set (Metrics.gauge m "server.clients") (float_of_int cfg.clients);
   Metrics.set
     (Metrics.gauge m "server.ops_per_client")

@@ -47,12 +47,10 @@ let obj p i = Printf.sprintf "/obj/d%d/f%d.o" (i mod p.dirs) i
 let run p (fs : Fsops.t) =
   let blocks_per_file = max 1 ((p.file_bytes + 4095) / 4096) in
   let measure phase ~ops ~blocks ~extra_cpu body =
-    let before = Io_stats.copy (Lfs_disk.Vdev.stats fs.Fsops.disk) in
+    let before = Fsops.io_stats fs in
     body ();
     fs.Fsops.sync ();
-    let disk_s =
-      (Io_stats.diff (Lfs_disk.Vdev.stats fs.Fsops.disk) before).Io_stats.busy_s
-    in
+    let disk_s = (Io_stats.diff (Fsops.io_stats fs) before).Io_stats.busy_s in
     let cpu_s = Cpu_model.cost p.cpu ~ops ~blocks +. extra_cpu in
     let elapsed_s =
       Cpu_model.elapsed ~sync:(not fs.Fsops.async_writes) ~cpu_s ~disk_s

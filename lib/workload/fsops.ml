@@ -6,7 +6,7 @@ module Ffs = Lfs_ffs.Ffs
 type t = {
   name : string;
   async_writes : bool;
-  disk : Lfs_disk.Vdev.t;
+  devices : Lfs_disk.Vdev.t list;
   create_path : string -> Lfs_core.Types.ino;
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;
@@ -28,7 +28,7 @@ module Make (F : Lfs_core.Fs_intf.S) = struct
     {
       name;
       async_writes;
-      disk = F.disk fs;
+      devices = F.devices fs;
       create_path = F.create_path fs;
       mkdir_path = F.mkdir_path fs;
       resolve = F.resolve fs;
@@ -46,6 +46,19 @@ end
 
 module Of_lfs = Make (Fs)
 module Of_ffs = Make (Ffs)
+
+let of_any ~name ~async_writes (Lfs_core.Fs_intf.Any.Any ((module F), fs)) =
+  let module M = Make (F) in
+  M.make ~name ~async_writes fs
+
+let io_stats t =
+  match t.devices with
+  | [] -> invalid_arg "Fsops.io_stats: empty device list"
+  | d :: rest ->
+      List.fold_left
+        (fun acc d -> Lfs_disk.Io_stats.merge acc (Vdev.stats d))
+        (Lfs_disk.Io_stats.copy (Vdev.stats d))
+        rest
 
 let of_lfs fs =
   {

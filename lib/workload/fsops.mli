@@ -6,7 +6,10 @@ type t = {
   async_writes : bool;
       (** writes are buffered and overlap with the CPU (LFS); false
           means metadata IO serialises with the caller (FFS) *)
-  disk : Lfs_disk.Vdev.t;
+  devices : Lfs_disk.Vdev.t list;
+      (** the devices the system is mounted on, in a stable order
+          ({!Lfs_core.Fs_intf.S.devices}); singleton for LFS/FFS, one
+          per shard for sharded volumes — never empty *)
   create_path : string -> Lfs_core.Types.ino;
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;
@@ -37,6 +40,19 @@ end
     {!Lfs_core.Fs_intf.S} surface, so every workload in this library
     runs against a new file system the moment it implements the
     interface.  [of_lfs]/[of_ffs] below are instances. *)
+
+val of_any : name:string -> async_writes:bool -> Lfs_core.Fs_intf.Any.t -> t
+(** Build the driver record from a packed file system
+    ({!Lfs_core.Fs_intf.Any}), for callers that receive "some file
+    system" across an API boundary instead of a concrete module.  The
+    optional hooks ([metrics], [on_log_batch], [clean_step]) start as
+    [None]; builders that know more (e.g. the shard spec parser) fill
+    them in with record update. *)
+
+val io_stats : t -> Lfs_disk.Io_stats.t
+(** A merged snapshot of {!Lfs_disk.Vdev.stats} across [devices]
+    (per-field sums via {!Lfs_disk.Io_stats.merge}) — capture before and
+    after a phase and {!Lfs_disk.Io_stats.diff} the two. *)
 
 val of_lfs : Lfs_core.Fs.t -> t
 val of_ffs : Lfs_ffs.Ffs.t -> t

@@ -34,10 +34,10 @@ let run p (fs : Fsops.t) =
   let prng = Prng.create ~seed:p.seed in
   let ino = fs.Fsops.create_path "/big" in
   let phase_of name ~write body =
-    let before = Io_stats.copy (Lfs_disk.Vdev.stats fs.Fsops.disk) in
+    let before = Fsops.io_stats fs in
     body ();
     fs.Fsops.sync ();
-    let after = Lfs_disk.Vdev.stats fs.Fsops.disk in
+    let after = Fsops.io_stats fs in
     let disk_s = (Io_stats.diff after before).Io_stats.busy_s in
     let cpu_s =
       Cpu_model.cost p.cpu ~ops:nchunks ~blocks:(nchunks * blocks_per_chunk)

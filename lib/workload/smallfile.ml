@@ -32,10 +32,10 @@ let default_params =
 let path p i = Printf.sprintf "/d%d/f%d" (i / p.files_per_dir) i
 
 let measure_phase p (fs : Fsops.t) phase ~ops ~blocks body =
-  let before = Io_stats.copy (Lfs_disk.Vdev.stats fs.Fsops.disk) in
+  let before = Fsops.io_stats fs in
   body ();
   fs.Fsops.sync ();
-  let after = Lfs_disk.Vdev.stats fs.Fsops.disk in
+  let after = Fsops.io_stats fs in
   let disk_s = (Io_stats.diff after before).Io_stats.busy_s in
   let cpu_s = Cpu_model.cost p.cpu ~ops ~blocks in
   let sync =

@@ -238,7 +238,8 @@ let test_fs_metrics_cover_layers () =
   | _ -> Alcotest.fail "checkpoint histogram missing");
   (* The handed-in vdev registered IO gauges that track live Io_stats. *)
   let dev_writes =
-    (Lfs_disk.Vdev.stats (Fs.disk fs)).Lfs_disk.Io_stats.blocks_written
+    (Lfs_disk.Vdev.stats (List.hd (Fs.devices fs))).Lfs_disk.Io_stats
+      .blocks_written
   in
   Alcotest.(check bool) "vdev layer registered" true
     (Metrics.float_value m "vdev.trace.blocks_written" = float_of_int dev_writes)

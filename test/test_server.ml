@@ -446,11 +446,14 @@ let test_engine_io_depth_restores_mode () =
   let fs = Fsops.fresh_lfs (engine_geom ()) in
   let r = Engine.run { small_cfg with Engine.io_depth = 4 } fs in
   Alcotest.(check int) "completed" (4 * 40) r.Engine.completed;
-  (match Vdev.get_mode fs.Fsops.disk with
-  | Vdev.Direct -> ()
-  | Vdev.Queued _ -> Alcotest.fail "engine must restore Direct mode");
-  Alcotest.(check int) "nothing outstanding" 0
-    (Vdev.outstanding_in fs.Fsops.disk ~lo:0 ~hi:max_int)
+  List.iter
+    (fun d ->
+      (match Vdev.get_mode d with
+      | Vdev.Direct -> ()
+      | Vdev.Queued _ -> Alcotest.fail "engine must restore Direct mode");
+      Alcotest.(check int) "nothing outstanding" 0
+        (Vdev.outstanding_in d ~lo:0 ~hi:max_int))
+    fs.Fsops.devices
 
 let suite =
   ( "server",
