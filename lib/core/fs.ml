@@ -53,8 +53,10 @@ type obs = {
       (* disk time a foreground [clean] invocation held up its caller *)
 }
 
-let make_obs () =
-  let metrics = Metrics.create () in
+let make_obs ?metrics () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let op name = Metrics.histogram metrics ("fs.op." ^ name ^ ".busy_s") in
   {
     metrics;
@@ -1360,14 +1362,14 @@ let register_fs_metrics t =
   gi "checkpoints" Fs_stats.checkpoints;
   g "clean_segments" (fun () -> float_of_int (clean_segment_count t))
 
-let make_t disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg ~seq
-    ~clock ~ckpt_region =
+let make_t ?metrics disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg
+    ~seq ~clock ~ckpt_region =
   let layout = sb.Superblock.layout in
   let reusable = ref [] in
   let reusable_len = ref 0 in
   let cleaner_attr = ref false in
   let stats = Fs_stats.create () in
-  let obs = make_obs () in
+  let obs = make_obs ?metrics () in
   let cache = Vdev_cache.create ~capacity:config.Config.cache_blocks disk in
   let dev = Vdev_cache.vdev cache in
   let pick_clean ~exclude =
@@ -1476,7 +1478,7 @@ let format disk cfg =
   set_dir_contents t ino Directory.empty;
   checkpoint t
 
-let mount ?config disk =
+let mount ?config ?metrics disk =
   let sb = Superblock.load disk in
   let layout = sb.Superblock.layout in
   let cfg = Option.value ~default:sb.Superblock.config config in
@@ -1494,9 +1496,9 @@ let mount ?config disk =
       let usage =
         Seg_usage.load layout ~read ~block_addrs:ck.Checkpoint.usage_addrs
       in
-      make_t disk sb ~config:cfg ~imap ~usage ~cur_seg:ck.Checkpoint.cur_seg
-        ~cur_off:ck.Checkpoint.cur_off ~next_seg:ck.Checkpoint.next_seg
-        ~seq:ck.Checkpoint.log_seq
+      make_t ?metrics disk sb ~config:cfg ~imap ~usage
+        ~cur_seg:ck.Checkpoint.cur_seg ~cur_off:ck.Checkpoint.cur_off
+        ~next_seg:ck.Checkpoint.next_seg ~seq:ck.Checkpoint.log_seq
         ~clock:(ck.Checkpoint.timestamp +. 1.0)
         ~ckpt_region:(1 - region)
 
@@ -1504,7 +1506,7 @@ let unmount t = checkpoint t
 
 (* {1 Roll-forward} *)
 
-let recover ?config disk =
+let recover ?config ?metrics disk =
   let sb = Superblock.load disk in
   let layout = sb.Superblock.layout in
   let cfg = Option.value ~default:sb.Superblock.config config in
@@ -1525,7 +1527,7 @@ let recover ?config disk =
           ck.Checkpoint.timestamp scan.Recovery.writes
       in
       let t =
-        make_t disk sb ~config:cfg ~imap ~usage
+        make_t ?metrics disk sb ~config:cfg ~imap ~usage
           ~cur_seg:scan.Recovery.tail_seg ~cur_off:scan.Recovery.tail_off
           ~next_seg:scan.Recovery.tail_next_seg ~seq:scan.Recovery.next_seq
           ~clock:(newest_ts +. 1.0)

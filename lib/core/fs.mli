@@ -27,11 +27,15 @@ val format : Lfs_disk.Vdev.t -> Config.t -> unit
 (** Create a fresh file system on the device: superblock, empty inode
     map and usage table, root directory, initial checkpoint. *)
 
-val mount : ?config:Config.t -> Lfs_disk.Vdev.t -> t
+val mount : ?config:Config.t -> ?metrics:Lfs_obs.Metrics.t -> Lfs_disk.Vdev.t -> t
 (** Load the latest checkpoint and discard anything after it (how the
     paper's production systems rebooted).  [config] overrides mount-time
     policies (cleaning/grouping/thresholds); geometry always comes from
-    the superblock.  Raises {!Types.Corrupt} if no valid checkpoint. *)
+    the superblock.  [metrics] supplies the registry (view) this mount
+    registers its instruments into — pass a {!Lfs_obs.Metrics.scoped}
+    view when several mounts share one registry, or omit it for a fresh
+    private registry.  Raises {!Types.Corrupt} if no valid
+    checkpoint. *)
 
 type recovery_report = {
   writes_replayed : int;
@@ -41,10 +45,15 @@ type recovery_report = {
   segments_scanned : int;
 }
 
-val recover : ?config:Config.t -> Lfs_disk.Vdev.t -> t * recovery_report
+val recover :
+  ?config:Config.t ->
+  ?metrics:Lfs_obs.Metrics.t ->
+  Lfs_disk.Vdev.t ->
+  t * recovery_report
 (** Mount, then roll the log forward from the checkpoint: reprocess
     recovered inodes, adjust segment utilisations, replay the directory
-    operation log, and write a fresh checkpoint. *)
+    operation log, and write a fresh checkpoint.  [metrics] as in
+    {!mount}. *)
 
 val unmount : t -> unit
 (** Flush everything and checkpoint.  The [t] must not be used after. *)

@@ -23,12 +23,20 @@ type instrument =
   | Hist of histogram
   | Dist of dist
 
-type t = {
+(* One shared underlying registry; [t] is a view onto it that prepends
+   [prefix] to every name registered or looked up through it.  Scoped
+   views are how several file-system instances (the shard router's N
+   mounts) share one process-wide registry without name collisions. *)
+type root = {
   table : (string, instrument) Hashtbl.t;
   mutable order : string list;  (* reverse registration order *)
 }
 
-let create () = { table = Hashtbl.create 64; order = [] }
+type t = { root : root; prefix : string }
+
+let create () = { root = { table = Hashtbl.create 64; order = [] }; prefix = "" }
+let scoped t prefix = { t with prefix = t.prefix ^ prefix }
+let full t name = t.prefix ^ name
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -40,7 +48,8 @@ let kind_name = function
 (* Get-or-create: [make ()] builds the instrument, [extract] projects an
    existing entry back out (None on kind mismatch). *)
 let intern t name ~make ~extract =
-  match Hashtbl.find_opt t.table name with
+  let name = full t name in
+  match Hashtbl.find_opt t.root.table name with
   | Some existing -> (
       match extract existing with
       | Some v -> v
@@ -50,8 +59,8 @@ let intern t name ~make ~extract =
                (kind_name existing)))
   | None ->
       let inst, v = make () in
-      Hashtbl.replace t.table name inst;
-      t.order <- name :: t.order;
+      Hashtbl.replace t.root.table name inst;
+      t.root.order <- name :: t.root.order;
       v
 
 let counter t name =
@@ -73,15 +82,22 @@ let gauge t name =
 
 let set g v = g.g <- v
 
+(* Callback gauges are registered exactly once per name.  A second
+   registration means two live instances are writing into the same
+   registry — the second would silently shadow the first, so it is a
+   hard error; instances that deliberately share a registry must
+   disambiguate through [scoped]. *)
 let gauge_fn t name f =
+  let fname = full t name in
   intern t name
     ~make:(fun () -> (Gauge_fn (ref f), ()))
     ~extract:(function
-      | Gauge_fn r ->
-          (* Replace: a remount re-registers its layers over the old
-             callbacks, which would otherwise read freed state. *)
-          r := f;
-          Some ()
+      | Gauge_fn _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Metrics: callback gauge %S registered twice — two instances \
+                sharing one registry must use Metrics.scoped prefixes"
+               fname)
       | _ -> None)
 
 let default_lo = 1e-6
@@ -210,7 +226,7 @@ let value_of = function
           }
   | Dist d -> Series { total = Histogram.total d; series = Histogram.to_series d }
 
-let value t name = Option.map value_of (Hashtbl.find_opt t.table name)
+let value t name = Option.map value_of (Hashtbl.find_opt t.root.table (full t name))
 
 let float_value t name =
   match value t name with
@@ -220,8 +236,12 @@ let float_value t name =
   | Some (Summary s) -> s.mean
   | Some (Series s) -> s.total
 
+(* Snapshots (and the reports built on them) always cover the whole
+   underlying registry, whichever view they are taken through. *)
 let snapshot t =
-  List.rev_map (fun name -> (name, value_of (Hashtbl.find t.table name))) t.order
+  List.rev_map
+    (fun name -> (name, value_of (Hashtbl.find t.root.table name)))
+    t.root.order
 
 (* ---- Text report ---- *)
 

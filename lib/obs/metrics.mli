@@ -27,8 +27,14 @@
 
     Registration is get-or-create by name: asking twice for the same
     name and kind returns the same instrument; asking for an existing
-    name with a different kind raises [Invalid_argument].  Reports
-    preserve registration order. *)
+    name with a different kind — or re-registering a callback gauge —
+    raises [Invalid_argument].  Reports preserve registration order.
+
+    A [t] is a {e view} onto a shared underlying registry.  {!scoped}
+    derives a view that prepends a prefix to every name registered or
+    looked up through it, so several file-system instances (the shard
+    router's N mounts, each under [shard<i>.]) share one process-wide
+    registry without colliding. *)
 
 type t
 type counter
@@ -37,6 +43,12 @@ type histogram
 type dist
 
 val create : unit -> t
+
+val scoped : t -> string -> t
+(** [scoped t p] is a view of [t]'s underlying registry in which every
+    name is prefixed with [p] (prefixes compose:
+    [scoped (scoped t "a.") "b."] prepends ["a.b."]).  Registration
+    order, snapshots and reports stay global to the shared registry. *)
 
 (** {1 Instruments} *)
 
@@ -51,8 +63,10 @@ val set : gauge -> float -> unit
 
 val gauge_fn : t -> string -> (unit -> float) -> unit
 (** [gauge_fn t name f] registers a gauge whose value is [f ()] at each
-    report/snapshot.  Re-registering an existing callback gauge replaces
-    the callback (layers may be re-registered after a remount). *)
+    report/snapshot.  Registering the same name twice raises
+    [Invalid_argument]: a duplicate means two live instances share one
+    registry and the second would silently shadow the first — scope the
+    instances apart with {!scoped} instead. *)
 
 val histogram : ?lo:float -> ?hi:float -> ?bins:int -> t -> string -> histogram
 (** Log-spaced buckets covering [\[lo, hi\]] (defaults [1e-6], [1e4],
@@ -107,7 +121,8 @@ val float_value : t -> string -> float
     mean; [Series] its total).  [nan] if the name is unknown. *)
 
 val snapshot : t -> (string * value) list
-(** All instruments in registration order. *)
+(** All instruments of the shared registry (every scope) in
+    registration order, under their full prefixed names. *)
 
 (** {1 Reports} *)
 

@@ -32,16 +32,45 @@ let test_gauge_basics () =
   Metrics.set g 3.25;
   Alcotest.(check (float 0.0)) "set value" 3.25 (Metrics.float_value m "depth")
 
-let test_gauge_fn_replaces () =
+let test_gauge_fn_duplicate_rejected () =
   let m = Metrics.create () in
   let cell = ref 1.0 in
   Metrics.gauge_fn m "live" (fun () -> !cell);
   cell := 7.0;
   Alcotest.(check (float 0.0)) "samples at read time" 7.0
     (Metrics.float_value m "live");
-  (* Re-registration replaces the callback (remount over a stale layer). *)
-  Metrics.gauge_fn m "live" (fun () -> 42.0);
-  Alcotest.(check (float 0.0)) "replaced" 42.0 (Metrics.float_value m "live")
+  (* A second registration would silently shadow the first instance's
+     callback — it must be a loud error instead. *)
+  (match Metrics.gauge_fn m "live" (fun () -> 42.0) with
+  | () -> Alcotest.fail "duplicate callback gauge should raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (float 0.0)) "original callback intact" 7.0
+    (Metrics.float_value m "live")
+
+let test_scoped_prefixes () =
+  let m = Metrics.create () in
+  let s0 = Metrics.scoped m "shard0." and s1 = Metrics.scoped m "shard1." in
+  (* The same name registers independently under each scope... *)
+  Metrics.gauge_fn s0 "fs.live" (fun () -> 10.0);
+  Metrics.gauge_fn s1 "fs.live" (fun () -> 11.0);
+  Alcotest.(check (float 0.0)) "scope 0 reads its own" 10.0
+    (Metrics.float_value s0 "fs.live");
+  Alcotest.(check (float 0.0)) "scope 1 reads its own" 11.0
+    (Metrics.float_value s1 "fs.live");
+  (* ...and is visible registry-wide under its full name. *)
+  Alcotest.(check (float 0.0)) "full name from the root" 11.0
+    (Metrics.float_value m "shard1.fs.live");
+  Metrics.incr ~by:3 (Metrics.counter s0 "ops");
+  Alcotest.(check int) "snapshot shows full names" 1
+    (List.length
+       (List.filter
+          (fun (n, _) -> String.equal n "shard0.ops")
+          (Metrics.snapshot m)));
+  (* Prefixes compose. *)
+  let s0c = Metrics.scoped s0 "cleaner." in
+  Metrics.incr (Metrics.counter s0c "passes");
+  Alcotest.(check (float 0.0)) "composed prefix" 1.0
+    (Metrics.float_value m "shard0.cleaner.passes")
 
 let test_kind_conflict_rejected () =
   let m = Metrics.create () in
@@ -259,7 +288,9 @@ let suite =
     [
       Alcotest.test_case "counter basics" `Quick test_counter_basics;
       Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
-      Alcotest.test_case "gauge_fn replaces" `Quick test_gauge_fn_replaces;
+      Alcotest.test_case "gauge_fn duplicate rejected" `Quick
+        test_gauge_fn_duplicate_rejected;
+      Alcotest.test_case "scoped prefixes" `Quick test_scoped_prefixes;
       Alcotest.test_case "kind conflict" `Quick test_kind_conflict_rejected;
       Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
       Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
