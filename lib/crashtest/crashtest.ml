@@ -75,6 +75,38 @@ module Ffs = struct
   let fsck_errors _ = []
 end
 
+module type SHARD_SHAPE = sig
+  val shards : int
+  val policy : Lfs_shard.Shard_router.policy
+end
+
+(* Every shard runs the same tight LFS config the single-disk subject
+   uses, so per-shard crash points stay as dense as the LFS run's. *)
+module Shard (P : SHARD_SHAPE) = struct
+  include Lfs_shard.Shard_router
+
+  let subject_name =
+    Printf.sprintf "shard:%d:%s" P.shards
+      (Lfs_shard.Shard_router.policy_name P.policy)
+
+  let async_writes = true
+  let ndevices = P.shards
+  let format devs = Lfs_shard.Shard_router.format ~config:lfs_config devs
+
+  let mount devs =
+    Lfs_shard.Shard_router.mount ~config:lfs_config ~policy:P.policy devs
+
+  let recover devs =
+    fst (Lfs_shard.Shard_router.recover ~config:lfs_config ~policy:P.policy devs)
+
+  let fsck_errors t =
+    List.concat
+      (List.init (shard_count t) (fun i ->
+           List.map
+             (Printf.sprintf "shard%d: %s" i)
+             (Lfs_core.Fsck.check (shard_fs t i)).Lfs_core.Fsck.errors))
+end
+
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -551,3 +583,13 @@ let run_lfs ?blocks ?stride ?cuts ?seed ?modes w =
 
 let run_ffs ?blocks ?stride ?cuts ?seed ?modes w =
   Ffs_runner.run ?blocks ?stride ?cuts ?seed ?modes w
+
+let run_shard ?(shards = 2) ?(policy = Lfs_shard.Shard_router.By_hash) ?blocks
+    ?stride ?cuts ?seed ?modes w =
+  let module R =
+    Make (Shard (struct
+      let shards = shards
+      let policy = policy
+    end))
+  in
+  R.run ?blocks ?stride ?cuts ?seed ?modes w

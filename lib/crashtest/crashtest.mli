@@ -58,6 +58,17 @@ end
 module Lfs : SUBJECT with type t = Lfs_core.Fs.t
 module Ffs : SUBJECT with type t = Lfs_ffs.Ffs.t
 
+module type SHARD_SHAPE = sig
+  val shards : int
+  val policy : Lfs_shard.Shard_router.policy
+end
+
+module Shard (P : SHARD_SHAPE) :
+  SUBJECT with type t = Lfs_shard.Shard_router.t
+(** An [P.shards]-way sharded volume; the harness faults shard 0's
+    device only, so every crash point exercises one shard's recovery
+    while the others must keep their durable state intact. *)
+
 (** {1 Workloads} *)
 
 type workload = {
@@ -140,3 +151,17 @@ val run_ffs :
   ?modes:Lfs_disk.Vdev_fault.mode list ->
   workload ->
   report
+
+val run_shard :
+  ?shards:int ->
+  ?policy:Lfs_shard.Shard_router.policy ->
+  ?blocks:int ->
+  ?stride:int ->
+  ?cuts:int list ->
+  ?seed:int ->
+  ?modes:Lfs_disk.Vdev_fault.mode list ->
+  workload ->
+  report
+(** {!Make} over {!Shard}: [?shards] (default 2) devices of [?blocks]
+    each, [?policy] (default [By_hash]) placement, crash points
+    enumerated over shard 0's writes. *)

@@ -1,0 +1,78 @@
+module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
+module Geometry = Lfs_disk.Geometry
+module Config = Lfs_core.Config
+module Fsops = Lfs_workload.Fsops
+
+type t =
+  | Lfs
+  | Ffs
+  | Shard of { shards : int; policy : Shard_router.policy }
+
+let grammar_doc =
+  "lfs | ffs | shard[:N][:by_hash|by_subtree] (e.g. shard:4, \
+   shard:2:by_subtree)"
+
+let parse ?(default_shards = 4) s =
+  let usage = Printf.sprintf "bad fs spec %S; grammar: %s" s grammar_doc in
+  match String.split_on_char ':' s with
+  | [ "lfs" ] -> Ok Lfs
+  | [ "ffs" ] -> Ok Ffs
+  | "shard" :: rest -> (
+      let count, policy_parts =
+        match rest with
+        | n :: more when int_of_string_opt n <> None ->
+            (int_of_string n, more)
+        | _ -> (default_shards, rest)
+      in
+      if count < 1 then Error (Printf.sprintf "shard count %d < 1" count)
+      else
+        match policy_parts with
+        | [] -> Ok (Shard { shards = count; policy = Shard_router.By_hash })
+        | [ p ] -> (
+            match Shard_router.policy_of_string p with
+            | Some policy -> Ok (Shard { shards = count; policy })
+            | None -> Error usage)
+        | _ -> Error usage)
+  | _ -> Error usage
+
+let to_string = function
+  | Lfs -> "lfs"
+  | Ffs -> "ffs"
+  | Shard { shards; policy } ->
+      Printf.sprintf "shard:%d:%s" shards (Shard_router.policy_name policy)
+
+(* The default config needs clean_stop + 2 = 10 segments of 256 blocks,
+   plus superblock/checkpoint metadata; round up generously so a shard
+   always has working room even when N divides a small volume. *)
+let min_shard_blocks = 16 * Config.default.Config.seg_blocks
+
+let fresh ?shards ~blocks spec =
+  match spec with
+  | Lfs -> Fsops.fresh_lfs (Geometry.wren_iv ~blocks)
+  | Ffs -> Fsops.fresh_ffs (Geometry.wren_iv ~blocks)
+  | Shard { shards = n; policy } ->
+      let n = match shards with Some n -> n | None -> n in
+      if n < 1 then invalid_arg "Spec.fresh: shard count < 1";
+      (* Equal split of the volume's capacity, floored so tiny volumes
+         still mount: shard counts compare at (roughly) equal total
+         capacity. *)
+      let per = max min_shard_blocks (blocks / n) in
+      let devs =
+        List.init n (fun _ ->
+            Vdev.of_disk (Disk.create (Geometry.wren_iv ~blocks:per)))
+      in
+      Shard_router.format devs;
+      let r = Shard_router.mount ~policy devs in
+      let name =
+        Printf.sprintf "LFS x%d (%s)" n (Shard_router.policy_name policy)
+      in
+      {
+        (Fsops.of_any ~name ~async_writes:true
+           (Lfs_core.Fs_intf.Any.pack (module Shard_router) r))
+        with
+        metrics = (fun () -> Some (Shard_router.metrics r));
+        on_log_batch = Some (Shard_router.on_log_batch r);
+        clean_step =
+          Some (fun ~max_segments -> Shard_router.clean_step ~max_segments r);
+      }

@@ -1,0 +1,43 @@
+(** The FS-spec grammar shared by the CLI tools and benches.
+
+    A spec names a file-system implementation plus its configuration,
+    replacing the closed [lfs|ffs] variant the tools used to dispatch
+    over:
+
+    {v
+    lfs                    the log-structured file system
+    ffs                    the FFS baseline
+    shard:N                N-way sharded LFS, by_hash placement
+    shard:N:by_hash        parent-path placement (explicit)
+    shard:N:by_subtree     first-path-component placement
+    shard                  sharded with a caller-supplied default count
+    v}
+
+    {!fresh} builds a freshly formatted volume behind a
+    {!Lfs_workload.Fsops.t} driver record via {!Lfs_core.Fs_intf.Any}
+    packing, so callers never see which implementation they got. *)
+
+type t =
+  | Lfs
+  | Ffs
+  | Shard of { shards : int; policy : Shard_router.policy }
+
+val parse : ?default_shards:int -> string -> (t, string) result
+(** Parse the grammar above.  [default_shards] (default [4]) supplies
+    the count for a bare ["shard"]; [Error] carries a usage message. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)
+
+val grammar_doc : string
+(** One-line description of the grammar for [--help] output. *)
+
+val fresh : ?shards:int -> blocks:int -> t -> Lfs_workload.Fsops.t
+(** A freshly formatted, mounted volume on simulated Wren IV disks
+    totalling [blocks] 4 KB blocks: single-disk for [Lfs]/[Ffs], and
+    for [Shard] the capacity splits evenly across the shards' devices
+    (so shard counts compare at equal total capacity).  [shards]
+    overrides a [Shard] spec's count (the [--shards] CLI passthrough)
+    and is ignored for the others.  The driver record's [metrics],
+    [on_log_batch] and [clean_step] hooks are populated for every
+    implementation that supports them. *)

@@ -17,5 +17,6 @@ let () =
       Test_sim.suite;
       Test_workload.suite;
       Test_crashtest.suite;
+      Test_shard.suite;
       Test_server.suite;
     ]

@@ -1,0 +1,332 @@
+(* The shard router: placement determinism, the unified namespace's
+   observational equivalence with a single LFS, ino encoding, per-shard
+   metrics scoping, and the one-faulted-shard crash sweep. *)
+
+module Disk = Lfs_disk.Disk
+module Vdev = Lfs_disk.Vdev
+module Geometry = Lfs_disk.Geometry
+module Fs = Lfs_core.Fs
+module Router = Lfs_shard.Shard_router
+module Spec = Lfs_shard.Spec
+module Metrics = Lfs_obs.Metrics
+module Prng = Lfs_util.Prng
+
+let shard_config = Helpers.test_config
+
+let fresh_devs n =
+  List.init n (fun _ -> Vdev.of_disk (Disk.create (Geometry.instant ~blocks:2048)))
+
+let fresh_router ?(shards = 3) ?(policy = Router.By_hash) () =
+  let devs = fresh_devs shards in
+  Router.format ~config:shard_config devs;
+  (devs, Router.mount ~config:shard_config ~policy devs)
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_grammar () =
+  let ok s = match Spec.parse s with Ok t -> t | Error e -> Alcotest.fail e in
+  (match ok "lfs" with Spec.Lfs -> () | _ -> Alcotest.fail "lfs");
+  (match ok "ffs" with Spec.Ffs -> () | _ -> Alcotest.fail "ffs");
+  (match ok "shard:4" with
+  | Spec.Shard { shards = 4; policy = Router.By_hash } -> ()
+  | t -> Alcotest.failf "shard:4 -> %s" (Spec.to_string t));
+  (match ok "shard:2:by_subtree" with
+  | Spec.Shard { shards = 2; policy = Router.By_subtree } -> ()
+  | t -> Alcotest.failf "shard:2:by_subtree -> %s" (Spec.to_string t));
+  (match Spec.parse ~default_shards:8 "shard" with
+  | Ok (Spec.Shard { shards = 8; _ }) -> ()
+  | _ -> Alcotest.fail "bare shard should take default_shards");
+  (match Spec.parse "shard:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "shard:0 should be rejected");
+  (match Spec.parse "ext4" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ext4 should be rejected");
+  List.iter
+    (fun s ->
+      match Spec.parse (Spec.to_string (ok s)) with
+      | Ok t -> Alcotest.(check string) "roundtrip" (Spec.to_string (ok s)) (Spec.to_string t)
+      | Error e -> Alcotest.fail e)
+    [ "lfs"; "ffs"; "shard:4"; "shard:2:by_subtree" ]
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_placement_determinism () =
+  let _, r1 = fresh_router () in
+  let _, r2 = fresh_router () in
+  let paths =
+    List.init 40 (fun i -> Printf.sprintf "dir%d/sub%d/f%d" (i mod 5) (i mod 3) i)
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "place %s" p)
+        (Router.place_path r1 p) (Router.place_path r2 p))
+    paths;
+  (* placement must actually spread: 40 paths over 3 shards should not
+     degenerate onto one *)
+  let used =
+    List.sort_uniq compare (List.map (Router.place_path r1) paths)
+  in
+  Alcotest.(check bool) "spreads over >1 shard" true (List.length used > 1)
+
+let test_by_hash_colocates_siblings () =
+  let _, r = fresh_router ~policy:Router.By_hash () in
+  let home = Router.place_path r "proj/a" in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "siblings colocate" home
+        (Router.place_path r (Printf.sprintf "proj/%s" n)))
+    [ "b"; "c"; "d"; "e" ]
+
+let test_by_subtree_pins_tree () =
+  let _, r = fresh_router ~policy:Router.By_subtree () in
+  let home = Router.place_path r "proj" in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) (Printf.sprintf "%s pins to subtree root" p) home
+        (Router.place_path r p))
+    [ "proj/a"; "proj/deep/nest/f"; "proj/x/y/z/w" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ino encoding                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ino_encoding () =
+  let _, r = fresh_router () in
+  Alcotest.(check (option int)) "root carries no shard" None
+    (Router.ino_shard Router.root);
+  let d = Router.mkdir_path r "docs" in
+  let f = Router.create_path r "docs/note" in
+  Alcotest.(check (option int))
+    "dir ino carries its home shard"
+    (Some (Router.place_path r "docs"))
+    (Router.ino_shard d);
+  Alcotest.(check (option int))
+    "file ino carries its home shard"
+    (Some (Router.place_path r "docs/note"))
+    (Router.ino_shard f);
+  (* a foreign / root ino is rejected by file IO, not misrouted *)
+  (match Router.read r Router.root ~off:0 ~len:1 with
+  | exception Lfs_core.Types.Fs_error _ -> ()
+  | _ -> Alcotest.fail "file IO on the root ino should be an Fs_error")
+
+(* ------------------------------------------------------------------ *)
+(* Namespace equivalence with a single LFS                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One random op applied to both systems through their path helpers;
+   results are compared in normalized form (contents, sorted readdir
+   names, presence) because inos legitimately differ. *)
+type op =
+  | Write of string * int * int  (* path, size, tag *)
+  | Append of string * int
+  | Unlink of string
+  | Readdir of string
+  | Read of string
+  | Sync
+
+let dirs = [| ""; "a"; "a/b"; "c" |]
+
+let op_gen =
+  QCheck.Gen.(
+    let path =
+      map2
+        (fun d f -> Filename.concat dirs.(d) (Printf.sprintf "f%d" f))
+        (int_bound (Array.length dirs - 1))
+        (int_bound 3)
+    in
+    frequency
+      [
+        (5, map3 (fun p s t -> Write (p, s, t)) path (int_range 1 12_000) (int_bound 25));
+        (2, map2 (fun p s -> Append (p, s)) path (int_range 1 4_000));
+        (2, map (fun p -> Unlink p) path);
+        (2, map (fun d -> Readdir dirs.(d)) (int_bound (Array.length dirs - 1)));
+        (3, map (fun p -> Read p) path);
+        (1, return Sync);
+      ])
+
+let print_op = function
+  | Write (p, s, t) -> Printf.sprintf "Write(%s,%d,#%d)" p s t
+  | Append (p, s) -> Printf.sprintf "Append(%s,%d)" p s
+  | Unlink p -> Printf.sprintf "Unlink(%s)" p
+  | Readdir d -> Printf.sprintf "Readdir(%s)" d
+  | Read p -> Printf.sprintf "Read(%s)" p
+  | Sync -> "Sync"
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 1 40) op_gen)
+
+(* The same surface over both systems, via first-class packing — the
+   equivalence property doubles as an exercise of [Fs_intf.Any]. *)
+let surface (Lfs_core.Fs_intf.Any.Any ((module F), fs)) =
+  object
+    method write_path p b = F.write_path fs p b
+    method resolve p = F.resolve fs p
+    method read_path p = F.read_path fs p
+    method file_size ino = F.file_size fs ino
+    method write ino ~off b = F.write fs ino ~off b
+    method unlink ~dir n = F.unlink fs ~dir n
+    method readdir ino = F.readdir fs ino
+    method mkdir_path p = F.mkdir_path fs p
+    method sync = F.sync fs
+  end
+
+let apply o = function
+  | Write (p, size, tag) ->
+      let b = Bytes.make size (Char.chr (65 + (tag mod 26))) in
+      o#write_path p b;
+      Printf.sprintf "wrote %d" size
+  | Append (p, size) -> (
+      match o#resolve p with
+      | None -> "absent"
+      | Some ino ->
+          let off = o#file_size ino in
+          o#write ino ~off (Bytes.make size 'z');
+          Printf.sprintf "appended at %d" off)
+  | Unlink p -> (
+      match o#resolve (Filename.dirname p) with
+      | Some dir when o#resolve p <> None -> (
+          try
+            o#unlink ~dir (Filename.basename p);
+            "unlinked"
+          with Lfs_core.Types.Fs_error m -> "err:" ^ m)
+      | _ -> "absent")
+  | Readdir d -> (
+      match o#resolve d with
+      | None -> "absent"
+      | Some ino ->
+          let names = List.map fst (o#readdir ino) in
+          String.concat "," (List.sort String.compare names))
+  | Read p -> (
+      match o#read_path p with
+      | None -> "absent"
+      | Some b -> Digest.to_hex (Digest.bytes b))
+  | Sync ->
+      o#sync;
+      "synced"
+
+let prop_sharded_matches_single =
+  QCheck.Test.make ~count:60 ~name:"sharded volume is observationally a single LFS"
+    arb_ops (fun ops ->
+      let _, single = Helpers.fresh_fs ~blocks:4096 () in
+      let _, sharded = fresh_router ~shards:3 () in
+      let s1 = surface (Lfs_core.Fs_intf.Any.pack (module Fs) single) in
+      let s2 = surface (Lfs_core.Fs_intf.Any.pack (module Router) sharded) in
+      List.iter (fun d -> if d <> "" then ignore (s1#mkdir_path d)) (Array.to_list dirs);
+      List.iter (fun d -> if d <> "" then ignore (s2#mkdir_path d)) (Array.to_list dirs);
+      List.for_all
+        (fun op ->
+          let a = apply s1 op and b = apply s2 op in
+          if String.equal a b then true
+          else
+            QCheck.Test.fail_reportf "%s: single=%S sharded=%S" (print_op op) a b)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Durability across shards                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_recover_roundtrip () =
+  let devs, r = fresh_router ~shards:3 () in
+  ignore (Router.mkdir_path r "p");
+  let contents =
+    List.init 12 (fun i ->
+        let path = Printf.sprintf "p/f%d" i in
+        let b = Helpers.bytes_of_pattern ~seed:i (500 + (i * 37)) in
+        Router.write_path r path b;
+        (path, b))
+  in
+  Router.sync r;
+  let r2, reports = Router.recover ~config:shard_config devs in
+  Alcotest.(check int) "one report per shard" 3 (List.length reports);
+  List.iter
+    (fun (path, b) ->
+      match Router.read_path r2 path with
+      | None -> Alcotest.failf "%s lost across recover" path
+      | Some got -> Helpers.check_bytes path b got)
+    contents;
+  for i = 0 to 2 do
+    Helpers.fsck_clean (Router.shard_fs r2 i)
+  done
+
+let test_metrics_scoping () =
+  let _, r = fresh_router ~shards:2 () in
+  ignore (Router.mkdir_path r "m");
+  for i = 0 to 9 do
+    Router.write_path r (Printf.sprintf "m/f%d" i) (Bytes.make 100 'x')
+  done;
+  Router.sync r;
+  let m = Router.metrics r in
+  let snap = Metrics.snapshot m in
+  let value name =
+    if not (List.mem_assoc name snap) then
+      Alcotest.failf "metric %s missing (have: %s)" name
+        (String.concat ", " (List.map fst snap));
+    Metrics.float_value m name
+  in
+  Alcotest.(check (float 0.0)) "router.shards" 2.0 (value "router.shards");
+  (* both shards publish their own fs instruments under their scopes *)
+  ignore (value "shard0.fs.log.blocks_new");
+  ignore (value "shard1.fs.log.blocks_new");
+  ignore (value "shard0.fs.cleaner.passes");
+  ignore (value "shard1.fs.cleaner.passes");
+  (* the placement counters account for every create/mkdir: 10 files,
+     the "m" dir, plus mirror shells (which are placed on the canonical
+     path's shard and counted once each) *)
+  let placed =
+    value "router.placed.shard0" +. value "router.placed.shard1"
+  in
+  Alcotest.(check bool) "placements counted" true (placed >= 11.0)
+
+(* ------------------------------------------------------------------ *)
+(* Crash sweep: one faulted shard                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_sweep_one_shard () =
+  let report =
+    Lfs_crashtest.Crashtest.run_shard ~shards:2 ~blocks:1024 ~stride:5
+      ~seed:11
+      (Lfs_crashtest.Crashtest.script ~ops:40 ~seed:5 ())
+  in
+  if not (Lfs_crashtest.Crashtest.is_clean report) then
+    Alcotest.failf "shard crash sweep: %a" Lfs_crashtest.Crashtest.pp_report
+      report;
+  Alcotest.(check bool) "sweep replayed crash points" true
+    (report.points > 0 && report.crashes > 0)
+
+let test_crash_sweep_by_subtree () =
+  let report =
+    Lfs_crashtest.Crashtest.run_shard ~shards:3 ~policy:Router.By_subtree
+      ~blocks:1024 ~stride:19 ~seed:3
+      (Lfs_crashtest.Crashtest.script ~ops:30 ~seed:9 ())
+  in
+  if not (Lfs_crashtest.Crashtest.is_clean report) then
+    Alcotest.failf "by_subtree crash sweep: %a"
+      Lfs_crashtest.Crashtest.pp_report report
+
+let suite =
+  ( "shard",
+    [
+      Alcotest.test_case "spec grammar" `Quick test_spec_grammar;
+      Alcotest.test_case "placement determinism" `Quick test_placement_determinism;
+      Alcotest.test_case "by_hash colocates siblings" `Quick
+        test_by_hash_colocates_siblings;
+      Alcotest.test_case "by_subtree pins a tree" `Quick test_by_subtree_pins_tree;
+      Alcotest.test_case "ino encoding" `Quick test_ino_encoding;
+      QCheck_alcotest.to_alcotest prop_sharded_matches_single;
+      Alcotest.test_case "sync/recover roundtrip" `Quick
+        test_sync_recover_roundtrip;
+      Alcotest.test_case "metrics scoping" `Quick test_metrics_scoping;
+      Alcotest.test_case "crash sweep, one faulted shard" `Slow
+        test_crash_sweep_one_shard;
+      Alcotest.test_case "crash sweep, by_subtree" `Slow
+        test_crash_sweep_by_subtree;
+    ] )
