@@ -75,6 +75,20 @@ ci:
 	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --io-depth 8 --json --check > ci-iodepth-b.json
 	cmp ci-iodepth-a.json ci-iodepth-b.json
 	rm -f ci-iodepth-a.json ci-iodepth-b.json
+	# Sharding smoke: both placement policies through the serving engine,
+	# an exercised in-memory sharded volume with metric validation, the
+	# one-faulted-shard crash sweep, the scaling sweep, and the
+	# determinism gate on a sharded volume — equal seeds must produce
+	# byte-identical JSON across four independent logs.
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs shard:4:by_hash --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs shard:4:by_subtree --check > /dev/null
+	dune exec bin/lfs_tool.exe -- stats --fs shard:4 --exercise 80 --json --check > /dev/null
+	dune exec bin/lfs_tool.exe -- crashtest --fs shard:2 --workload script --stride 7 --seed 1
+	dune exec bench/main.exe -- quick shard
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs shard:4 --io-depth 8 --json --check > ci-shard-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs shard:4 --io-depth 8 --json --check > ci-shard-b.json
+	cmp ci-shard-a.json ci-shard-b.json
+	rm -f ci-shard-a.json ci-shard-b.json
 
 clean:
 	dune clean

@@ -44,6 +44,36 @@ let image =
 let fs_path n =
   Arg.(required & pos n (some string) None & info [] ~docv:"PATH" ~doc:"Path inside the file system")
 
+(* The --fs spec shared by serve/stats/crashtest: which implementation
+   backs the run.  Grammar documented once in Spec.grammar_doc. *)
+let spec_conv =
+  let parse s =
+    match Lfs_shard.Spec.parse s with
+    | Ok t -> Ok t
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv ~docv:"FS"
+    (parse, fun ppf t -> Format.pp_print_string ppf (Lfs_shard.Spec.to_string t))
+
+let fs_spec extra =
+  Arg.(
+    value
+    & opt spec_conv Lfs_shard.Spec.Lfs
+    & info [ "fs" ] ~docv:"FS"
+        ~doc:
+          (Printf.sprintf "File system backend.  Grammar: %s.  %s"
+             Lfs_shard.Spec.grammar_doc extra))
+
+let shards_override =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Override the shard count of a $(b,shard) spec (so scripts can \
+           sweep counts without rewriting the spec); ignored for \
+           single-device backends.")
+
 (* ---- commands ---- *)
 
 let mkfs_cmd =
@@ -288,12 +318,10 @@ let crashtest_cmd =
           ~doc:"Workload to enumerate: $(b,smallfile), $(b,andrew) or $(b,script).")
   in
   let fs_kind =
-    Arg.(
-      value
-      & opt (enum [ ("lfs", `Lfs); ("ffs", `Ffs) ]) `Lfs
-      & info [ "fs" ] ~docv:"FS"
-          ~doc:"File system under test: $(b,lfs) or $(b,ffs) (FFS has no \
-                recovery protocol, so oracle divergences are expected).")
+    fs_spec
+      "FFS has no recovery protocol, so its oracle divergences are \
+       expected; a shard spec faults shard 0's device at every one of \
+       its writes while the other shards must keep their durable state."
   in
   let stride =
     Arg.(
@@ -314,7 +342,7 @@ let crashtest_cmd =
       & info [ "allow-failures" ]
           ~doc:"Exit 0 even when the report shows failures (for the FFS demo).")
   in
-  let run workload fs_kind stride seed blocks allow_failures =
+  let run workload fs_kind shards stride seed blocks allow_failures =
     let open Lfs_crashtest in
     let w =
       match workload with
@@ -324,8 +352,11 @@ let crashtest_cmd =
     in
     let report =
       match fs_kind with
-      | `Lfs -> Crashtest.run_lfs ~blocks ~stride ~seed w
-      | `Ffs -> Crashtest.run_ffs ~blocks ~stride ~seed w
+      | Lfs_shard.Spec.Lfs -> Crashtest.run_lfs ~blocks ~stride ~seed w
+      | Lfs_shard.Spec.Ffs -> Crashtest.run_ffs ~blocks ~stride ~seed w
+      | Lfs_shard.Spec.Shard { shards = n; policy } ->
+          let n = Option.value shards ~default:n in
+          Crashtest.run_shard ~shards:n ~policy ~blocks ~stride ~seed w
     in
     Format.printf "%a@." Crashtest.pp_report report;
     if not (Crashtest.is_clean report) && not allow_failures then exit 1
@@ -336,7 +367,60 @@ let crashtest_cmd =
          "Enumerate crash points: replay a workload, cut the power at every \
           device write (torn/dropped/reordered), recover, fsck, and check \
           the surviving state against a logical oracle")
-    Term.(const run $ workload $ fs_kind $ stride $ seed $ blocks $ allow_failures)
+    Term.(
+      const run $ workload $ fs_kind $ shards_override $ stride $ seed $ blocks
+      $ allow_failures)
+
+(* The stats/serve exercise, phrased against the shared driver record so
+   it runs on any backend a spec can name. *)
+let exercise_fsops (fs : Lfs_workload.Fsops.t) ~files ~seed =
+  let module Fsops = Lfs_workload.Fsops in
+  let prng = Lfs_util.Prng.create ~seed in
+  let dirname = "/.stats-exercise" in
+  (* Files spread over subdirectories: on a sharded volume the by_hash
+     policy places a file by its parent directory, so one flat dir
+     would drive a single shard and leave the rest idle. *)
+  let ndirs = 16 in
+  let dir_of i = Printf.sprintf "%s/d%d" dirname (i mod ndirs) in
+  (match fs.Fsops.resolve dirname with
+  | Some _ -> ()
+  | None -> ignore (fs.Fsops.mkdir_path dirname));
+  for d = 0 to ndirs - 1 do
+    let p = Printf.sprintf "%s/d%d" dirname d in
+    match fs.Fsops.resolve p with
+    | Some _ -> ()
+    | None -> ignore (fs.Fsops.mkdir_path p)
+  done;
+  let path i = Printf.sprintf "%s/f%d" (dir_of i) i in
+  for round = 1 to 3 do
+    for i = 0 to files - 1 do
+      let len = 512 + Lfs_util.Prng.int prng 8192 in
+      let ino =
+        match fs.Fsops.resolve (path i) with
+        | Some ino -> ino
+        | None -> fs.Fsops.create_path (path i)
+      in
+      fs.Fsops.write ino ~off:0
+        (Bytes.init len (fun j -> Char.chr ((i + j + round) land 0xff)))
+    done
+  done;
+  fs.Fsops.sync ();
+  for i = 0 to files - 1 do
+    if fs.Fsops.resolve (path i) = None then failwith "exercise file vanished"
+  done;
+  for i = 0 to files - 1 do
+    if i mod 2 = 0 then
+      let dir =
+        match fs.Fsops.resolve (dir_of i) with
+        | Some d -> d
+        | None -> assert false
+      in
+      fs.Fsops.unlink ~dir (Printf.sprintf "f%d" i)
+  done;
+  (match fs.Fsops.clean_step with
+  | Some step -> ignore (step ~max_segments:64)
+  | None -> ());
+  fs.Fsops.sync ()
 
 let stats_cmd =
   let exercise =
@@ -362,7 +446,58 @@ let stats_cmd =
             "Validate the registry (no NaN, infinite or negative values) and \
              exit 1 listing any violations")
   in
-  let run image exercise seed json check =
+  let image_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"IMAGE"
+          ~doc:
+            "Disk image file ($(b,lfs) specs only).  Omit it to report on a \
+             fresh in-memory volume of --blocks built from --fs instead.")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 16384
+      & info [ "blocks" ]
+          ~doc:"Fresh in-memory volume size in 4 KB blocks (no IMAGE only)")
+  in
+  let finish ~json ~validate ~title m =
+    let problems = if validate then Lfs_obs.Metrics.validate m else [] in
+    if json then print_string (Lfs_obs.Metrics.to_json m)
+    else print_string (Lfs_obs.Metrics.report ~title m);
+    match problems with
+    | [] -> ()
+    | problems ->
+        List.iter
+          (fun (name, what) -> Printf.eprintf "bad metric %s: %s\n" name what)
+          problems;
+        exit 1
+  in
+  let run_fresh spec shards blocks exercise seed json check =
+    let fs = Lfs_shard.Spec.fresh ?shards ~blocks spec in
+    match fs.Lfs_workload.Fsops.metrics () with
+    | None ->
+        Printf.eprintf "backend %s has no metrics registry\n"
+          fs.Lfs_workload.Fsops.name;
+        exit 1
+    | Some m ->
+        if exercise > 0 then exercise_fsops fs ~files:exercise ~seed;
+        finish ~json
+          ~validate:(check || exercise > 0)
+          ~title:
+            (Printf.sprintf "lfs stats: %s (in-memory)"
+               fs.Lfs_workload.Fsops.name)
+          m
+  in
+  let run image spec shards blocks exercise seed json check =
+    match (spec, image) with
+    | _, None -> run_fresh spec shards blocks exercise seed json check
+    | (Lfs_shard.Spec.Ffs | Lfs_shard.Spec.Shard _), Some _ ->
+        prerr_endline
+          "an IMAGE argument is only supported with --fs lfs; omit it to \
+           build an in-memory volume from the spec";
+        exit 1
+    | Lfs_shard.Spec.Lfs, Some image ->
     let disk = load image in
     let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
     if exercise > 0 then begin
@@ -394,32 +529,27 @@ let stats_cmd =
       Fs.clean fs;
       Fs.checkpoint fs
     end;
-    let m = Fs.metrics fs in
     (* An exercised registry must be self-consistent even without
        --check: validate before printing so a bad value fails the run
        instead of sneaking into the report. *)
-    let problems =
-      if check || exercise > 0 then Lfs_obs.Metrics.validate m else []
-    in
-    if json then print_string (Lfs_obs.Metrics.to_json m)
-    else
-      print_string
-        (Lfs_obs.Metrics.report ~title:(Printf.sprintf "lfs stats: %s" image) m);
-    match problems with
-    | [] -> ()
-    | problems ->
-        List.iter
-          (fun (name, what) -> Printf.eprintf "bad metric %s: %s\n" name what)
-          problems;
-        exit 1
+    finish ~json
+      ~validate:(check || exercise > 0)
+      ~title:(Printf.sprintf "lfs stats: %s" image)
+      (Fs.metrics fs)
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Report the metrics registry of a mounted image: per-layer IO, \
-          cache hit rate, per-op latency, cleaner and checkpoint statistics \
-          (text tables or JSON)")
-    Term.(const run $ image $ exercise $ seed $ json $ check)
+         "Report the metrics registry of a mounted image or a fresh \
+          in-memory volume named by --fs: per-layer IO, cache hit rate, \
+          per-op latency, cleaner and checkpoint statistics (text tables or \
+          JSON)")
+    Term.(
+      const run $ image_opt
+      $ fs_spec
+          "Only $(b,lfs) can read an IMAGE; other specs build a fresh \
+           in-memory volume and want --exercise for traffic."
+      $ shards_override $ blocks $ exercise $ seed $ json $ check)
 
 let serve_cmd =
   let module Engine = Lfs_server.Engine in
@@ -431,14 +561,17 @@ let serve_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed; equal seeds replay identically") in
   let fs_kind =
-    Arg.(
-      value
-      & opt (enum [ ("lfs", `Lfs); ("ffs", `Ffs) ]) `Lfs
-      & info [ "fs" ] ~docv:"FS"
-          ~doc:"Backend: $(b,lfs) (group commit) or $(b,ffs) (synchronous writes)")
+    fs_spec
+      "$(b,lfs) batches via group commit, $(b,ffs) writes synchronously, \
+       $(b,shard:N) spreads the namespace over N independent logs."
   in
   let blocks =
-    Arg.(value & opt int 16384 & info [ "blocks" ] ~doc:"Fresh in-memory device size in 4 KB blocks")
+    Arg.(
+      value & opt int 16384
+      & info [ "blocks" ]
+          ~doc:
+            "Fresh in-memory device capacity in 4 KB blocks (total: a shard \
+             spec splits it evenly across its devices)")
   in
   let depth =
     Arg.(value & opt int 64 & info [ "depth" ] ~docv:"K" ~doc:"Admission bound: waiting requests across all clients")
@@ -484,14 +617,9 @@ let serve_cmd =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate the metrics registry and exit 1 on violations")
   in
-  let run clients ops seed fs_kind blocks depth policy window max_batch think
-      bg_clean io_depth json check =
-    let geom = Lfs_disk.Geometry.wren_iv ~blocks in
-    let fs =
-      match fs_kind with
-      | `Lfs -> Lfs_workload.Fsops.fresh_lfs geom
-      | `Ffs -> Lfs_workload.Fsops.fresh_ffs geom
-    in
+  let run clients ops seed fs_kind shards blocks depth policy window max_batch
+      think bg_clean io_depth json check =
+    let fs = Lfs_shard.Spec.fresh ?shards ~blocks fs_kind in
     let cfg =
       {
         Engine.default with
@@ -545,8 +673,9 @@ let serve_cmd =
           file system over the modelled clock: group commit, admission \
           control, fair dequeue, and per-class latency percentiles")
     Term.(
-      const run $ clients $ ops $ seed $ fs_kind $ blocks $ depth $ policy
-      $ window $ max_batch $ think $ bg_clean $ io_depth $ json $ check)
+      const run $ clients $ ops $ seed $ fs_kind $ shards_override $ blocks
+      $ depth $ policy $ window $ max_batch $ think $ bg_clean $ io_depth
+      $ json $ check)
 
 let () =
   let doc = "manage log-structured file system images" in
