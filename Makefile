@@ -37,6 +37,17 @@ ci:
 	dune exec bench/main.exe -- quick
 	dune exec bin/lfs_tool.exe -- crashtest --workload smallfile --stride 3 --seed 1
 	dune exec bin/lfs_tool.exe -- crashtest --workload script --stride 3 --seed 1
+	# Model-based crash refinement smoke: random op sequences checked
+	# against the pure model at strided commit-order crash points with
+	# group commit and io-depth 4 in flight.  Gates on zero divergences
+	# for lfs and the shard router, and on determinism — the same seed
+	# twice must produce byte-identical JSON.
+	dune exec bin/lfs_tool.exe -- modelcheck --fs lfs --seqs 6 --stride 4 --seed 1
+	dune exec bin/lfs_tool.exe -- modelcheck --fs shard:2 --seqs 4 --stride 4 --seed 1
+	dune exec bin/lfs_tool.exe -- modelcheck --fs lfs --seqs 3 --stride 5 --seed 2 --json > ci-model-a.json
+	dune exec bin/lfs_tool.exe -- modelcheck --fs lfs --seqs 3 --stride 5 --seed 2 --json > ci-model-b.json
+	cmp ci-model-a.json ci-model-b.json
+	rm -f ci-model-a.json ci-model-b.json
 	# Stats smoke: exercise a small image (geometry chosen so the cleaner
 	# engages), then --check fails on any NaN/negative metric in the JSON.
 	dune exec bin/lfs_tool.exe -- mkfs ci-stats.img --blocks 1024 --segment-blocks 64

@@ -371,6 +371,164 @@ let crashtest_cmd =
       const run $ workload $ fs_kind $ shards_override $ stride $ seed $ blocks
       $ allow_failures)
 
+let modelcheck_cmd =
+  let fs_kind =
+    fs_spec
+      "FFS has no recovery protocol, so its divergences are expected \
+       (pair with --allow-failures); a shard spec faults shard 0's \
+       device while the other shards must keep their durable state."
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ]
+          ~doc:
+            "PRNG seed.  Every reported divergence replays bit-identically \
+             from (seed, sequence, cut).")
+  in
+  let seqs =
+    Arg.(
+      value & opt int 25
+      & info [ "seqs" ] ~docv:"N" ~doc:"Random operation sequences to check.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 60
+      & info [ "ops" ] ~docv:"M" ~doc:"Operations per sequence.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K"
+          ~doc:
+            "Replay every $(docv)-th crash point instead of all of them \
+             (the final write is always included).")
+  in
+  let io_depth =
+    Arg.(
+      value & opt int 4
+      & info [ "io-depth" ] ~docv:"D"
+          ~doc:
+            "Device requests kept in flight; > 1 runs the whole sequence \
+             over queued submission with syncs as group-commit barriers.")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 1024
+      & info [ "blocks" ] ~doc:"Device size in 4 KB blocks (per device).")
+  in
+  let engine =
+    Arg.(
+      value & flag
+      & info [ "engine" ]
+          ~doc:
+            "Check the request-serving engine's own generated load (group \
+             commit, admission control) instead of random op sequences.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as JSON (byte-identical for equal seeds).")
+  in
+  let allow_failures =
+    Arg.(
+      value & flag
+      & info [ "allow-failures" ]
+          ~doc:"Exit 0 even when divergences were found (for the FFS demo).")
+  in
+  let run fs_kind shards seed seqs ops stride io_depth blocks engine json
+      allow_failures =
+    let module Refine = Lfs_model.Refine in
+    let go (module S : Lfs_model.Subject.SUBJECT) =
+      let module R = Refine.Make (S) in
+      if engine then
+        [
+          R.check_engine ~blocks ~stride ~seed
+            {
+              Lfs_server.Engine.default with
+              Lfs_server.Engine.clients = 3;
+              ops_per_client = 15;
+              seed;
+              io_depth;
+            };
+        ]
+      else
+        List.init seqs (fun seq ->
+            R.check_seq ~blocks ~io_depth ~stride ~seed ~nops:ops ~seq ())
+    in
+    let reports =
+      match fs_kind with
+      | Lfs_shard.Spec.Lfs -> go (module Lfs_model.Subject.Lfs)
+      | Lfs_shard.Spec.Ffs -> go (module Lfs_model.Subject.Ffs)
+      | Lfs_shard.Spec.Shard { shards = n; policy } ->
+          let n = Option.value shards ~default:n in
+          let module Sh = Lfs_model.Subject.Shard (struct
+            let shards = n
+            let policy = policy
+          end) in
+          go (module Sh)
+    in
+    let total_divs =
+      List.fold_left
+        (fun acc r -> acc + List.length r.Refine.divergences)
+        0 reports
+    in
+    let subject =
+      match reports with r :: _ -> r.Refine.subject | [] -> "?"
+    in
+    if json then begin
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"subject\":%S,\"seed\":%d,\"io_depth\":%d,\"stride\":%d,\"sequences\":["
+           subject seed io_depth stride);
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"seq\":%d,\"ops\":%d,\"space\":%d,\"points\":%d,\"crashes\":%d,\"divergences\":["
+               r.Refine.seq r.Refine.ops r.Refine.total_blocks r.Refine.points
+               r.Refine.crashes);
+          List.iteri
+            (fun j (d : Refine.divergence) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "{\"cut\":%d,\"stage\":%S,\"detail\":%S}"
+                   d.Refine.cut d.Refine.stage d.Refine.detail))
+            r.Refine.divergences;
+          Buffer.add_string b "]}")
+        reports;
+      Buffer.add_string b
+        (Printf.sprintf "],\"total_divergences\":%d}\n" total_divs);
+      print_string (Buffer.contents b)
+    end
+    else begin
+      List.iter (fun r -> Format.printf "%a@." Refine.pp_seq_report r) reports;
+      let points = List.fold_left (fun a r -> a + r.Refine.points) 0 reports in
+      Format.printf "modelcheck: %d sequence%s, %d crash points, %d divergence%s — %s@."
+        (List.length reports)
+        (if List.length reports = 1 then "" else "s")
+        points total_divs
+        (if total_divs = 1 then "" else "s")
+        (if total_divs = 0 then "PASS" else "FAIL")
+    end;
+    if total_divs > 0 && not allow_failures then exit 1
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Refinement-check a backend against the executable reference \
+          model: run random operation sequences (or the serving engine's \
+          load) with group commit and io-depth in flight, cut the power at \
+          every enumerated device write, recover, fsck, and require the \
+          surviving namespace to be some state between the durability \
+          frontier and the crash operation")
+    Term.(
+      const run $ fs_kind $ shards_override $ seed $ seqs $ ops $ stride
+      $ io_depth $ blocks $ engine $ json $ allow_failures)
+
 (* The stats/serve exercise, phrased against the shared driver record so
    it runs on any backend a spec can name. *)
 let exercise_fsops (fs : Lfs_workload.Fsops.t) ~files ~seed =
@@ -684,5 +842,5 @@ let () =
        (Cmd.group (Cmd.info "lfs_tool" ~doc)
           [ mkfs_cmd; put_cmd; get_cmd; cat_cmd; ls_cmd; mkdir_cmd; mv_cmd;
             rm_cmd; df_cmd; fsck_cmd; info_cmd; clean_cmd; recover_cmd;
-            trace_record_cmd; trace_replay_cmd; crashtest_cmd; stats_cmd;
-            serve_cmd ]))
+            trace_record_cmd; trace_replay_cmd; crashtest_cmd; modelcheck_cmd;
+            stats_cmd; serve_cmd ]))

@@ -1654,6 +1654,15 @@ let recover ?config ?metrics disk =
       let inode_live ino =
         Inode_map.is_allocated t.imap ino
       in
+      (* A parent referenced by a journal record can be live yet no
+         longer a directory: its ino was freed by an [rmdir] and reused
+         for a regular file inside the recovery window.  Every entry of
+         the dead directory incarnation is moot, so such records are
+         skipped exactly like ones whose parent died outright. *)
+      let dir_live ino =
+        inode_live ino
+        && (get_handle t ino).inode.Inode.ftype = Types.Directory
+      in
       (* An inode number freed and reallocated inside the recovery window
          appears in the journal twice: records for the dead incarnation
          must not touch the surviving one — but only if the new
@@ -1688,10 +1697,36 @@ let recover ?config ?metrics disk =
       let apply_dirop i (_seq, op) =
         incr dirops_applied;
         match op with
-        | Dir_log.Add { dir; name; ino; nlink; fresh = _ } ->
-            if inode_live dir then begin
+        | Dir_log.Add { dir; name; ino; nlink; fresh } ->
+            if dir_live dir then begin
               let d = dir_contents t dir in
-              if inode_live ino then begin
+              (* A fresh create can reuse an ino freed earlier in the
+                 window.  If the only recovered copy of that ino
+                 predates this create's write, it is the dead
+                 incarnation — left live when its Remove was suppressed
+                 to protect a durable rename destination.  Attaching it
+                 here would alias two names to one inode; the create's
+                 own inode never reached the log, so the entry drops. *)
+              let freed_earlier =
+                let rec scan j =
+                  j < i
+                  &&
+                  match dirlog_arr.(j) with
+                  | _, Dir_log.Remove { ino = ino'; nlink = nl; _ }
+                    when ino' = ino && nl <= 0 ->
+                      true
+                  | _ -> scan (j + 1)
+                in
+                scan 0
+              in
+              let stale_reuse =
+                fresh && freed_earlier
+                &&
+                match Hashtbl.find_opt recovered_seq ino with
+                | Some s -> s < _seq
+                | None -> true
+              in
+              if inode_live ino && not stale_reuse then begin
                 if Directory.find d name <> Some ino then
                   set_dir_contents t dir (Directory.replace d name ino);
                 let h = get_handle t ino in
@@ -1706,29 +1741,48 @@ let recover ?config ?metrics disk =
                 set_dir_contents t dir (Directory.remove d name)
             end
         | Dir_log.Remove { dir; name; ino; nlink } ->
-            if inode_live dir then begin
-              let d = dir_contents t dir in
-              if Directory.find d name = Some ino then
-                set_dir_contents t dir (Directory.remove d name)
-            end;
-            if inode_live ino && not (survives_reuse i ino) then begin
-              if nlink <= 0 then delete_file t ino
-              else begin
-                let h = get_handle t ino in
-                if h.inode.Inode.nlink <> nlink then begin
-                  h.inode.Inode.nlink <- nlink;
-                  h.inode_dirty <- true
+            (* A rename onto an existing name queues (Remove old-dst,
+               Rename) as one operation.  When the renamed inode never
+               survived to the log, the Rename below is skipped; the
+               Remove must then be suppressed too, or an unacknowledged
+               rename would destroy its durable destination.  Unless,
+               that is, the removed ino was reused by a later create
+               that did survive: the inode now belongs to the new file,
+               so keeping the old entry would alias two names to one
+               inode — the entry must drop. *)
+            let covered_by_dead_rename =
+              i + 1 < Array.length dirlog_arr
+              && (match dirlog_arr.(i + 1) with
+                 | _, Dir_log.Rename { ndir; nname; ino = rino; _ } ->
+                     ndir = dir && nname = name && not (inode_live rino)
+                 | _ -> false)
+              && not (survives_reuse i ino)
+            in
+            if not covered_by_dead_rename then begin
+              if dir_live dir then begin
+                let d = dir_contents t dir in
+                if Directory.find d name = Some ino then
+                  set_dir_contents t dir (Directory.remove d name)
+              end;
+              if inode_live ino && not (survives_reuse i ino) then begin
+                if nlink <= 0 then delete_file t ino
+                else begin
+                  let h = get_handle t ino in
+                  if h.inode.Inode.nlink <> nlink then begin
+                    h.inode.Inode.nlink <- nlink;
+                    h.inode_dirty <- true
+                  end
                 end
               end
             end
         | Dir_log.Rename { odir; oname; ndir; nname; ino } ->
             if inode_live ino then begin
-              if inode_live odir then begin
+              if dir_live odir then begin
                 let d = dir_contents t odir in
                 if Directory.find d oname = Some ino then
                   set_dir_contents t odir (Directory.remove d oname)
               end;
-              if inode_live ndir then begin
+              if dir_live ndir then begin
                 let d = dir_contents t ndir in
                 if Directory.find d nname <> Some ino then
                   set_dir_contents t ndir (Directory.replace d nname ino)
@@ -1736,6 +1790,27 @@ let recover ?config ?metrics disk =
             end
       in
       List.iteri apply_dirop dirlogs;
+      (* Phase 3b: drop orphans.  Replay can leave a recovered inode
+         with no surviving directory entry — its create's parent
+         directory died (or its ino was reused as a file) inside the
+         recovery window, so the [Add] above was skipped.  Walk the
+         surviving namespace and delete every allocated inode nothing
+         references; anything else would fail fsck's reachability and
+         nlink accounting forever after. *)
+      let reachable = Hashtbl.create 64 in
+      let rec mark ino =
+        if not (Hashtbl.mem reachable ino) then begin
+          Hashtbl.replace reachable ino ();
+          let h = get_handle t ino in
+          if h.inode.Inode.ftype = Types.Directory then
+            List.iter (fun (_, child) -> mark child) (readdir t ino)
+        end
+      in
+      mark Types.root_ino;
+      let orphans = ref [] in
+      Inode_map.iter_allocated t.imap (fun ino _ ->
+          if not (Hashtbl.mem reachable ino) then orphans := ino :: !orphans);
+      List.iter (fun ino -> delete_file t ino) !orphans;
       (* Phase 4: persist the recovered state. *)
       refresh_reusable t;
       checkpoint t;

@@ -34,6 +34,15 @@ module type S = sig
   val lookup : t -> dir:Types.ino -> string -> Types.ino option
   val readdir : t -> Types.ino -> (string * Types.ino) list
   val unlink : t -> dir:Types.ino -> string -> unit
+  (** Remove a regular file's name.  Refuses directories (use {!rmdir}). *)
+
+  val rmdir : t -> dir:Types.ino -> string -> unit
+  (** Remove an empty directory. *)
+
+  val rename : t -> odir:Types.ino -> string -> ndir:Types.ino -> string -> unit
+  (** Move a name; an existing (non-directory) target is replaced.
+      Implementations that cannot move a particular source atomically
+      (the shard router and directories) raise {!Types.Fs_error}. *)
 
   (** {1 File IO} *)
 

@@ -1,3 +1,5 @@
+module Vdev = Lfs_disk.Vdev
+
 type report = {
   errors : string list;
   files : int;
@@ -18,11 +20,13 @@ let check fs =
   let live_data = ref 0 and live_indirect = ref 0 in
   let expected_live = Array.make layout.Layout.nsegs 0 in
   let owners : (Types.baddr, string) Hashtbl.t = Hashtbl.create 1024 in
+  let live_addrs : (Types.baddr, string) Hashtbl.t = Hashtbl.create 1024 in
   let claim addr ~bytes what =
     let seg = Layout.seg_of_block layout addr in
     if seg < 0 || seg >= layout.Layout.nsegs then
       error "%s: block %d outside the log area" what addr
     else begin
+      Hashtbl.replace live_addrs addr what;
       expected_live.(seg) <- expected_live.(seg) + bytes;
       (* Inode slots share a block; only whole blocks get uniqueness. *)
       if bytes = bs then begin
@@ -77,6 +81,57 @@ let check fs =
       error "segment %d: usage table says %d live bytes, walk found %d" s
         actual expected_live.(s)
   done;
+  (* Data integrity: every live block must sit inside an intact
+     summarized log write.  Each segment's writes chain from slot 0
+     (stale summaries from the segment's previous life fail the
+     self-identification or sequence-monotonicity test and end the
+     walk), and each write stores an Adler-32 over its payload blocks.
+     A live block whose covering write fails its checksum has rotted or
+     was torn; a live block no chain reaches means the summary chain
+     itself was truncated or corrupted.  Structural checks above can
+     all pass in both cases — the block pointers are fine, the bytes
+     are not. *)
+  let disk = List.hd (Fs.devices fs) in
+  let seg_blocks = layout.Layout.seg_blocks in
+  let covered : (Types.baddr, bool) Hashtbl.t = Hashtbl.create 1024 in
+  for seg = 0 to layout.Layout.nsegs - 1 do
+    let first = Layout.seg_first_block layout seg in
+    let rec walk slot last_seq =
+      if slot <= seg_blocks - 2 then
+        match Summary.decode (Vdev.read_block disk (first + slot)) with
+        | None -> ()
+        | Some s ->
+            if s.Summary.seg <> seg || s.Summary.slot <> slot then ()
+            else if s.Summary.seq <= last_seq then ()
+            else begin
+              let n = List.length s.Summary.entries in
+              if slot + 1 + n > seg_blocks then ()
+              else begin
+                let ok =
+                  Summary.payload_checksum
+                    (Vdev.read_blocks disk (first + slot + 1) n)
+                  = s.Summary.payload_sum
+                in
+                for i = 0 to n - 1 do
+                  Hashtbl.replace covered (first + slot + 1 + i) ok
+                done;
+                walk (Summary.next_slot s) s.Summary.seq
+              end
+            end
+    in
+    walk 0 (-1)
+  done;
+  Hashtbl.iter
+    (fun addr what ->
+      match Hashtbl.find_opt covered addr with
+      | Some true -> ()
+      | Some false ->
+          error "%s: block %d fails its write's payload checksum (bit rot \
+                 or torn write)"
+            what addr
+      | None ->
+          error "%s: block %d not covered by any summary chain" what addr)
+    live_addrs;
   (* Directory tree: reachability, link counts, parse. *)
   let refcounts : (Types.ino, int) Hashtbl.t = Hashtbl.create 256 in
   let visited : (Types.ino, unit) Hashtbl.t = Hashtbl.create 256 in

@@ -38,7 +38,6 @@ let scan layout disk ~ckpt =
   let tail_next_seg = ref ckpt.Checkpoint.next_seg in
   let next_seq = ref ckpt.Checkpoint.log_seq in
   let segments_scanned = ref 0 in
-  let last_summary = ref None in
   let visited = Hashtbl.create 16 in
   (* last_seq grows strictly along the walk; summaries written before the
      checkpoint (or left over from a segment's previous life) fail the
@@ -60,25 +59,49 @@ let scan layout disk ~ckpt =
               let n = List.length s.Summary.entries in
               if slot + 1 + n > seg_blocks then ()
               else begin
-                if s.Summary.seq >= ckpt.Checkpoint.log_seq then begin
-                  writes :=
-                    { summary = s; blocks = load_blocks layout disk s }
-                    :: !writes;
-                  last_summary := Some s
-                end;
-                tail_seg := seg;
-                tail_off := Summary.next_slot s;
-                tail_next_seg := s.Summary.next_seg;
-                next_seq := s.Summary.seq + 1;
-                let next = Summary.next_slot s in
-                if next <= seg_blocks - 2 then walk_segment seg next s.Summary.seq
+                (* Every post-checkpoint write must verify its payload
+                   checksum: with queued submission the device commits
+                   blocks out of submission order, so a crash can
+                   persist a later summary while an earlier write's
+                   payload never made it.  The first torn write ends the
+                   replayable prefix — nothing at or after it was ever
+                   acknowledged durable (the sync barrier covering it
+                   did not complete), so the log is truncated there and
+                   the walk stops. *)
+                let intact =
+                  s.Summary.seq < ckpt.Checkpoint.log_seq
+                  ||
+                  let payload =
+                    Vdev.read_blocks disk (first + slot + 1) n
+                  in
+                  Summary.payload_checksum payload = s.Summary.payload_sum
+                in
+                if not intact then begin
+                  tail_seg := seg;
+                  tail_off := slot;
+                  next_seq := s.Summary.seq;
+                  tail_next_seg := s.Summary.next_seg
+                end
                 else begin
-                  (* Segment exhausted: follow the log thread. *)
-                  incr segments_scanned;
-                  if
-                    s.Summary.next_seg >= 0
-                    && s.Summary.next_seg < layout.Layout.nsegs
-                  then walk_segment s.Summary.next_seg 0 s.Summary.seq
+                  if s.Summary.seq >= ckpt.Checkpoint.log_seq then
+                    writes :=
+                      { summary = s; blocks = load_blocks layout disk s }
+                      :: !writes;
+                  tail_seg := seg;
+                  tail_off := Summary.next_slot s;
+                  tail_next_seg := s.Summary.next_seg;
+                  next_seq := s.Summary.seq + 1;
+                  let next = Summary.next_slot s in
+                  if next <= seg_blocks - 2 then
+                    walk_segment seg next s.Summary.seq
+                  else begin
+                    (* Segment exhausted: follow the log thread. *)
+                    incr segments_scanned;
+                    if
+                      s.Summary.next_seg >= 0
+                      && s.Summary.next_seg < layout.Layout.nsegs
+                    then walk_segment s.Summary.next_seg 0 s.Summary.seq
+                  end
                 end
               end
             end
@@ -90,27 +113,6 @@ let scan layout disk ~ckpt =
      filter, but they carry the chain to the post-checkpoint tail. *)
   incr segments_scanned;
   walk_segment ckpt.Checkpoint.cur_seg 0 0;
-  (* The device persists writes in order, so only the final log write can
-     be torn; verify its payload checksum and drop it if it did not
-     complete (its summary reached the medium but some payload blocks did
-     not). *)
-  (match !last_summary with
-  | None -> ()
-  | Some s ->
-      let n = List.length s.Summary.entries in
-      let payload =
-        Vdev.read_blocks disk
-          (Layout.seg_first_block layout s.Summary.seg + s.Summary.slot + 1)
-          n
-      in
-      if Summary.payload_checksum payload <> s.Summary.payload_sum then begin
-        writes :=
-          List.filter (fun w -> w.summary.Summary.seq <> s.Summary.seq) !writes;
-        tail_seg := s.Summary.seg;
-        tail_off := s.Summary.slot;
-        next_seq := s.Summary.seq;
-        tail_next_seg := s.Summary.next_seg
-      end);
   {
     writes = List.rev !writes;
     tail_seg = !tail_seg;

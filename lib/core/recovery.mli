@@ -10,9 +10,13 @@
     Only inode-block and directory-log payloads are read (data blocks
     are referenced in place), which is what makes recovery time scale
     with the number of files recovered rather than bytes written
-    (Table 3).  Because the device persists blocks in order, only the
-    final log write can be torn; its payload checksum is verified and
-    the write dropped if it did not complete.
+    (Table 3).  Every post-checkpoint write additionally verifies its
+    payload checksum: under queued submission the device commits blocks
+    out of submission order, so a crash can persist a later summary
+    while an earlier write's payload never made it.  The first torn
+    write truncates the log — nothing at or after it was acknowledged
+    durable, so the walk stops and the tail points at the torn
+    summary's slot.
 
     The scan is read-only; {!Fs.recover} applies the results. *)
 

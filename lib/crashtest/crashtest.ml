@@ -4,108 +4,24 @@ module Vdev = Lfs_disk.Vdev
 module Vdev_fault = Lfs_disk.Vdev_fault
 module Geometry = Lfs_disk.Geometry
 module Fsops = Lfs_workload.Fsops
+module Model = Lfs_model.Fs_model
 
-module type SUBJECT = sig
-  include Lfs_core.Fs_intf.DURABLE
+(* The subjects and the crash-state oracle live in [Lfs_model] — one
+   definition of crash semantics shared with the model-based refinement
+   checker ([lfs_tool modelcheck]).  This harness keeps its own
+   enumeration loop because it exercises a different fault surface:
+   device-level Torn/Dropped/Reordered transfers under synchronous
+   submission, where the refinement driver cuts the queued elevator in
+   commit order. *)
 
-  val subject_name : string
-  val async_writes : bool
-  val ndevices : int
-  val fsck_errors : t -> string list
-end
+module type SUBJECT = Lfs_model.Subject.SUBJECT
 
-(* Single-device subjects take exactly one device. *)
-let the_dev = function
-  | [ d ] -> d
-  | devs ->
-      invalid_arg
-        (Printf.sprintf "crashtest subject: expected 1 device, got %d"
-           (List.length devs))
+module Lfs = Lfs_model.Subject.Lfs
+module Ffs = Lfs_model.Subject.Ffs
 
-(* Small configurations keep segments and write buffers tight so even a
-   short workload crosses many flush and checkpoint boundaries — the
-   interesting crash points. *)
+module type SHARD_SHAPE = Lfs_model.Subject.SHARD_SHAPE
 
-let lfs_config =
-  {
-    Lfs_core.Config.default with
-    max_inodes = 512;
-    seg_blocks = 32;
-    write_buffer_blocks = 16;
-    clean_start = 3;
-    clean_stop = 6;
-    segs_per_pass = 3;
-    cache_blocks = 128;
-  }
-
-module Lfs = struct
-  include Lfs_core.Fs
-
-  let subject_name = "lfs"
-  let async_writes = true
-  let ndevices = 1
-  let format devs = Lfs_core.Fs.format (the_dev devs) lfs_config
-  let mount devs = Lfs_core.Fs.mount (the_dev devs)
-  let recover devs = fst (Lfs_core.Fs.recover (the_dev devs))
-  let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
-end
-
-let ffs_config =
-  {
-    Lfs_ffs.Ffs.default_config with
-    cg_blocks = 256;
-    inodes_per_cg = 128;
-    write_buffer_blocks = 16;
-    cache_blocks = 64;
-  }
-
-module Ffs = struct
-  include Lfs_ffs.Ffs
-
-  let subject_name = "ffs"
-  let async_writes = false
-  let ndevices = 1
-  let format devs = Lfs_ffs.Ffs.format (the_dev devs) ffs_config
-  let mount devs = Lfs_ffs.Ffs.mount (the_dev devs)
-
-  (* FFS has no roll-forward; post-crash "recovery" is a plain mount,
-     and it draws no checkpoint/sync distinction either. *)
-  let recover devs = Lfs_ffs.Ffs.mount (the_dev devs)
-  let checkpoint t = Lfs_ffs.Ffs.sync t
-  let fsck_errors _ = []
-end
-
-module type SHARD_SHAPE = sig
-  val shards : int
-  val policy : Lfs_shard.Shard_router.policy
-end
-
-(* Every shard runs the same tight LFS config the single-disk subject
-   uses, so per-shard crash points stay as dense as the LFS run's. *)
-module Shard (P : SHARD_SHAPE) = struct
-  include Lfs_shard.Shard_router
-
-  let subject_name =
-    Printf.sprintf "shard:%d:%s" P.shards
-      (Lfs_shard.Shard_router.policy_name P.policy)
-
-  let async_writes = true
-  let ndevices = P.shards
-  let format devs = Lfs_shard.Shard_router.format ~config:lfs_config devs
-
-  let mount devs =
-    Lfs_shard.Shard_router.mount ~config:lfs_config ~policy:P.policy devs
-
-  let recover devs =
-    fst (Lfs_shard.Shard_router.recover ~config:lfs_config ~policy:P.policy devs)
-
-  let fsck_errors t =
-    List.concat
-      (List.init (shard_count t) (fun i ->
-           List.map
-             (Printf.sprintf "shard%d: %s" i)
-             (Lfs_core.Fsck.check (shard_fs t i)).Lfs_core.Fsck.errors))
-end
+module Shard = Lfs_model.Subject.Shard
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)
@@ -175,195 +91,8 @@ let script ?(ops = 60) ~seed () =
   { wname = Printf.sprintf "script(seed=%d,ops=%d)" seed ops; run }
 
 (* ------------------------------------------------------------------ *)
-(* The logical-state probe                                             *)
+(* Reports                                                             *)
 (* ------------------------------------------------------------------ *)
-
-(* The probe shadows every mutating Fsops call with its intended logical
-   effect, numbered by operation.  [durable] is the index of the last
-   completed [sync]; the oracle uses the (durable, crash-op] window to
-   decide which states a recovered path may legally show. *)
-
-type event =
-  | Efile of string * bytes option  (* full logical content; None = unlinked *)
-  | Edir of string
-
-type probe = {
-  mutable op : int;
-  mutable durable : int;
-  mutable events_rev : (int * event) list;
-  ino_path : (Lfs_core.Types.ino, string) Hashtbl.t;
-}
-
-let new_probe ~root =
-  let p = { op = 0; durable = 0; events_rev = []; ino_path = Hashtbl.create 64 } in
-  Hashtbl.replace p.ino_path root "";
-  p
-
-let latest_content probe path =
-  let rec find = function
-    | (_, Efile (p, v)) :: _ when String.equal p path -> v
-    | _ :: rest -> find rest
-    | [] -> None
-  in
-  find probe.events_rev
-
-(* Record the intended effect {e before} invoking the real operation:
-   a crash mid-operation may have persisted part of it.  If the
-   operation instead fails logically (Fs_error), pop the event. *)
-let step probe ev f =
-  probe.op <- probe.op + 1;
-  let op = probe.op in
-  (match ev with
-  | Some e -> probe.events_rev <- (op, e) :: probe.events_rev
-  | None -> ());
-  try f ()
-  with Lfs_core.Types.Fs_error _ as exn ->
-    (match probe.events_rev with
-    | (o, _) :: rest when o = op -> probe.events_rev <- rest
-    | _ -> ());
-    raise exn
-
-let instrument probe (inner : Fsops.t) =
-  {
-    inner with
-    Fsops.create_path =
-      (fun path ->
-        let ino =
-          step probe
-            (Some (Efile (path, Some Bytes.empty)))
-            (fun () -> inner.Fsops.create_path path)
-        in
-        Hashtbl.replace probe.ino_path ino path;
-        ino);
-    mkdir_path =
-      (fun path ->
-        let ino =
-          step probe (Some (Edir path)) (fun () -> inner.Fsops.mkdir_path path)
-        in
-        Hashtbl.replace probe.ino_path ino path;
-        ino);
-    resolve =
-      (fun path ->
-        let r = step probe None (fun () -> inner.Fsops.resolve path) in
-        (match r with
-        | Some ino -> Hashtbl.replace probe.ino_path ino path
-        | None -> ());
-        r);
-    unlink =
-      (fun ~dir name ->
-        let dpath =
-          match Hashtbl.find_opt probe.ino_path dir with
-          | Some p -> p
-          | None -> "?"
-        in
-        let path = dpath ^ "/" ^ name in
-        step probe
-          (Some (Efile (path, None)))
-          (fun () -> inner.Fsops.unlink ~dir name));
-    write =
-      (fun ino ~off b ->
-        let ev =
-          match Hashtbl.find_opt probe.ino_path ino with
-          | None -> None
-          | Some path ->
-              let old =
-                match latest_content probe path with
-                | Some c -> c
-                | None -> Bytes.empty
-              in
-              let len = max (Bytes.length old) (off + Bytes.length b) in
-              let m = Bytes.make len '\000' in
-              Bytes.blit old 0 m 0 (Bytes.length old);
-              Bytes.blit b 0 m off (Bytes.length b);
-              Some (Efile (path, Some m))
-        in
-        step probe ev (fun () -> inner.Fsops.write ino ~off b));
-    read = (fun ino ~off ~len -> step probe None (fun () -> inner.Fsops.read ino ~off ~len));
-    file_size = (fun ino -> step probe None (fun () -> inner.Fsops.file_size ino));
-    sync =
-      (fun () ->
-        step probe None (fun () -> inner.Fsops.sync ());
-        probe.durable <- probe.op);
-    drop_caches = (fun () -> step probe None (fun () -> inner.Fsops.drop_caches ()));
-  }
-
-(* ------------------------------------------------------------------ *)
-(* The oracle                                                          *)
-(* ------------------------------------------------------------------ *)
-
-(* Version chain of [path] at a cut: the newest content with op <=
-   durable (None if the path did not exist then), plus every version in
-   the in-flight window (durable, upto]. *)
-let chain events path ~durable ~upto =
-  let durable_v = ref None and window = ref [] in
-  List.iter
-    (fun (op, ev) ->
-      match ev with
-      | Efile (p, v) when String.equal p path ->
-          if op <= durable then durable_v := v
-          else if op <= upto then window := v :: !window
-      | _ -> ())
-    events;
-  (!durable_v, List.rev !window)
-
-(* Recovered content is legal if it equals some version outright, or if
-   every [bs]-sized block of it matches the corresponding block of some
-   version.  The device persists flushed data at block granularity, so
-   a crash can mix blocks of adjacent versions but can never fabricate a
-   block no version contained.  A zero block is additionally accepted
-   only on a growth frontier (some version ends before it): a partially
-   persisted extension may leave an unwritten hole, but a file whose
-   every version covers the block must really hold its data. *)
-let content_acceptable ~bs versions c =
-  List.exists (fun v -> Bytes.equal v c) versions
-  ||
-  let len = Bytes.length c in
-  List.exists (fun v -> Bytes.length v >= len) versions
-  &&
-  let nblocks = (len + bs - 1) / bs in
-  let block_ok i =
-    let lo = i * bs in
-    let hi = min len (lo + bs) in
-    let matches v =
-      Bytes.length v >= hi
-      && Bytes.equal (Bytes.sub c lo (hi - lo)) (Bytes.sub v lo (hi - lo))
-    in
-    let zero_frontier () =
-      List.exists (fun v -> Bytes.length v < hi) versions
-      &&
-      let rec z j = j >= hi || (Bytes.get c j = '\000' && z (j + 1)) in
-      z lo
-    in
-    List.exists matches versions || zero_frontier ()
-  in
-  let rec all i = i >= nblocks || (block_ok i && all (i + 1)) in
-  all 0
-
-(* First offending region of [c], for failure reports. *)
-let explain_mismatch ~bs versions c =
-  let len = Bytes.length c in
-  if not (List.exists (fun v -> Bytes.length v >= len) versions) then
-    Printf.sprintf "len %d exceeds every version (lens %s)" len
-      (String.concat "," (List.map (fun v -> string_of_int (Bytes.length v)) versions))
-  else
-    let nblocks = (len + bs - 1) / bs in
-    let rec find i =
-      if i >= nblocks then "?"
-      else
-        let lo = i * bs in
-        let hi = min len (lo + bs) in
-        let matches v =
-          Bytes.length v >= hi
-          && Bytes.equal (Bytes.sub c lo (hi - lo)) (Bytes.sub v lo (hi - lo))
-        in
-        if List.exists matches versions then find (i + 1)
-        else
-          Printf.sprintf "block %d of %d (len %d, %d versions: %s)" i nblocks len
-            (List.length versions)
-            (String.concat ","
-               (List.map (fun v -> string_of_int (Bytes.length v)) versions))
-    in
-    find 0
 
 type failure = {
   cut : int;
@@ -432,80 +161,32 @@ module Make (S : SUBJECT) = struct
     let rest = List.init (S.ndevices - 1) (fun _ -> mk ()) in
     (fault, Vdev_fault.vdev fault :: rest)
 
-  (* Walk the recovered tree.  Only paths the model knows as directories
-     are entered; everything else is read as a file.  Returns
-     (files : path -> content, dirs : path set). *)
-  let walk fs ~model_dirs =
-    let files = Hashtbl.create 64 and dirs = Hashtbl.create 16 in
-    let rec go dpath ino =
-      Hashtbl.replace dirs dpath ();
-      List.iter
-        (fun (name, child) ->
-          let cpath = dpath ^ "/" ^ name in
-          if Hashtbl.mem model_dirs cpath then go cpath child
-          else
-            let sz = S.file_size fs child in
-            Hashtbl.replace files cpath (S.read fs child ~off:0 ~len:sz))
-        (S.readdir fs ino)
-    in
-    go "" S.root;
-    (files, dirs)
-
+  (* Walk the recovered tree against the shared model oracle: the
+     recovered namespace must be some state in the (durable, crash-op]
+     window of the recorded event log. *)
   let check_oracle ~bs ~events ~durable ~upto fs =
-    let model_files = Hashtbl.create 64 and model_dirs = Hashtbl.create 16 in
-    List.iter
-      (fun (op, ev) ->
-        if op <= upto then
-          match ev with
-          | Efile (p, _) -> Hashtbl.replace model_files p ()
-          | Edir p -> Hashtbl.replace model_dirs p ())
-      events;
-    let recovered_files, recovered_dirs = walk fs ~model_dirs in
-    let divs = ref [] in
-    let div fmt = Printf.ksprintf (fun s -> divs := s :: !divs) fmt in
-    List.iter
-      (fun (op, ev) ->
-        match ev with
-        | Edir p when op <= durable && not (Hashtbl.mem recovered_dirs p) ->
-            div "durable directory %s missing" p
-        | _ -> ())
-      events;
-    Hashtbl.iter
-      (fun path () ->
-        let durable_v, window = chain events path ~durable ~upto in
-        match Hashtbl.find_opt recovered_files path with
-        | None ->
-            let absent_ok =
-              durable_v = None || List.exists (fun v -> v = None) window
-            in
-            if not absent_ok then div "%s: durable content lost" path
-        | Some c ->
-            let versions = List.filter_map Fun.id (durable_v :: window) in
-            if not (content_acceptable ~bs versions c) then
-              div "%s: recovered content matches no state the workload passed through (%s)"
-                path
-                (explain_mismatch ~bs versions c))
-      model_files;
-    Hashtbl.iter
-      (fun path _ ->
-        if not (Hashtbl.mem model_files path) then
-          div "%s: path never written by the workload" path)
-      recovered_files;
-    List.rev !divs
+    let model_dirs = Model.dirs_of_events events ~upto in
+    let files, dirs =
+      Model.walk ~root:S.root
+        ~readdir:(fun ino -> S.readdir fs ino)
+        ~file_size:(fun ino -> S.file_size fs ino)
+        ~read:(fun ino ~off ~len -> S.read fs ino ~off ~len)
+        ~model_dirs
+    in
+    Model.check ~bs ~events ~durable ~upto ~files ~dirs
 
   let run ?(blocks = 1024) ?(stride = 1) ?cuts ?(seed = 0)
       ?(modes = [ Vdev_fault.Torn; Dropped; Reordered ]) (w : workload) =
     if stride < 1 then invalid_arg "Crashtest.run: stride";
     if modes = [] then invalid_arg "Crashtest.run: modes";
-    (* Reference run: learn the crash-point space and the event log. *)
+    (* Reference run: learn the crash-point space. *)
     let fault, devs = fresh_fault ~blocks ~seed in
     S.format devs;
     let base = Vdev_fault.blocks_written fault in
     let fs = S.mount devs in
-    let probe = new_probe ~root:S.root in
-    w.run (instrument probe (make_fsops fs));
+    let recorder = Model.Recorder.create ~root:S.root in
+    w.run (Model.Recorder.instrument recorder (make_fsops fs));
     let total = Vdev_fault.blocks_written fault - base in
-    let events = List.rev probe.events_rev in
     let bs = (List.hd devs).Vdev.block_size in
     let points =
       match cuts with
@@ -533,11 +214,11 @@ module Make (S : SUBJECT) = struct
         let fault, devs = fresh_fault ~blocks ~seed in
         S.format devs;
         Vdev_fault.plan_crash fault ~mode ~after_blocks:cut ();
-        let rprobe = new_probe ~root:S.root in
+        let r = Model.Recorder.create ~root:S.root in
         let crashed =
           try
             let fs = S.mount devs in
-            w.run (instrument rprobe (make_fsops fs));
+            w.run (Model.Recorder.instrument r (make_fsops fs));
             false
           with Vdev.Crashed -> true
         in
@@ -554,8 +235,10 @@ module Make (S : SUBJECT) = struct
                 match
                   try
                     Ok
-                      (check_oracle ~bs ~events ~durable:rprobe.durable
-                         ~upto:rprobe.op fs2)
+                      (check_oracle ~bs
+                         ~events:(Model.Recorder.events r)
+                         ~durable:(Model.Recorder.durable r)
+                         ~upto:(Model.Recorder.op r) fs2)
                   with e -> Error e
                 with
                 | Error e -> fail fsck_failures "walk" (Printexc.to_string e)

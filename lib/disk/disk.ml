@@ -6,6 +6,17 @@ type t = {
   mutable mode : Io_queue.mode;
   mutable crash_countdown : int option;  (* blocks until power cut *)
   mutable crashed : bool;
+  mutable pending : (int * int * bytes) list;
+      (* queued-mode writes submitted but not yet committed by the
+         elevator: (seq, addr, payload) in submission order.  Reads
+         overlay these so the FS observes its own writes; a reboot
+         drops them. *)
+  mutable write_seq_counter : int;
+  write_seq : int array;
+      (* per block, the submission seq of the newest committed write:
+         content is defined by submission order even though the elevator
+         commits out of order, so a commit must not clobber a block a
+         later-submitted write has already retired. *)
 }
 
 exception Crashed
@@ -44,6 +55,9 @@ let create geometry =
     mode = Io_queue.Direct;
     crash_countdown = None;
     crashed = false;
+    pending = [];
+    write_seq_counter = 0;
+    write_seq = Array.make geometry.Geometry.blocks 0;
   }
 
 let geometry t = t.geometry
@@ -72,7 +86,7 @@ let check_range t addr n what =
 (* Enqueue the transfer on the time plane.  [Direct] services it on the
    spot — submission order, zero wait, the historical synchronous
    timings; [Queued] leaves it for await/drain/pump. *)
-let enqueue t ?now ~addr ~n () =
+let enqueue ?on_commit t ?now ~addr ~n () =
   let now =
     match now with
     | Some s -> s
@@ -81,13 +95,29 @@ let enqueue t ?now ~addr ~n () =
         | Io_queue.Direct -> Io_queue.horizon t.queue
         | Io_queue.Queued clock -> clock ())
   in
-  let tag = Io_queue.submit t.queue ~now ~addr ~nblocks:n in
+  let tag = Io_queue.submit ?on_commit t.queue ~now ~addr ~nblocks:n in
   (match t.mode with
   | Io_queue.Direct -> ignore (Io_queue.await (Io_queue.Tag (t.queue, tag)))
   | Io_queue.Queued _ -> ());
   Io_queue.Tag (t.queue, tag)
 
 let ensure_alive t = if t.crashed then raise Crashed
+
+(* Overlay not-yet-committed queued writes, oldest first, so reads are
+   coherent with the submission order the FS observed.  A block whose
+   committed content is already newer (a later-submitted write the
+   elevator retired first) keeps the committed data. *)
+let overlay_pending t ~addr ~n out =
+  let bs = block_size t in
+  List.iter
+    (fun (seq, waddr, payload) ->
+      let wn = Bytes.length payload / bs in
+      let lo = max addr waddr and hi = min (addr + n) (waddr + wn) in
+      for blk = lo to hi - 1 do
+        if t.write_seq.(blk) <= seq then
+          Bytes.blit payload ((blk - waddr) * bs) out ((blk - addr) * bs) bs
+      done)
+    t.pending
 
 let submit_read ?now t addr n =
   ensure_alive t;
@@ -99,6 +129,7 @@ let submit_read ?now t addr n =
   for i = 0 to n - 1 do
     Bytes.blit t.data.(addr + i) 0 out (i * bs) bs
   done;
+  if t.pending <> [] then overlay_pending t ~addr ~n out;
   (enqueue t ?now ~addr ~n (), out)
 
 let read_blocks t addr n = snd (submit_read t addr n)
@@ -122,6 +153,44 @@ let consume_countdown t n =
       end
       else t.crash_countdown <- Some k
 
+(* Land one write on the medium: persist the writable prefix, burn the
+   crash countdown, raise if it tripped.  In [Direct] mode this runs at
+   submit time (submission order == service order); in [Queued] mode it
+   is deferred into the elevator's commit, so countdowns burn — and
+   crashes tear — in the order the device actually retires writes. *)
+let perform_write t ~seq addr payload =
+  if t.crashed then raise Crashed;
+  let bs = block_size t in
+  let n = Bytes.length payload / bs in
+  let persist = writable_prefix t n in
+  for i = 0 to persist - 1 do
+    if t.write_seq.(addr + i) <= seq then begin
+      Bytes.blit payload (i * bs) t.data.(addr + i) 0 bs;
+      t.write_seq.(addr + i) <- seq
+    end
+  done;
+  consume_countdown t n;
+  if t.crashed then raise Crashed
+
+let submit_write_payload ?now t addr payload =
+  let bs = block_size t in
+  let n = Bytes.length payload / bs in
+  t.write_seq_counter <- t.write_seq_counter + 1;
+  let seq = t.write_seq_counter in
+  match t.mode with
+  | Io_queue.Direct ->
+      let tk = enqueue t ?now ~addr ~n () in
+      perform_write t ~seq addr payload;
+      tk
+  | Io_queue.Queued _ ->
+      let payload = Bytes.copy payload in
+      let cell = (seq, addr, payload) in
+      t.pending <- t.pending @ [ cell ];
+      enqueue t ?now ~addr ~n ()
+        ~on_commit:(fun () ->
+          t.pending <- List.filter (fun c -> c != cell) t.pending;
+          perform_write t ~seq addr payload)
+
 let submit_write ?now t addr b =
   ensure_alive t;
   let bs = block_size t in
@@ -131,14 +200,7 @@ let submit_write ?now t addr b =
   check_range t addr n "write_blocks";
   t.stats.Io_stats.writes <- t.stats.Io_stats.writes + 1;
   t.stats.Io_stats.blocks_written <- t.stats.Io_stats.blocks_written + n;
-  let tk = enqueue t ?now ~addr ~n () in
-  let persist = writable_prefix t n in
-  for i = 0 to persist - 1 do
-    Bytes.blit b (i * bs) t.data.(addr + i) 0 bs
-  done;
-  consume_countdown t n;
-  if t.crashed then raise Crashed;
-  tk
+  submit_write_payload ?now t addr b
 
 let write_blocks t addr b = ignore (submit_write t addr b)
 
@@ -155,13 +217,7 @@ let zero_blocks t addr n =
   check_range t addr n "zero_blocks";
   t.stats.Io_stats.writes <- t.stats.Io_stats.writes + 1;
   t.stats.Io_stats.blocks_written <- t.stats.Io_stats.blocks_written + n;
-  ignore (enqueue t ~addr ~n ());
-  let persist = writable_prefix t n in
-  for i = 0 to persist - 1 do
-    Bytes.fill t.data.(addr + i) 0 (block_size t) '\000'
-  done;
-  consume_countdown t n;
-  if t.crashed then raise Crashed
+  ignore (submit_write_payload t addr (Bytes.make (n * block_size t) '\000'))
 
 let drain t = Io_queue.drain t.queue
 let pump t ~now = Io_queue.pump t.queue ~now
@@ -178,6 +234,9 @@ let is_crashed t = t.crashed
 let reboot t =
   t.crashed <- false;
   t.crash_countdown <- None;
+  (* Submitted-but-uncommitted writes die with the power: only what the
+     elevator actually retired is on the medium. *)
+  t.pending <- [];
   Io_queue.reset t.queue;
   Io_queue.set_head t.queue (-1)
 
@@ -194,6 +253,9 @@ let snapshot t =
     mode = Io_queue.Direct;
     crash_countdown = t.crash_countdown;
     crashed = t.crashed;
+    pending = [];
+    write_seq_counter = 0;
+    write_seq = Array.make t.geometry.Geometry.blocks 0;
   }
 
 let restore t ~from =
@@ -210,6 +272,9 @@ let restore t ~from =
   s.Io_stats.queue_wait_s <- s'.Io_stats.queue_wait_s;
   s.Io_stats.max_queue_depth <- s'.Io_stats.max_queue_depth;
   (* Pending time-plane requests do not survive a restore. *)
+  t.pending <- [];
+  Array.fill t.write_seq 0 (Array.length t.write_seq) 0;
+  t.write_seq_counter <- 0;
   Io_queue.reset t.queue;
   Io_queue.set_head t.queue (Io_queue.head from.queue);
   Io_queue.set_horizon t.queue (Io_queue.horizon from.queue);

@@ -18,9 +18,15 @@
     the device "loses power": the offending write is torn (a prefix may
     reach the medium) and {!Crashed} is raised.  All subsequent IO raises
     {!Crashed} until {!reboot}.  This lets tests cut power at any point
-    of a checkpoint or segment write and exercise recovery.  Countdowns
-    are consumed at submit time, so crash points are independent of
-    queueing. *)
+    of a checkpoint or segment write and exercise recovery.
+
+    In [Direct] mode, persistence, countdowns and service coincide with
+    submission, so crash points are independent of queueing.  In
+    [Queued] mode the data plane is deferred to the elevator's commit:
+    contents land, countdowns burn and crashes tear in the order the
+    device actually retires writes (C-LOOK), reads stay coherent by
+    overlaying submitted-but-uncommitted writes, and a reboot drops
+    whatever the elevator had not yet retired. *)
 
 type t
 
@@ -68,8 +74,9 @@ val submit_read : ?now:float -> t -> int -> int -> Io_queue.ticket * bytes
     horizon ([Direct]) or the queued-mode clock. *)
 
 val submit_write : ?now:float -> t -> int -> bytes -> Io_queue.ticket
-(** Tagged write: contents (and any crash) land at submit time; the
-    ticket resolves at the modelled completion. *)
+(** Tagged write.  In [Direct] mode contents (and any crash) land at
+    submit time; in [Queued] mode they land when the elevator commits
+    the request, and the ticket resolves at that modelled completion. *)
 
 val drain : t -> float
 (** Service every outstanding request; returns the final horizon. *)

@@ -13,6 +13,8 @@ type req = {
   addr : int;
   nblocks : int;
   submit_s : float;
+  on_commit : (unit -> unit) option;
+      (* data-plane action deferred to service time (queued writes) *)
 }
 
 type t = {
@@ -49,10 +51,11 @@ let reset t =
   t.outstanding <- [];
   t.started <- []
 
-let submit t ~now ~addr ~nblocks =
+let submit ?on_commit t ~now ~addr ~nblocks =
   let tag = !tag_counter in
   incr tag_counter;
-  t.outstanding <- t.outstanding @ [ { tag; addr; nblocks; submit_s = now } ];
+  t.outstanding <-
+    t.outstanding @ [ { tag; addr; nblocks; submit_s = now; on_commit } ];
   let d = List.length t.outstanding in
   if d > t.stats.Io_stats.max_queue_depth then
     t.stats.Io_stats.max_queue_depth <- d;
@@ -85,7 +88,10 @@ let commit t r =
     t.stats.Io_stats.queue_wait_s +. (start -. r.submit_s);
   t.head <- r.addr + r.nblocks;
   t.horizon <- start +. dur;
-  t.started <- t.started @ [ (r.tag, t.horizon) ]
+  t.started <- t.started @ [ (r.tag, t.horizon) ];
+  (* Deferred data plane last: a crash countdown tripping here must not
+     leave the request half-accounted in the time plane. *)
+  match r.on_commit with None -> () | Some f -> f ()
 
 let service_next t =
   match pick t with

@@ -39,8 +39,14 @@ val create :
     it repositioned the head; the queue accumulates [busy_s], [seeks],
     [queue_wait_s] and [max_queue_depth] into [stats]. *)
 
-val submit : t -> now:float -> addr:int -> nblocks:int -> int
-(** Enqueue a request that arrived at [now]; returns its tag. *)
+val submit :
+  ?on_commit:(unit -> unit) -> t -> now:float -> addr:int -> nblocks:int -> int
+(** Enqueue a request that arrived at [now]; returns its tag.
+    [on_commit] runs when the elevator services the request — the hook
+    by which a device defers its data plane (payload persistence, crash
+    countdowns) to commit order under [Queued] mode.  Exceptions raised
+    by the hook (a tripped crash countdown) propagate out of whichever
+    call forced the service ({!await}, {!drain} or {!pump}). *)
 
 val await : ticket -> float
 (** Force service (in elevator order) of everything the ticket covers.

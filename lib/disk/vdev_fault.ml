@@ -37,8 +37,11 @@ let plan_crash t ?(mode = Torn) ~after_blocks () =
   t.countdown <- after_blocks;
   t.mode <- mode
 
-let cancel_crash t = t.countdown <- -1
-let is_crashed t = t.crashed
+let cancel_crash t =
+  t.countdown <- -1;
+  t.lower.Vdev.cancel_crash ()
+
+let is_crashed t = t.crashed || t.lower.Vdev.is_crashed ()
 
 let reboot t =
   t.crashed <- false;
@@ -82,11 +85,24 @@ let submit_sub ?now lower bs addr b ~first ~count tickets =
         (Bytes.sub b (first * bs) (count * bs))
       :: !tickets
 
-(* Crash points are decided here, at submit time, by counting payload
-   blocks in submission order — queued service timing cannot move them,
-   which keeps crashtest enumeration deterministic. *)
+(* With a Direct lower stack, crash points are decided here at submit
+   time, by counting payload blocks in submission order — the historical
+   behaviour, deterministic by construction.  With a Queued lower stack
+   the elevator retires writes in C-LOOK order, not submission order, so
+   a submit-time countdown would tear a block the device had already
+   retired: the countdown is handed down to the leaf device, which burns
+   it at commit and tears the write the power cut actually interrupts. *)
+let lower_is_queued t =
+  match t.lower.Vdev.get_mode () with
+  | Io_queue.Queued _ -> true
+  | Io_queue.Direct -> false
+
 let submit_write ?now t addr b =
   check_alive t;
+  if t.countdown >= 0 && lower_is_queued t then begin
+    t.lower.Vdev.plan_crash ~after_blocks:t.countdown;
+    t.countdown <- -1
+  end;
   let bs = t.lower.Vdev.block_size in
   let len = Bytes.length b in
   if len = 0 || len mod bs <> 0 then

@@ -495,17 +495,20 @@ let create_node t ~dir name ~ftype =
 let create t ~dir name = create_node t ~dir name ~ftype:Types.Regular
 let mkdir t ~dir name = create_node t ~dir name ~ftype:Types.Directory
 
-let unlink t ~dir name =
+let unlink_internal t ~dir name ~expect =
   let d = dir_contents t dir in
   match Directory.find d name with
   | None -> Types.fs_error "ffs: no such entry %S" name
   | Some ino ->
       let h = get_handle t ino in
-      (match h.inode.Inode.ftype with
-      | Types.Directory ->
+      (match (expect, h.inode.Inode.ftype) with
+      | `File, Types.Directory ->
+          Types.fs_error "ffs: %S is a directory (use rmdir)" name
+      | `Dir, Types.Regular -> Types.fs_error "ffs: %S is not a directory" name
+      | `Dir, Types.Directory ->
           if not (Directory.is_empty (dir_contents t ino)) then
             Types.fs_error "ffs: directory %S not empty" name
-      | Types.Regular -> ());
+      | `File, Types.Regular -> ());
       set_dir_contents t dir (Directory.remove d name);
       let doomed = ref [] in
       Hashtbl.iter
@@ -522,6 +525,28 @@ let unlink t ~dir name =
       clear_inode t ino;
       Bitmap.clear t.inode_free.(ino_cg t.layout ino) (ino_index t.layout ino);
       Hashtbl.remove t.handles ino
+
+let unlink t ~dir name = unlink_internal t ~dir name ~expect:`File
+let rmdir t ~dir name = unlink_internal t ~dir name ~expect:`Dir
+
+(* Dirent move; directory data writes are synchronous as everywhere in
+   FFS, so the removal and insertion both hit the disk before return. *)
+let rename t ~odir oname ~ndir nname =
+  let od = dir_contents t odir in
+  match Directory.find od oname with
+  | None -> Types.fs_error "ffs: no such entry %S" oname
+  | Some ino ->
+      if odir = ndir && oname = nname then ()
+      else if lookup t ~dir:ndir nname = Some ino then
+        (* POSIX: source and target are links to the same file: no-op. *)
+        ()
+      else begin
+        (match lookup t ~dir:ndir nname with
+        | Some _ -> unlink_internal t ~dir:ndir nname ~expect:`File
+        | None -> ());
+        set_dir_contents t odir (Directory.remove (dir_contents t odir) oname);
+        set_dir_contents t ndir (Directory.add (dir_contents t ndir) nname ino)
+      end
 
 (* {1 Paths} *)
 

@@ -49,6 +49,19 @@ val mkdir : t -> dir:Lfs_core.Types.ino -> string -> Lfs_core.Types.ino
 val lookup : t -> dir:Lfs_core.Types.ino -> string -> Lfs_core.Types.ino option
 val readdir : t -> Lfs_core.Types.ino -> (string * Lfs_core.Types.ino) list
 val unlink : t -> dir:Lfs_core.Types.ino -> string -> unit
+(** Remove a regular file's name.  Refuses directories (use {!rmdir}). *)
+
+val rmdir : t -> dir:Lfs_core.Types.ino -> string -> unit
+(** Remove an empty directory. *)
+
+val rename :
+  t ->
+  odir:Lfs_core.Types.ino ->
+  string ->
+  ndir:Lfs_core.Types.ino ->
+  string ->
+  unit
+(** Move a name; an existing (non-directory) target is replaced. *)
 
 val write : t -> Lfs_core.Types.ino -> off:int -> bytes -> unit
 val read : t -> Lfs_core.Types.ino -> off:int -> len:int -> bytes

@@ -1,0 +1,109 @@
+(* The systems under refinement checking.  A SUBJECT is the shared
+   DURABLE lifecycle plus the few facts a crash harness needs: how many
+   devices to create, and how to fsck the recovered instance.  The
+   crashtest library re-exports these so both harnesses drive the exact
+   same subject definitions. *)
+
+module Vdev = Lfs_disk.Vdev
+
+module type SUBJECT = sig
+  include Lfs_core.Fs_intf.DURABLE
+
+  val subject_name : string
+  val async_writes : bool
+  val ndevices : int
+  val fsck_errors : t -> string list
+end
+
+(* Single-device subjects take exactly one device. *)
+let the_dev = function
+  | [ d ] -> d
+  | devs ->
+      invalid_arg
+        (Printf.sprintf "model subject: expected 1 device, got %d"
+           (List.length devs))
+
+(* Small configurations keep segments and write buffers tight so even a
+   short workload crosses many flush and checkpoint boundaries — the
+   interesting crash points. *)
+
+let lfs_config =
+  {
+    Lfs_core.Config.default with
+    max_inodes = 512;
+    seg_blocks = 32;
+    write_buffer_blocks = 16;
+    clean_start = 3;
+    clean_stop = 6;
+    segs_per_pass = 3;
+    cache_blocks = 128;
+  }
+
+module Lfs = struct
+  include Lfs_core.Fs
+
+  let subject_name = "lfs"
+  let async_writes = true
+  let ndevices = 1
+  let format devs = Lfs_core.Fs.format (the_dev devs) lfs_config
+  let mount devs = Lfs_core.Fs.mount (the_dev devs)
+  let recover devs = fst (Lfs_core.Fs.recover (the_dev devs))
+  let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
+end
+
+let ffs_config =
+  {
+    Lfs_ffs.Ffs.default_config with
+    cg_blocks = 256;
+    inodes_per_cg = 128;
+    write_buffer_blocks = 16;
+    cache_blocks = 64;
+  }
+
+module Ffs = struct
+  include Lfs_ffs.Ffs
+
+  let subject_name = "ffs"
+  let async_writes = false
+  let ndevices = 1
+  let format devs = Lfs_ffs.Ffs.format (the_dev devs) ffs_config
+  let mount devs = Lfs_ffs.Ffs.mount (the_dev devs)
+
+  (* FFS has no roll-forward; post-crash "recovery" is a plain mount,
+     and it draws no checkpoint/sync distinction either. *)
+  let recover devs = Lfs_ffs.Ffs.mount (the_dev devs)
+  let checkpoint t = Lfs_ffs.Ffs.sync t
+  let fsck_errors _ = []
+end
+
+module type SHARD_SHAPE = sig
+  val shards : int
+  val policy : Lfs_shard.Shard_router.policy
+end
+
+(* Every shard runs the same tight LFS config the single-disk subject
+   uses, so per-shard crash points stay as dense as the LFS run's. *)
+module Shard (P : SHARD_SHAPE) = struct
+  include Lfs_shard.Shard_router
+
+  let subject_name =
+    Printf.sprintf "shard:%d:%s" P.shards
+      (Lfs_shard.Shard_router.policy_name P.policy)
+
+  let async_writes = true
+  let ndevices = P.shards
+  let format devs = Lfs_shard.Shard_router.format ~config:lfs_config devs
+
+  let mount devs =
+    Lfs_shard.Shard_router.mount ~config:lfs_config ~policy:P.policy devs
+
+  let recover devs =
+    fst (Lfs_shard.Shard_router.recover ~config:lfs_config ~policy:P.policy devs)
+
+  let fsck_errors t =
+    List.concat
+      (List.init (shard_count t) (fun i ->
+           List.map
+             (Printf.sprintf "shard%d: %s" i)
+             (Lfs_core.Fsck.check (shard_fs t i)).Lfs_core.Fsck.errors))
+end

@@ -549,14 +549,22 @@ let run (cfg : config) (fs : Fsops.t) =
   for c = 0 to cfg.clients - 1 do
     schedule_arrival c
   done;
-  Sched.run sched;
-  fs.Fsops.sync ();
-  if queued then begin
-    (* Settle any stragglers on the device clock and hand the stack back
-       in the mode we found it. *)
-    List.iter (fun d -> ignore (Vdev.drain d)) devs;
-    List.iter (fun d -> Vdev.set_mode d Vdev.Direct) devs
-  end;
+  (* Settle any stragglers on the device clock and hand the stack back
+     in the mode we found it — even when a fault layer cuts the power
+     mid-run ([Vdev.Crashed] escaping the scheduler): a crash harness
+     recovers on the same devices, and mounting against a dead elevator
+     stuck in queued mode would wedge it. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if queued then begin
+        List.iter
+          (fun d -> try ignore (Vdev.drain d) with Vdev.Crashed -> ())
+          devs;
+        List.iter (fun d -> Vdev.set_mode d Vdev.Direct) devs
+      end)
+    (fun () ->
+      Sched.run sched;
+      fs.Fsops.sync ());
 
   (* Nothing may be lost silently: every generated request either
      completed or was shed, and the engine checks its own books. *)

@@ -220,6 +220,99 @@ let unlink t ~dir name =
   | None -> Types.fs_error "no such entry %S" name
   | Some pdir -> Fs.unlink fs ~dir:pdir name
 
+(* Removing a directory must also remove its mirror shells: the union
+   [readdir] would otherwise keep resurrecting the name, and a later
+   directory of the same name would inherit stale children. *)
+let rmdir t ~dir name =
+  let parent = path_of t dir in
+  let path = child_path parent name in
+  let s = place t ~parent_path:parent ~name in
+  let fs = t.shards.(s) in
+  match resolve_on fs parent with
+  | None -> Types.fs_error "no such entry %S" name
+  | Some pdir -> (
+      match Fs.lookup fs ~dir:pdir name with
+      | None -> Types.fs_error "no such entry %S" name
+      | Some local ->
+          if (Fs.stat fs local).Fs.st_ftype <> Types.Directory then
+            Types.fs_error "%S is not a directory" name;
+          (* Empty means empty on every shard holding the directory:
+             canonical children live on their own home shards. *)
+          Array.iter
+            (fun sfs ->
+              match resolve_on sfs path with
+              | None -> ()
+              | Some d ->
+                  if Fs.readdir sfs d <> [] then
+                    Types.fs_error "directory %S is not empty" name)
+            t.shards;
+          Fs.rmdir fs ~dir:pdir name;
+          Array.iteri
+            (fun i sfs ->
+              if i <> s then
+                match resolve_on sfs parent with
+                | None -> ()
+                | Some pd -> (
+                    match Fs.lookup sfs ~dir:pd name with
+                    | Some _ -> Fs.rmdir sfs ~dir:pd name
+                    | None -> ()))
+            t.shards;
+          Hashtbl.remove t.paths (encode ~shard:s local))
+
+(* Renaming a file between placement keys cannot be atomic across two
+   logs; the move is copy-then-unlink, so a crash can briefly expose
+   both names (never neither: the source is unlinked last).  Directory
+   renames would re-key every descendant's placement and are refused. *)
+let rename t ~odir oname ~ndir nname =
+  let oparent = path_of t odir and nparent = path_of t ndir in
+  let os = place t ~parent_path:oparent ~name:oname in
+  let ns = place t ~parent_path:nparent ~name:nname in
+  let ofs = t.shards.(os) in
+  match resolve_on ofs oparent with
+  | None -> Types.fs_error "no such entry %S" oname
+  | Some opd -> (
+      match Fs.lookup ofs ~dir:opd oname with
+      | None -> Types.fs_error "no such entry %S" oname
+      | Some olocal ->
+          if (Fs.stat ofs olocal).Fs.st_ftype = Types.Directory then
+            Types.fs_error
+              "shard router: cannot rename directory %S (placement is \
+               path-keyed)"
+              oname;
+          if os = ns then begin
+            let npd = ensure_dir_on ofs nparent in
+            Fs.rename ofs ~odir:opd oname ~ndir:npd nname;
+            remember t (encode ~shard:os olocal) (child_path nparent nname)
+          end
+          else begin
+            let nfs = t.shards.(ns) in
+            let npd = ensure_dir_on nfs nparent in
+            let data =
+              Fs.read ofs olocal ~off:0 ~len:(Fs.file_size ofs olocal)
+            in
+            let nlocal =
+              match Fs.lookup nfs ~dir:npd nname with
+              | Some nlocal
+                when (Fs.stat nfs nlocal).Fs.st_ftype = Types.Directory ->
+                  Types.fs_error "%S is a directory" nname
+              | Some nlocal ->
+                  (* Overwrite the existing destination in place.
+                     Unlink-then-create would let a crash destroy the
+                     durable destination of an unacknowledged rename:
+                     the unlink's journal record can persist while the
+                     replacement inode never reaches the log.  Keeping
+                     the inode means recovery rolls the content back to
+                     a consistent point state instead. *)
+                  Fs.truncate nfs nlocal ~len:0;
+                  nlocal
+              | None -> Fs.create nfs ~dir:npd nname
+            in
+            if Bytes.length data > 0 then Fs.write nfs nlocal ~off:0 data;
+            Fs.unlink ofs ~dir:opd oname;
+            Metrics.incr t.placed.(ns);
+            remember t (encode ~shard:ns nlocal) (child_path nparent nname)
+          end)
+
 (* ------------------------------------------------------------------ *)
 (* File IO: decode the shard, delegate.                                *)
 (* ------------------------------------------------------------------ *)
@@ -360,6 +453,46 @@ let mount ?config ?(policy = By_hash) devs =
   in
   make ~policy shards metrics
 
+(* Post-crash mirror hygiene.  A mirror dirent is a name on a shard
+   that is not its home; it only exists to carry the path down to
+   canonical children.  Per-shard recovery can roll one shard back past
+   the canonical entry's creation while mirror shells of it (created
+   lazily, on other shards, in other logs) survive — leaving subtrees
+   that the canonical namespace no longer accounts for.  Walk every
+   shard's local tree and drop any entry whose canonical name did not
+   survive on its home shard. *)
+let revalidate_mirrors t =
+  let dropped = ref 0 in
+  let rec prune fs ~dir name local =
+    (match (Fs.stat fs local).Fs.st_ftype with
+    | Types.Directory ->
+        List.iter
+          (fun (n, l) -> prune fs ~dir:local n l)
+          (Fs.readdir fs local);
+        Fs.rmdir fs ~dir name
+    | Types.Regular -> Fs.unlink fs ~dir name);
+    incr dropped
+  in
+  let canonical_survives t ~home ~parent_path ~name =
+    match resolve_on t.shards.(home) parent_path with
+    | None -> false
+    | Some pd -> Fs.lookup t.shards.(home) ~dir:pd name <> None
+  in
+  let rec walk s fs ~dir path =
+    List.iter
+      (fun (name, local) ->
+        let home = place t ~parent_path:path ~name in
+        if
+          home <> s
+          && not (canonical_survives t ~home ~parent_path:path ~name)
+        then prune fs ~dir name local
+        else if (Fs.stat fs local).Fs.st_ftype = Types.Directory then
+          walk s fs ~dir:local (child_path path name))
+      (Fs.readdir fs dir)
+  in
+  Array.iteri (fun s fs -> walk s fs ~dir:Fs.root "") t.shards;
+  !dropped
+
 let recover ?config ?(policy = By_hash) devs =
   let devs = check_devices devs in
   let metrics = Metrics.create () in
@@ -370,4 +503,12 @@ let recover ?config ?(policy = By_hash) devs =
   in
   let shards = Array.map fst pairs in
   let reports = Array.to_list (Array.map snd pairs) in
-  (make ~policy shards metrics, reports)
+  let t = make ~policy shards metrics in
+  let dropped = revalidate_mirrors t in
+  Metrics.set
+    (Metrics.gauge metrics "router.mirrors_dropped")
+    (float_of_int dropped);
+  (* Make the repairs durable before handing the volume out: a second
+     crash must not resurrect what re-validation just removed. *)
+  if dropped > 0 then sync t;
+  (t, reports)

@@ -34,8 +34,12 @@
     (plain [Fs.mkdir] calls) the first time a descendant is placed
     there; mirrors are empty shells, and [readdir] keeps exactly the
     entries whose own placement says "this shard", so a mirror never
-    shadows a canonical entry.  Files are never mirrored, and the shared
-    surface has no [rmdir], so mirrors never need cleanup.
+    shadows a canonical entry.  Files are never mirrored.  [rmdir]
+    removes a directory's mirror shells along with the canonical entry,
+    and {!recover} re-validates every mirror against its home shard —
+    per-shard crash recovery can roll the canonical entry back while
+    mirror shells of it survive in other shards' logs, and such
+    unaccounted subtrees must not resurface.
 
     Router inode numbers pack the shard id into the high bits of
     {!Lfs_core.Types.ino} ([(shard + 1) lsl 24 lor local]); the root
@@ -76,7 +80,11 @@ val recover :
   Lfs_disk.Vdev.t list ->
   t * Lfs_core.Fs.recovery_report list
 (** Post-crash mount: every shard rolls its own log forward
-    independently; the reports come back in shard order. *)
+    independently; the reports come back in shard order.  After the
+    per-shard replays, mirror dirents are re-validated against their
+    home shards and stale ones dropped (count in the
+    [router.mirrors_dropped] gauge); if any were, the repairs are
+    synced before the volume is handed out. *)
 
 val unmount : t -> unit
 val checkpoint : t -> unit
@@ -95,6 +103,25 @@ val readdir : t -> Lfs_core.Types.ino -> (string * Lfs_core.Types.ino) list
     independent of shard count). *)
 
 val unlink : t -> dir:Lfs_core.Types.ino -> string -> unit
+(** Remove a regular file's name.  Refuses directories (use {!rmdir}). *)
+
+val rmdir : t -> dir:Lfs_core.Types.ino -> string -> unit
+(** Remove an empty directory — empty on {e every} shard — together
+    with its mirror shells. *)
+
+val rename :
+  t ->
+  odir:Lfs_core.Types.ino ->
+  string ->
+  ndir:Lfs_core.Types.ino ->
+  string ->
+  unit
+(** Move a regular file's name.  Atomic when both names place on the
+    same shard (one [Fs.rename]); otherwise copy-then-unlink across two
+    logs, so a crash in between can expose both names (never neither).
+    Directory renames raise {!Lfs_core.Types.Fs_error}: placement keys
+    are path-derived, so moving a directory would re-home every
+    descendant. *)
 
 val write : t -> Lfs_core.Types.ino -> off:int -> bytes -> unit
 val read : t -> Lfs_core.Types.ino -> off:int -> len:int -> bytes

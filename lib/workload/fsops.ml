@@ -11,7 +11,11 @@ type t = {
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;
   unlink : dir:Lfs_core.Types.ino -> string -> unit;
+  rmdir : dir:Lfs_core.Types.ino -> string -> unit;
+  rename :
+    odir:Lfs_core.Types.ino -> string -> ndir:Lfs_core.Types.ino -> string -> unit;
   write : Lfs_core.Types.ino -> off:int -> bytes -> unit;
+  truncate : Lfs_core.Types.ino -> len:int -> unit;
   read : Lfs_core.Types.ino -> off:int -> len:int -> bytes;
   file_size : Lfs_core.Types.ino -> int;
   sync : unit -> unit;
@@ -33,7 +37,10 @@ module Make (F : Lfs_core.Fs_intf.S) = struct
       mkdir_path = F.mkdir_path fs;
       resolve = F.resolve fs;
       unlink = (fun ~dir name -> F.unlink fs ~dir name);
+      rmdir = (fun ~dir name -> F.rmdir fs ~dir name);
+      rename = (fun ~odir oname ~ndir nname -> F.rename fs ~odir oname ~ndir nname);
       write = (fun ino ~off b -> F.write fs ino ~off b);
+      truncate = (fun ino ~len -> F.truncate fs ino ~len);
       read = (fun ino ~off ~len -> F.read fs ino ~off ~len);
       file_size = F.file_size fs;
       sync = (fun () -> F.sync fs);

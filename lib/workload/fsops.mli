@@ -14,7 +14,11 @@ type t = {
   mkdir_path : string -> Lfs_core.Types.ino;
   resolve : string -> Lfs_core.Types.ino option;
   unlink : dir:Lfs_core.Types.ino -> string -> unit;
+  rmdir : dir:Lfs_core.Types.ino -> string -> unit;
+  rename :
+    odir:Lfs_core.Types.ino -> string -> ndir:Lfs_core.Types.ino -> string -> unit;
   write : Lfs_core.Types.ino -> off:int -> bytes -> unit;
+  truncate : Lfs_core.Types.ino -> len:int -> unit;
   read : Lfs_core.Types.ino -> off:int -> len:int -> bytes;
   file_size : Lfs_core.Types.ino -> int;
   sync : unit -> unit;

@@ -286,6 +286,53 @@ let test_metrics_scoping () =
   in
   Alcotest.(check bool) "placements counted" true (placed >= 11.0)
 
+(* Regression: a mirror shell that survives its home shard's rollback
+   must be pruned at recover.  Before [revalidate_mirrors], the stale
+   subtree stayed in the other shard's log, and recreating a directory
+   of the same name inherited the old children through the union
+   readdir — resurrecting files the canonical namespace had lost. *)
+let test_stale_mirror_pruned_at_recover () =
+  let devs, r = fresh_router ~shards:2 () in
+  (* a directory whose children hash to the other shard, so creating
+     the child plants a mirror shell of the directory there *)
+  let dir =
+    let rec find i =
+      if i > 100 then Alcotest.fail "no cross-shard dir name found"
+      else
+        let d = Printf.sprintf "d%d" i in
+        if Router.place_path r d <> Router.place_path r (d ^ "/f") then d
+        else find (i + 1)
+    in
+    find 0
+  in
+  let file = dir ^ "/f" in
+  let home = Router.place_path r dir in
+  let other = Router.place_path r file in
+  ignore (Router.mkdir_path r dir);
+  Router.write_path r file (Bytes.make 256 's');
+  Router.sync r;
+  (* simulate shard [home]'s per-shard recovery rolling back past the
+     mkdir: the canonical dirent vanishes while the mirror shell and
+     the file survive in shard [other]'s independent log *)
+  let hfs = Router.shard_fs r home in
+  Fs.rmdir hfs ~dir:Fs.root dir;
+  Fs.sync hfs;
+  let r2, _ = Router.recover ~config:shard_config devs in
+  Alcotest.(check bool)
+    "revalidation dropped the orphaned mirror subtree" true
+    (Metrics.float_value (Router.metrics r2) "router.mirrors_dropped" >= 2.0);
+  Alcotest.(check bool) "stale file unreachable" true
+    (Router.read_path r2 file = None);
+  Alcotest.(check bool) "mirror shell gone from its shard" true
+    (Fs.lookup (Router.shard_fs r2 other) ~dir:Fs.root dir = None);
+  (* recreating the directory must start empty, not inherit the ghost *)
+  let d2 = Router.mkdir_path r2 dir in
+  Alcotest.(check (list string)) "recreated dir inherits nothing" []
+    (List.map fst (Router.readdir r2 d2));
+  for i = 0 to 1 do
+    Helpers.fsck_clean (Router.shard_fs r2 i)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Crash sweep: one faulted shard                                      *)
 (* ------------------------------------------------------------------ *)
@@ -325,6 +372,8 @@ let suite =
       Alcotest.test_case "sync/recover roundtrip" `Quick
         test_sync_recover_roundtrip;
       Alcotest.test_case "metrics scoping" `Quick test_metrics_scoping;
+      Alcotest.test_case "stale mirror pruned at recover" `Quick
+        test_stale_mirror_pruned_at_recover;
       Alcotest.test_case "crash sweep, one faulted shard" `Slow
         test_crash_sweep_one_shard;
       Alcotest.test_case "crash sweep, by_subtree" `Slow
