@@ -100,6 +100,21 @@ ci:
 	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs shard:4 --io-depth 8 --json --check > ci-shard-b.json
 	cmp ci-shard-a.json ci-shard-b.json
 	rm -f ci-shard-a.json ci-shard-b.json
+	# Tiered-storage smoke: both promotion policies through the serving
+	# engine, the tier crash sweep and refinement check (cuts enumerated
+	# over the fast child, so they land inside placement-map writes and
+	# demotion copies), the placement/latency bench gates, and the
+	# determinism gate on a tiered volume.
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs lfs:tier:25 --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs lfs:tier:25:promote=2 --check > /dev/null
+	dune exec bin/lfs_tool.exe -- stats --fs lfs:tier --exercise 80 --json --check > /dev/null
+	dune exec bin/lfs_tool.exe -- crashtest --fs lfs:tier --workload script --stride 7 --seed 1
+	dune exec bin/lfs_tool.exe -- modelcheck --fs lfs:tier --seqs 3 --stride 5 --seed 1
+	dune exec bench/main.exe -- quick tier
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:tier:25:promote=2 --json --check > ci-tier-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:tier:25:promote=2 --json --check > ci-tier-b.json
+	cmp ci-tier-a.json ci-tier-b.json
+	rm -f ci-tier-a.json ci-tier-b.json
 
 clean:
 	dune clean

@@ -1200,6 +1200,137 @@ let server_bgclean () =
      and cuts the write-latency tail."
 
 (* ------------------------------------------------------------------ *)
+(* Tiered storage: hot/cold placement across flash + disk               *)
+(* ------------------------------------------------------------------ *)
+
+(* A hot/cold working set over a tiered volume (25% flash, 75% Wren IV):
+   cold files are prefilled once and left alone; a small hot set is
+   re-read and rewritten every round, with idle demotion passes between
+   rounds.  At steady state the demotion policy should have pushed the
+   cold majority of live segments onto the slow tier while the write
+   head keeps landing on flash — so hot-write latency stays close to an
+   all-flash volume of the same capacity. *)
+let tier () =
+  header "Tiered storage - hot/cold segment placement (flash + Wren IV)"
+    "cold segments decay slowest (Section 3.5), so demoting old, full \
+     segments to a slow tier frees flash for the write head at the cost \
+     of one sequential copy; promotion-on-read pulls a re-warmed \
+     segment back";
+  let blocks = if !quick then 12288 else 24576 in
+  let rounds = if !quick then 8 else 14 in
+  let config =
+    { Lfs_core.Config.default with demote_age_s = 8.0; promote_reads = 2 }
+  in
+  let fast_pct = 25 in
+  let p95 samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    if Array.length a = 0 then Float.nan
+    else a.(min (Array.length a - 1) (Array.length a * 95 / 100))
+  in
+  (* The same routine runs over any (fs, busy-clock) pair; returns hot
+     write+sync latencies from the steady-state rounds. *)
+  let exercise fs busy =
+    let module Fs = Lfs_core.Fs in
+    let layout = Fs.layout fs in
+    let seg_bytes = layout.Lfs_core.Layout.seg_blocks * 4096 in
+    let nsegs = layout.Lfs_core.Layout.nsegs in
+    (* Cold prefill: ~55% of the log, one segment-sized file each. *)
+    let ncold = nsegs * 55 / 100 in
+    let cold_data = Bytes.make seg_bytes 'c' in
+    for i = 0 to ncold - 1 do
+      Lfs_core.Fs.write_path fs (Printf.sprintf "/cold%d" i) cold_data
+    done;
+    Lfs_core.Fs.sync fs;
+    let nhot = 8 in
+    let hot_data = Bytes.make (seg_bytes / 4) 'h' in
+    let lat = ref [] in
+    for round = 1 to rounds do
+      for i = 0 to nhot - 1 do
+        let path = Printf.sprintf "/hot%d" i in
+        (match Lfs_core.Fs.resolve fs path with
+        | Some ino -> ignore (Lfs_core.Fs.read fs ino ~off:0 ~len:4096)
+        | None -> ());
+        let before = busy () in
+        Lfs_core.Fs.write_path fs path hot_data;
+        Lfs_core.Fs.sync fs;
+        if round > rounds / 2 then lat := (busy () -. before) :: !lat
+      done;
+      (* Idle window: the cleaner's demotion regime. *)
+      for _ = 1 to 4 do
+        ignore (Lfs_core.Fs.clean_step ~max_segments:4 fs)
+      done
+    done;
+    !lat
+  in
+  (* Tiered volume, built exactly like Spec.fresh's Tier case but with
+     the Vdev_tier handle kept for placement accounting. *)
+  let fast_blocks = blocks * fast_pct / 100 in
+  let fast =
+    Lfs_disk.Vdev.of_disk
+      (Lfs_disk.Disk.create (Lfs_disk.Geometry.flash ~blocks:fast_blocks))
+  in
+  let slow =
+    Lfs_disk.Vdev.of_disk
+      (Lfs_disk.Disk.create
+         (Lfs_disk.Geometry.wren_iv ~blocks:(blocks - fast_blocks)))
+  in
+  let ti = Lfs_shard.Spec.tier_volume ~config ~fast ~slow in
+  let dev = Lfs_disk.Vdev_tier.vdev ti in
+  Lfs_core.Fs.format dev config;
+  let tfs = Lfs_core.Fs.mount ~tier:ti dev in
+  let busy_of v () = (Lfs_disk.Vdev.stats v).Lfs_disk.Io_stats.busy_s in
+  let tier_lat = exercise tfs (busy_of dev) in
+  (* All-flash baseline at the same capacity. *)
+  let flat =
+    Lfs_disk.Vdev.of_disk
+      (Lfs_disk.Disk.create (Lfs_disk.Geometry.flash ~blocks))
+  in
+  Lfs_core.Fs.format flat config;
+  let ffs = Lfs_core.Fs.mount flat in
+  let flat_lat = exercise ffs (busy_of flat) in
+  (* Placement at steady state: where do live segments sit? *)
+  let layout = Lfs_core.Fs.layout tfs in
+  let live_fast = ref 0 and live_slow = ref 0 in
+  for s = 0 to layout.Lfs_core.Layout.nsegs - 1 do
+    if Lfs_core.Fs.segment_live_bytes tfs s > 0 then
+      match Lfs_disk.Vdev_tier.chunk_tier ti s with
+      | Lfs_disk.Vdev_tier.Fast -> incr live_fast
+      | Lfs_disk.Vdev_tier.Slow -> incr live_slow
+  done;
+  let live_total = !live_fast + !live_slow in
+  let slow_share =
+    if live_total = 0 then 0.0
+    else float_of_int !live_slow /. float_of_int live_total
+  in
+  let p95_tier = p95 tier_lat and p95_flat = p95 flat_lat in
+  let ratio = p95_tier /. p95_flat in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Tier placement and hot-write latency (%d%% flash, %d blocks)"
+         fast_pct blocks)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "live segments (fast/slow)";
+        Printf.sprintf "%d / %d" !live_fast !live_slow ];
+      [ "live segments on slow"; pct slow_share ];
+      [ "demotions"; string_of_int (Lfs_disk.Vdev_tier.demotions ti) ];
+      [ "promotions"; string_of_int (Lfs_disk.Vdev_tier.promotions ti) ];
+      [ "hot write+sync p95 (tier)"; Printf.sprintf "%.2f ms" (1000.0 *. p95_tier) ];
+      [ "hot write+sync p95 (all-flash)";
+        Printf.sprintf "%.2f ms" (1000.0 *. p95_flat) ];
+      [ "p95 ratio (tier / all-flash)"; Printf.sprintf "%.2fx" ratio ];
+    ];
+  dump_metrics ~title:"tier" (Some (Lfs_core.Fs.metrics tfs));
+  Printf.printf "gate: >=50%% of live segments on slow: %s (%s)\n"
+    (pct slow_share)
+    (if slow_share >= 0.5 then "PASS" else "FAIL");
+  Printf.printf "gate: hot p95 within 1.25x of all-flash: %.2fx (%s)\n" ratio
+    (if ratio <= 1.25 then "PASS" else "FAIL");
+  if slow_share < 0.5 || ratio > 1.25 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1307,6 +1438,7 @@ let experiments =
     ("shard", shard);
     ("bgclean", server_bgclean);
     ("iodepth", iodepth);
+    ("tier", tier);
   ]
 
 let () =

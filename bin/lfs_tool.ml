@@ -298,13 +298,18 @@ let trace_replay_cmd =
     let disk = load image in
     let before = (Disk.stats disk).Lfs_disk.Io_stats.busy_s in
     let fs = Fs.mount (Lfs_disk.Vdev.of_disk disk) in
-    Lfs_workload.Trace.replay t (Lfs_workload.Fsops.of_lfs fs);
+    let skipped = Lfs_workload.Trace.replay t (Lfs_workload.Fsops.of_lfs fs) in
     Fs.unmount fs;
     Disk.save_file disk image;
     Printf.printf "replayed %d operations; disk busy %.2f s; write cost %.2f\n"
-      (Lfs_workload.Trace.length t)
+      (Lfs_workload.Trace.length t - skipped)
       ((Disk.stats disk).Lfs_disk.Io_stats.busy_s -. before)
-      (Lfs_core.Fs_stats.write_cost (Fs.stats fs))
+      (Lfs_core.Fs_stats.write_cost (Fs.stats fs));
+    if skipped > 0 then
+      Printf.printf
+        "skipped %d operations whose paths did not resolve (trace recorded \
+         against different contents?)\n"
+        skipped
   in
   Cmd.v (Cmd.info "trace-replay" ~doc:"Replay a recorded trace against an image")
     Term.(const run $ image $ tracef)
@@ -354,6 +359,11 @@ let crashtest_cmd =
       match fs_kind with
       | Lfs_shard.Spec.Lfs -> Crashtest.run_lfs ~blocks ~stride ~seed w
       | Lfs_shard.Spec.Ffs -> Crashtest.run_ffs ~blocks ~stride ~seed w
+      | Lfs_shard.Spec.Tier _ ->
+          (* The tier subject pins its own tight demotion/promotion knobs
+             so every sweep exercises both migration directions; the
+             spec's percentages are a serving-path concern. *)
+          Crashtest.run_tier ~blocks ~stride ~seed w
       | Lfs_shard.Spec.Shard { shards = n; policy } ->
           let n = Option.value shards ~default:n in
           Crashtest.run_shard ~shards:n ~policy ~blocks ~stride ~seed w
@@ -461,6 +471,7 @@ let modelcheck_cmd =
       match fs_kind with
       | Lfs_shard.Spec.Lfs -> go (module Lfs_model.Subject.Lfs)
       | Lfs_shard.Spec.Ffs -> go (module Lfs_model.Subject.Ffs)
+      | Lfs_shard.Spec.Tier _ -> go (module Lfs_model.Subject.Tier)
       | Lfs_shard.Spec.Shard { shards = n; policy } ->
           let n = Option.value shards ~default:n in
           let module Sh = Lfs_model.Subject.Shard (struct
@@ -650,7 +661,7 @@ let stats_cmd =
   let run image spec shards blocks exercise seed json check =
     match (spec, image) with
     | _, None -> run_fresh spec shards blocks exercise seed json check
-    | (Lfs_shard.Spec.Ffs | Lfs_shard.Spec.Shard _), Some _ ->
+    | (Lfs_shard.Spec.Ffs | Lfs_shard.Spec.Tier _ | Lfs_shard.Spec.Shard _), Some _ ->
         prerr_endline
           "an IMAGE argument is only supported with --fs lfs; omit it to \
            build an in-memory volume from the spec";

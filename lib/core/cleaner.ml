@@ -82,6 +82,29 @@ let select ~policy ?rand ~candidates ~count () =
   in
   take count (List.map (fun c -> c.seg) empty @ List.map (fun c -> c.kseg) ordered)
 
+(* Demotion inverts cost-benefit: the best segments to move OUT of the
+   cleaner's way are old (cold — utilisation decays slowest, Section
+   3.5) and full (high u — compacting them would copy almost everything
+   for almost no free space, while demoting frees a whole fast-tier
+   segment for the cost of one sequential copy).  Rank by u*age
+   descending; empty or young segments are never worth a copy. *)
+let select_demotion ~candidates ~min_age ~count =
+  let eligible =
+    List.filter (fun c -> c.u > 0.0 && c.age >= min_age) candidates
+  in
+  let keyed =
+    List.mapi (fun pos c -> { key = -.(c.u *. c.age); pos; kseg = c.seg }) eligible
+  in
+  let n = List.length keyed in
+  let picked =
+    if count <= 0 then []
+    else if count < n / 4 then top_k count keyed
+    else
+      List.stable_sort (fun a b -> if before a b then -1 else 1) keyed
+      |> take count
+  in
+  List.map (fun c -> c.kseg) picked
+
 let order_for_grouping ~grouping pairs =
   match grouping with
   | Config.In_order -> List.map fst pairs

@@ -27,6 +27,16 @@ val select :
     Candidates with [u = 0] are always taken first — a segment with no
     live blocks need not even be read (Section 3.4). *)
 
+val select_demotion :
+  candidates:candidate list -> min_age:float -> count:int -> int list
+(** Pick up to [count] demotion victims for a tiered volume: dirty
+    segments at least [min_age] old, ranked by [u * age] descending —
+    cost-benefit {e inverted}, because the best segment to move to the
+    slow tier is cold {e and} full (compacting it would copy nearly
+    everything for nearly no space, while demoting it frees a whole
+    fast-tier segment with one sequential copy).  Segments with [u = 0]
+    are excluded: they are free space, not data worth a copy. *)
+
 val order_for_grouping :
   grouping:Config.grouping_policy ->
   ('a * float) list ->

@@ -18,6 +18,8 @@ type t = {
   cleaning_policy : cleaning_policy;
   grouping_policy : grouping_policy;
   cleaner_read : cleaner_read_policy;
+  demote_age_s : float;
+  promote_reads : int;
 }
 
 let default =
@@ -37,6 +39,8 @@ let default =
     cleaning_policy = Cost_benefit;
     grouping_policy = Age_sort;
     cleaner_read = Whole_segment;
+    demote_age_s = 64.0;
+    promote_reads = 0;
   }
 
 let small =
@@ -56,6 +60,8 @@ let small =
     cleaning_policy = Cost_benefit;
     grouping_policy = Age_sort;
     cleaner_read = Whole_segment;
+    demote_age_s = 64.0;
+    promote_reads = 0;
   }
 
 let with_policy ?cleaning ?grouping t =
@@ -83,6 +89,10 @@ let validate t ~disk_blocks =
   if t.segs_per_pass < 1 then fail "Config: segs_per_pass %d < 1" t.segs_per_pass;
   if t.write_buffer_blocks < 1 then
     fail "Config: write_buffer_blocks %d < 1" t.write_buffer_blocks;
+  if not (t.demote_age_s >= 0.0) then
+    fail "Config: demote_age_s %g < 0 (or NaN)" t.demote_age_s;
+  if t.promote_reads < 0 then
+    fail "Config: promote_reads %d < 0" t.promote_reads;
   if disk_blocks / t.seg_blocks < t.clean_stop + 2 then
     fail "Config: disk of %d blocks has only %d segments; need at least %d"
       disk_blocks (disk_blocks / t.seg_blocks) (t.clean_stop + 2)

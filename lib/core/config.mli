@@ -52,6 +52,16 @@ type t = {
   cleaning_policy : cleaning_policy;
   grouping_policy : grouping_policy;
   cleaner_read : cleaner_read_policy;
+  demote_age_s : float;
+      (** tiered volumes only: a dirty fast-tier segment becomes a
+          demotion candidate once its youngest block is at least this
+          old in modelled time (Section 3.5's cold data — utilisation
+          decays slowest, so moving it to the slow tier is cheap
+          capacity).  Inert when the volume has no slow tier. *)
+  promote_reads : int;
+      (** tiered volumes only: migrate a slow-tier segment back to the
+          fast tier after this many distinct block reads hit it on disk;
+          0 disables promotion ("never").  Inert without a slow tier. *)
 }
 
 val default : t

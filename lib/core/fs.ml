@@ -1,5 +1,6 @@
 module Vdev = Lfs_disk.Vdev
 module Vdev_cache = Lfs_disk.Vdev_cache
+module Vdev_tier = Lfs_disk.Vdev_tier
 module Io_stats = Lfs_disk.Io_stats
 module Prng = Lfs_util.Prng
 module Metrics = Lfs_obs.Metrics
@@ -39,6 +40,9 @@ type obs = {
   ckpt_busy : Metrics.histogram;
   ckpt_blocks : Metrics.histogram;
   victim_u : Metrics.dist;
+  victim_age : Metrics.histogram;
+      (* modelled-time age of each cleaned victim: the axis demotion
+         policy tuning needs next to utilisation (Fig. 6 plots both) *)
   cleaner_passes : Metrics.counter;
   (* Foreground (threshold-triggered, writer-stalling) and background
      (idle-time {!clean_step}) cleaning accounted separately, so a bench
@@ -51,6 +55,12 @@ type obs = {
   bg_busy : Metrics.histogram;
   cleaner_stall : Metrics.histogram;
       (* disk time a foreground [clean] invocation held up its caller *)
+  (* Tiered volumes: the cleaner's third regime (demotion passes) and
+     promotion-on-read, accounted like fg/bg cleaning. *)
+  demote_passes : Metrics.counter;
+  demote_segments : Metrics.counter;
+  demote_busy : Metrics.histogram;
+  promote_segments : Metrics.counter;
 }
 
 let make_obs ?metrics () =
@@ -73,6 +83,8 @@ let make_obs ?metrics () =
     ckpt_blocks =
       Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.checkpoint.blocks";
     victim_u = Metrics.dist metrics "fs.cleaner.victim_u";
+    victim_age =
+      Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.cleaner.victim_age";
     cleaner_passes = Metrics.counter metrics "fs.cleaner.passes";
     fg_passes = Metrics.counter metrics "fs.cleaner.fg.passes";
     bg_passes = Metrics.counter metrics "fs.cleaner.bg.passes";
@@ -81,6 +93,10 @@ let make_obs ?metrics () =
     fg_busy = Metrics.histogram metrics "fs.cleaner.fg.busy_s";
     bg_busy = Metrics.histogram metrics "fs.cleaner.bg.busy_s";
     cleaner_stall = Metrics.histogram metrics "fs.cleaner.stall_s";
+    demote_passes = Metrics.counter metrics "fs.cleaner.demote.passes";
+    demote_segments = Metrics.counter metrics "fs.cleaner.demote.segments";
+    demote_busy = Metrics.histogram metrics "fs.cleaner.demote.busy_s";
+    promote_segments = Metrics.counter metrics "fs.cleaner.promote.segments";
   }
 
 type t = {
@@ -112,6 +128,10 @@ type t = {
   cleaning_victims : (int, unit) Hashtbl.t;
   rng : Prng.t;
   obs : obs;
+  tier : Vdev_tier.t option;
+      (* set when [disk] is (or wraps) a tiered volume whose chunks are
+         this layout's segments; enables demotion/promotion *)
+  tier_reads : (int, int) Hashtbl.t;  (* slow segment -> disk reads seen *)
 }
 
 type recovery_report = {
@@ -125,6 +145,7 @@ type recovery_report = {
 let root = Types.root_ino
 
 let devices t = [ t.disk ]
+let tier t = t.tier
 let metrics t = t.obs.metrics
 let on_log_batch t f = t.log_batch_hook := f
 let pending_log_blocks t = Log_writer.pending_blocks t.log
@@ -212,13 +233,67 @@ let version_of t ino = Inode_map.version t.imap ino
 
 (* {1 File block IO} *)
 
+(* Promotion-on-read (tiered volumes): count disk reads landing in
+   slow-tier segments and migrate a segment back under the fast tier
+   once [promote_reads] of them accumulate.  Metadata traffic from the
+   cleaner and checkpoint machinery is excluded — only demand reads
+   prove a segment hot. *)
+let note_tier_read t addr =
+  match t.tier with
+  | None -> ()
+  | Some ti ->
+      let threshold = t.config.Config.promote_reads in
+      if threshold > 0 && (not t.in_cleaner) && not t.in_checkpoint then begin
+        let seg = Layout.seg_of_block t.layout addr in
+        if
+          seg >= 0
+          && seg < Vdev_tier.nchunks ti
+          && seg <> Log_writer.current_segment t.log
+          && seg <> Log_writer.reserved_segment t.log
+          && (not (Hashtbl.mem t.cleaning_victims seg))
+          && Vdev_tier.chunk_tier ti seg = Vdev_tier.Slow
+        then begin
+          let n =
+            1 + Option.value ~default:0 (Hashtbl.find_opt t.tier_reads seg)
+          in
+          let promote () =
+            if Vdev_tier.free_chunks ti ~tier:Vdev_tier.Fast > 0 then
+              Vdev_tier.migrate ti ~chunk:seg ~target:Vdev_tier.Fast
+            else
+              (* Free pool drained: swap with a clean fast-mapped segment
+                 (overwrite-safe by the checkpoint rule), which lands on
+                 the slow tier as demotion capacity in the same move. *)
+              let donor_ok s =
+                s <> seg
+                && s <> Log_writer.current_segment t.log
+                && s <> Log_writer.reserved_segment t.log
+                && (not (Hashtbl.mem t.cleaning_victims s))
+                && Vdev_tier.chunk_tier ti s = Vdev_tier.Fast
+              in
+              match List.filter donor_ok !(t.reusable) with
+              (* Keep at least one fast clean segment in reserve for the
+                 write head — promotion must not starve [pick_clean]. *)
+              | d :: _ :: _ -> Vdev_tier.swap ti ~chunk:seg ~dead:d
+              | _ -> false
+          in
+          if n >= threshold && promote () then begin
+            Hashtbl.remove t.tier_reads seg;
+            Metrics.incr t.obs.promote_segments
+          end
+          else Hashtbl.replace t.tier_reads seg n
+        end
+      end
+
 let read_file_block t h ino blockno =
   match Hashtbl.find_opt t.dirty_data (ino, blockno) with
   | Some b -> Bytes.copy b
   | None ->
       let addr = Filemap.get h.fmap blockno in
       if addr = Types.nil_addr then Bytes.make (block_size t) '\000'
-      else read_disk_block t addr
+      else begin
+        note_tier_read t addr;
+        read_disk_block t addr
+      end
 
 let put_dirty_block t ino blockno b =
   if not (Hashtbl.mem t.dirty_data (ino, blockno)) then
@@ -718,6 +793,8 @@ let clean_victims t ~bg victims =
       let u = seg_utilization t seg in
       Fs_stats.note_segment_cleaned t.stats ~u;
       Metrics.dist_add t.obs.victim_u u;
+      Metrics.observe t.obs.victim_age
+        (Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage seg));
       if Seg_usage.live_bytes t.usage seg > 0 then begin
         let entries =
           match t.config.Config.cleaner_read with
@@ -924,7 +1001,7 @@ let bg_pending t =
   end
   else 0
 
-let clean_step ?max_segments t =
+let bg_clean_step ?max_segments t =
   if t.in_cleaner then 0
   else if bg_pending t = 0 then 0
   else begin
@@ -954,6 +1031,128 @@ let clean_step ?max_segments t =
         end
         else bg_pending t)
   end
+
+(* {2 Demotion passes (tiered volumes)}
+
+   The cleaner's third regime: instead of compacting, pick cold
+   fast-tier segments that are nearly full — cost-benefit {e inverted},
+   old age and high u — and copy them wholesale to the slow tier.  One
+   sequential chunk copy frees a whole fast-tier segment for the write
+   head; compacting the same segment would copy as much data for almost
+   no space.  The placement map is the only thing that changes: block
+   addresses are tier-logical, so no FS metadata moves and no checkpoint
+   is needed. *)
+
+let demote_step ?max_segments t =
+  match t.tier with
+  | None -> 0
+  | Some ti ->
+      if t.in_cleaner then 0
+      else begin
+        let cur = Log_writer.current_segment t.log in
+        let nxt = Log_writer.reserved_segment t.log in
+        let eligible s =
+          s <> cur && s <> nxt
+          && (not (Hashtbl.mem t.cleaning_victims s))
+          && Seg_usage.live_bytes t.usage s > 0
+          && Vdev_tier.chunk_tier ti s = Vdev_tier.Fast
+        in
+        let candidate s =
+          {
+            Cleaner.seg = s;
+            u = seg_utilization t s;
+            age = Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage s);
+          }
+        in
+        let candidates =
+          Seg_usage.dirty_segments t.usage |> List.filter eligible
+          |> List.map candidate
+        in
+        (* Capacity = the free pool plus clean slow-mapped segments,
+           whose dead contents can absorb a demoted chunk via [swap]
+           (the donor surfaces on the fast tier as a clean segment for
+           the write head — demotion and head placement in one move).
+           Reusable segments are overwrite-safe by the checkpoint rule,
+           exactly the contract [swap] asks for. *)
+        let donor_ok s =
+          s <> cur && s <> nxt
+          && (not (Hashtbl.mem t.cleaning_victims s))
+          && Vdev_tier.chunk_tier ti s = Vdev_tier.Slow
+        in
+        let donors = ref (List.filter donor_ok !(t.reusable)) in
+        let capacity () =
+          Vdev_tier.free_chunks ti ~tier:Vdev_tier.Slow + List.length !donors
+        in
+        if capacity () = 0 then 0
+        else begin
+          let budget =
+            let cap =
+              match max_segments with
+              | Some n -> max 1 n
+              | None -> t.config.Config.segs_per_pass
+            in
+            min cap (capacity ())
+          in
+          let victims =
+            Cleaner.select_demotion ~candidates
+              ~min_age:t.config.Config.demote_age_s ~count:budget
+          in
+          if victims = [] then 0
+          else begin
+            op_span t t.obs.demote_busy (fun () ->
+                Metrics.incr t.obs.demote_passes;
+                List.iter
+                  (fun s ->
+                    let moved =
+                      if Vdev_tier.free_chunks ti ~tier:Vdev_tier.Slow > 0 then
+                        Vdev_tier.migrate ti ~chunk:s ~target:Vdev_tier.Slow
+                      else
+                        match !donors with
+                        | [] -> false
+                        | d :: rest ->
+                            donors := rest;
+                            Vdev_tier.swap ti ~chunk:s ~dead:d
+                    in
+                    if moved then Metrics.incr t.obs.demote_segments)
+                  victims);
+            (* Report remaining work only while there is migration
+               capacity left, so an idle loop drains candidates and then
+               stops: a slow tier with no free chunk and no clean donor
+               is a legitimate resting state, refilled when the cleaner
+               frees slow segments. *)
+            if capacity () = 0 then 0
+            else
+              List.length
+                (List.filter
+                   (fun (c : Cleaner.candidate) ->
+                     eligible c.Cleaner.seg
+                     && c.Cleaner.age >= t.config.Config.demote_age_s)
+                   candidates)
+          end
+        end
+      end
+
+(* An idle step first serves the compaction watermarks (clean space is
+   the scarcer resource), then spends leftover idleness demoting cold
+   segments off the fast tier.  It also restocks the reusable pool:
+   segments that emptied since the last checkpoint only become reusable
+   once a checkpoint stops referencing their contents, and when the
+   clean pool is already above the bg watermarks no pass runs to
+   provide one — left alone, the pool drains until a foreground write
+   hits the emergency [clean] stall.  Paying for the checkpoint here
+   keeps it in the idle window. *)
+let clean_step ?max_segments t =
+  (* The gap must clear 2 because [refresh_reusable] always excludes the
+     current and reserved segments — a smaller gap means a checkpoint
+     would recover nothing, and firing on it would checkpoint on every
+     idle step. *)
+  if
+    (not t.in_cleaner)
+    && !(t.reusable_len) < bg_clean_stop_effective t
+    && clean_segment_count t - !(t.reusable_len) > 2
+  then checkpoint t;
+  let owed = bg_clean_step ?max_segments t in
+  if owed > 0 then owed else demote_step ?max_segments t
 
 let on_checkpoint t hook = t.checkpoint_hook <- hook
 
@@ -1360,11 +1559,27 @@ let register_fs_metrics t =
   g "cleaner.avg_cleaned_u" (fun () -> Fs_stats.avg_cleaned_u_nonempty s);
   g "write_cost" (fun () -> Fs_stats.write_cost s);
   gi "checkpoints" Fs_stats.checkpoints;
-  g "clean_segments" (fun () -> float_of_int (clean_segment_count t))
+  g "clean_segments" (fun () -> float_of_int (clean_segment_count t));
+  match t.tier with
+  | None -> ()
+  | Some ti -> Vdev_tier.register_metrics m ti
 
-let make_t ?metrics disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg
-    ~seq ~clock ~ckpt_region =
+let make_t ?metrics ?tier disk sb ~config ~imap ~usage ~cur_seg ~cur_off
+    ~next_seg ~seq ~clock ~ckpt_region =
   let layout = sb.Superblock.layout in
+  (match tier with
+  | None -> ()
+  | Some ti ->
+      (* Chunks must be this layout's segments 1:1 — the demotion and
+         promotion paths index the placement map by segment id. *)
+      if
+        Vdev_tier.base ti <> layout.Layout.seg_start
+        || Vdev_tier.chunk_blocks ti <> layout.Layout.seg_blocks
+        || Vdev_tier.nchunks ti <> layout.Layout.nsegs
+      then
+        invalid_arg
+          "Fs: tier geometry does not match the layout (chunks must equal \
+           segments)");
   let reusable = ref [] in
   let reusable_len = ref 0 in
   let cleaner_attr = ref false in
@@ -1373,19 +1588,42 @@ let make_t ?metrics disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg
   let cache = Vdev_cache.create ~capacity:config.Config.cache_blocks disk in
   let dev = Vdev_cache.vdev cache in
   let pick_clean ~exclude =
-    let rec pop acc = function
-      | [] ->
-          Types.fs_error
-            "log is out of clean segments (disk full or checkpoint-starved)"
+    let rec pop ~want acc = function
+      | [] -> None
       | s :: rest ->
-          if List.mem s exclude then pop (s :: acc) rest
+          if List.mem s exclude || not (want s) then pop ~want (s :: acc) rest
           else begin
             reusable := List.rev_append acc rest;
             decr reusable_len;
-            s
+            Some s
           end
     in
-    pop [] !reusable
+    let any s = ignore s; true in
+    let picked =
+      match tier with
+      | None -> pop ~want:any [] !reusable
+      | Some ti -> (
+          (* Keep the write head on the fast tier: prefer a clean segment
+             already placed there; otherwise take any and re-point it at a
+             free fast chunk without copying (its contents are dead) —
+             which also recycles the slow chunk into demotion capacity.
+             With no free fast chunk the log simply writes to the slow
+             tier; correct, and the next demotion pass frees fast space. *)
+          let on_fast s = Vdev_tier.chunk_tier ti s = Vdev_tier.Fast in
+          match pop ~want:(fun s -> on_fast s) [] !reusable with
+          | Some s -> Some s
+          | None -> (
+              match pop ~want:any [] !reusable with
+              | None -> None
+              | Some s ->
+                  ignore (Vdev_tier.rehome ti ~chunk:s ~target:Vdev_tier.Fast);
+                  Some s))
+    in
+    match picked with
+    | Some s -> s
+    | None ->
+        Types.fs_error
+          "log is out of clean segments (disk full or checkpoint-starved)"
   in
   let on_append kind ~seg ~mtime =
     let bytes =
@@ -1438,6 +1676,8 @@ let make_t ?metrics disk sb ~config ~imap ~usage ~cur_seg ~cur_off ~next_seg
       cleaning_victims = Hashtbl.create 16;
       rng = Prng.create ~seed:0x5EED;
       obs;
+      tier;
+      tier_reads = Hashtbl.create 16;
     }
   in
   register_fs_metrics t;
@@ -1478,7 +1718,7 @@ let format disk cfg =
   set_dir_contents t ino Directory.empty;
   checkpoint t
 
-let mount ?config ?metrics disk =
+let mount ?config ?metrics ?tier disk =
   let sb = Superblock.load disk in
   let layout = sb.Superblock.layout in
   let cfg = Option.value ~default:sb.Superblock.config config in
@@ -1496,7 +1736,7 @@ let mount ?config ?metrics disk =
       let usage =
         Seg_usage.load layout ~read ~block_addrs:ck.Checkpoint.usage_addrs
       in
-      make_t ?metrics disk sb ~config:cfg ~imap ~usage
+      make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage
         ~cur_seg:ck.Checkpoint.cur_seg ~cur_off:ck.Checkpoint.cur_off
         ~next_seg:ck.Checkpoint.next_seg ~seq:ck.Checkpoint.log_seq
         ~clock:(ck.Checkpoint.timestamp +. 1.0)
@@ -1506,7 +1746,7 @@ let unmount t = checkpoint t
 
 (* {1 Roll-forward} *)
 
-let recover ?config ?metrics disk =
+let recover ?config ?metrics ?tier disk =
   let sb = Superblock.load disk in
   let layout = sb.Superblock.layout in
   let cfg = Option.value ~default:sb.Superblock.config config in
@@ -1527,7 +1767,7 @@ let recover ?config ?metrics disk =
           ck.Checkpoint.timestamp scan.Recovery.writes
       in
       let t =
-        make_t ?metrics disk sb ~config:cfg ~imap ~usage
+        make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage
           ~cur_seg:scan.Recovery.tail_seg ~cur_off:scan.Recovery.tail_off
           ~next_seg:scan.Recovery.tail_next_seg ~seq:scan.Recovery.next_seq
           ~clock:(newest_ts +. 1.0)

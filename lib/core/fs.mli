@@ -27,15 +27,23 @@ val format : Lfs_disk.Vdev.t -> Config.t -> unit
 (** Create a fresh file system on the device: superblock, empty inode
     map and usage table, root directory, initial checkpoint. *)
 
-val mount : ?config:Config.t -> ?metrics:Lfs_obs.Metrics.t -> Lfs_disk.Vdev.t -> t
+val mount :
+  ?config:Config.t ->
+  ?metrics:Lfs_obs.Metrics.t ->
+  ?tier:Lfs_disk.Vdev_tier.t ->
+  Lfs_disk.Vdev.t ->
+  t
 (** Load the latest checkpoint and discard anything after it (how the
     paper's production systems rebooted).  [config] overrides mount-time
     policies (cleaning/grouping/thresholds); geometry always comes from
     the superblock.  [metrics] supplies the registry (view) this mount
     registers its instruments into — pass a {!Lfs_obs.Metrics.scoped}
     view when several mounts share one registry, or omit it for a fresh
-    private registry.  Raises {!Types.Corrupt} if no valid
-    checkpoint. *)
+    private registry.  [tier] hands over the tiered volume the device
+    exports (chunks must be this layout's segments 1:1, or
+    [Invalid_argument] is raised); it enables the demotion/promotion
+    regimes and tier verification in {!Fsck}.  Raises {!Types.Corrupt}
+    if no valid checkpoint. *)
 
 type recovery_report = {
   writes_replayed : int;
@@ -48,6 +56,7 @@ type recovery_report = {
 val recover :
   ?config:Config.t ->
   ?metrics:Lfs_obs.Metrics.t ->
+  ?tier:Lfs_disk.Vdev_tier.t ->
   Lfs_disk.Vdev.t ->
   t * recovery_report
 (** Mount, then roll the log forward from the checkpoint: reprocess
@@ -152,6 +161,26 @@ val clean_step : ?max_segments:int -> t -> int
     scheduler can stop polling until the next idle window.  Work done
     here is attributed to [fs.cleaner.bg.*] instead of [fs.cleaner.fg.*]
     and never shows up in [fs.cleaner.stall_s]. *)
+
+(** On a tiered volume an idle step that owes no compaction work instead
+    spends the window demoting cold segments (see {!demote_step}); on a
+    flat volume the behaviour is unchanged. *)
+
+val demote_step : ?max_segments:int -> t -> int
+(** One demotion pass (tiered volumes; [0] and a no-op otherwise): pick
+    up to [max_segments] (default [segs_per_pass]) cold, high-utilisation
+    fast-tier segments at least [demote_age_s] old — cost-benefit
+    inverted, because a full cold segment frees a whole fast segment for
+    one sequential copy while compacting it would copy everything for
+    nothing — and migrate them to the slow tier.  Bounded by the slow
+    tier's free-chunk pool; returns the number of eligible candidates
+    still waiting (0 = rest, either done or the slow tier is full).
+    Block addresses are tier-logical, so no FS metadata changes and no
+    checkpoint is taken; crash consistency is the placement map's
+    (see {!Lfs_disk.Vdev_tier}).  Attributed to [fs.cleaner.demote.*]. *)
+
+val tier : t -> Lfs_disk.Vdev_tier.t option
+(** The tiered volume handed to {!mount}/{!recover}, if any. *)
 
 val clean_segment_count : t -> int
 

@@ -173,6 +173,13 @@ let check fs =
         error "inode %d: nlink %d but %d directory entries" ino st.Fs.st_nlink
           refs)
     !allocated;
+  (* Tiered volumes: the placement map is metadata too — verify it like
+     the inode map (checksums, generation, in-memory/durable agreement,
+     free-pool bijectivity). *)
+  (match Fs.tier fs with
+  | None -> ()
+  | Some ti ->
+      List.iter (fun e -> error "tier: %s" e) (Lfs_disk.Vdev_tier.verify ti));
   {
     errors = List.rev !errors;
     files = !files;

@@ -5,7 +5,7 @@ module Vdev = Lfs_disk.Vdev
 type t = { config : Config.t; layout : Layout.t }
 
 let magic = 0x4C46_5331 (* "LFS1" *)
-let format_version = 2
+let format_version = 3
 
 let create config ~disk_blocks =
   { config; layout = Layout.compute config ~disk_blocks }
@@ -50,6 +50,8 @@ let store t disk =
     (match t.config.Config.cleaner_read with
     | Config.Whole_segment -> 0
     | Config.Live_blocks -> 1);
+  Codec.put_float c t.config.Config.demote_age_s;
+  Codec.put_int c t.config.Config.promote_reads;
   (* Whole-block checksum over everything after the checksum field. *)
   let sum = Checksum.adler32 ~pos:8 b in
   let c0 = Codec.writer b in
@@ -95,6 +97,8 @@ let load disk =
     | 1 -> Config.Live_blocks
     | n -> Types.corrupt "superblock: unknown cleaner read policy %d" n
   in
+  let demote_age_s = Codec.get_float c in
+  let promote_reads = Codec.get_int c in
   if block_size <> Vdev.block_size disk then
     Types.corrupt "superblock: block size %d but device has %d" block_size
       (Vdev.block_size disk);
@@ -115,6 +119,8 @@ let load disk =
       cleaning_policy;
       grouping_policy;
       cleaner_read;
+      demote_age_s;
+      promote_reads;
     }
   in
   create config ~disk_blocks:(Vdev.nblocks disk)

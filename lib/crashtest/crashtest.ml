@@ -19,6 +19,8 @@ module type SUBJECT = Lfs_model.Subject.SUBJECT
 module Lfs = Lfs_model.Subject.Lfs
 module Ffs = Lfs_model.Subject.Ffs
 
+module Tier = Lfs_model.Subject.Tier
+
 module type SHARD_SHAPE = Lfs_model.Subject.SHARD_SHAPE
 
 module Shard = Lfs_model.Subject.Shard
@@ -260,12 +262,16 @@ end
 
 module Lfs_runner = Make (Lfs)
 module Ffs_runner = Make (Ffs)
+module Tier_runner = Make (Tier)
 
 let run_lfs ?blocks ?stride ?cuts ?seed ?modes w =
   Lfs_runner.run ?blocks ?stride ?cuts ?seed ?modes w
 
 let run_ffs ?blocks ?stride ?cuts ?seed ?modes w =
   Ffs_runner.run ?blocks ?stride ?cuts ?seed ?modes w
+
+let run_tier ?blocks ?stride ?cuts ?seed ?modes w =
+  Tier_runner.run ?blocks ?stride ?cuts ?seed ?modes w
 
 let run_shard ?(shards = 2) ?(policy = Lfs_shard.Shard_router.By_hash) ?blocks
     ?stride ?cuts ?seed ?modes w =

@@ -58,6 +58,13 @@ end
 module Lfs : SUBJECT with type t = Lfs_core.Fs.t
 module Ffs : SUBJECT with type t = Lfs_ffs.Ffs.t
 
+module Tier : SUBJECT with type t = Lfs_core.Fs.t
+(** A tiered LFS over two children: device 0 is the fast child (which
+    wears the fault layer, so crash points cover placement-map writes
+    and promotion copies), device 1 the slow child.  Each durability
+    barrier runs one demotion step first, so the sweep enumerates cuts
+    mid-demotion. *)
+
 module type SHARD_SHAPE = sig
   val shards : int
   val policy : Lfs_shard.Shard_router.policy
@@ -151,6 +158,17 @@ val run_ffs :
   ?modes:Lfs_disk.Vdev_fault.mode list ->
   workload ->
   report
+
+val run_tier :
+  ?blocks:int ->
+  ?stride:int ->
+  ?cuts:int list ->
+  ?seed:int ->
+  ?modes:Lfs_disk.Vdev_fault.mode list ->
+  workload ->
+  report
+(** {!Make} over {!Tier}: a fast and a slow device of [?blocks] each,
+    crash points enumerated over the fast child's writes. *)
 
 val run_shard :
   ?shards:int ->

@@ -29,6 +29,16 @@ let modern_hdd ~blocks =
     per_io_overhead_s = 0.0001;
   }
 
+let flash ~blocks =
+  {
+    block_size = 4096;
+    blocks;
+    avg_seek_s = 1e-5;
+    rotational_latency_s = 0.0;
+    bandwidth_bytes_per_s = 500.0e6;
+    per_io_overhead_s = 5e-5;
+  }
+
 let instant ~blocks =
   {
     block_size = 4096;

@@ -28,6 +28,13 @@ val modern_hdd : blocks:int -> t
 (** A 2020s 7200 RPM drive (200 MB/s, 4.2 ms seek) for what-if runs; the
     seek/bandwidth ratio is even more LFS-favourable than the Wren IV. *)
 
+val flash : blocks:int -> t
+(** An SSD-like fast tier for {!Vdev_tier} stacks: no rotational delay,
+    near-zero repositioning cost, 500 MB/s sustained bandwidth and a
+    50 us per-command overhead.  Several hundred times faster than
+    {!wren_iv} per random IO, which is the timing asymmetry tiered
+    placement trades on. *)
+
 val instant : blocks:int -> t
 (** Zero-cost timing, for unit tests that only care about contents. *)
 

@@ -76,6 +76,52 @@ module Ffs = struct
   let fsck_errors _ = []
 end
 
+(* Tiered volume: device 0 is the fast child — which wears the harness's
+   fault layer, so the crash-point space covers the placement-map writes
+   and promotion copies alongside ordinary log traffic — and device 1 is
+   the slow child.  A tight demotion age plus promotion-on-2-reads makes
+   short workloads migrate in both directions; [sync] runs one demotion
+   step per durability barrier so the sweep enumerates cuts mid-demotion
+   (the property under test: a crash there must never lose the only copy
+   of a segment). *)
+module Tier = struct
+  include Lfs_core.Fs
+
+  let subject_name = "tier"
+  let async_writes = true
+  let ndevices = 2
+
+  let tier_config = { lfs_config with demote_age_s = 4.0; promote_reads = 2 }
+
+  let two_devs = function
+    | [ fast; slow ] -> (fast, slow)
+    | devs ->
+        invalid_arg
+          (Printf.sprintf "tier subject: expected 2 devices, got %d"
+             (List.length devs))
+
+  let format devs =
+    let fast, slow = two_devs devs in
+    let ti = Lfs_shard.Spec.tier_volume ~config:tier_config ~fast ~slow in
+    Lfs_core.Fs.format (Lfs_disk.Vdev_tier.vdev ti) tier_config
+
+  let mount devs =
+    let fast, slow = two_devs devs in
+    let ti = Lfs_disk.Vdev_tier.load ~fast ~slow in
+    Lfs_core.Fs.mount ~tier:ti (Lfs_disk.Vdev_tier.vdev ti)
+
+  let recover devs =
+    let fast, slow = two_devs devs in
+    let ti = Lfs_disk.Vdev_tier.load ~fast ~slow in
+    fst (Lfs_core.Fs.recover ~tier:ti (Lfs_disk.Vdev_tier.vdev ti))
+
+  let sync fs =
+    ignore (Lfs_core.Fs.demote_step ~max_segments:1 fs);
+    Lfs_core.Fs.sync fs
+
+  let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
+end
+
 module type SHARD_SHAPE = sig
   val shards : int
   val policy : Lfs_shard.Shard_router.policy

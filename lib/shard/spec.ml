@@ -1,23 +1,51 @@
 module Disk = Lfs_disk.Disk
 module Vdev = Lfs_disk.Vdev
+module Vdev_tier = Lfs_disk.Vdev_tier
 module Geometry = Lfs_disk.Geometry
 module Config = Lfs_core.Config
+module Layout = Lfs_core.Layout
+module Fs = Lfs_core.Fs
 module Fsops = Lfs_workload.Fsops
 
 type t =
   | Lfs
   | Ffs
+  | Tier of { fast_pct : int; promote_reads : int }
   | Shard of { shards : int; policy : Shard_router.policy }
 
+let default_fast_pct = 25
+
 let grammar_doc =
-  "lfs | ffs | shard[:N][:by_hash|by_subtree] (e.g. shard:4, \
-   shard:2:by_subtree)"
+  "lfs | ffs | lfs:tier[:FAST%][:promote=N] | shard[:N][:by_hash|by_subtree] \
+   (e.g. lfs:tier:25, lfs:tier:25:promote=2, shard:4, shard:2:by_subtree)"
+
+let parse_promote s =
+  match String.split_on_char '=' s with
+  | [ "promote"; n ] -> int_of_string_opt n
+  | _ -> None
 
 let parse ?(default_shards = 4) s =
   let usage = Printf.sprintf "bad fs spec %S; grammar: %s" s grammar_doc in
   match String.split_on_char ':' s with
   | [ "lfs" ] -> Ok Lfs
   | [ "ffs" ] -> Ok Ffs
+  | "lfs" :: "tier" :: rest -> (
+      let pct, rest =
+        match rest with
+        | n :: more when int_of_string_opt n <> None -> (int_of_string n, more)
+        | _ -> (default_fast_pct, rest)
+      in
+      if pct < 1 || pct > 99 then
+        Error (Printf.sprintf "tier fast%% %d out of [1, 99]" pct)
+      else
+        match rest with
+        | [] -> Ok (Tier { fast_pct = pct; promote_reads = 0 })
+        | [ p ] -> (
+            match parse_promote p with
+            | Some n when n >= 0 ->
+                Ok (Tier { fast_pct = pct; promote_reads = n })
+            | _ -> Error usage)
+        | _ -> Error usage)
   | "shard" :: rest -> (
       let count, policy_parts =
         match rest with
@@ -39,6 +67,10 @@ let parse ?(default_shards = 4) s =
 let to_string = function
   | Lfs -> "lfs"
   | Ffs -> "ffs"
+  | Tier { fast_pct; promote_reads } ->
+      if promote_reads > 0 then
+        Printf.sprintf "lfs:tier:%d:promote=%d" fast_pct promote_reads
+      else Printf.sprintf "lfs:tier:%d" fast_pct
   | Shard { shards; policy } ->
       Printf.sprintf "shard:%d:%s" shards (Shard_router.policy_name policy)
 
@@ -47,10 +79,53 @@ let to_string = function
    always has working room even when N divides a small volume. *)
 let min_shard_blocks = 16 * Config.default.Config.seg_blocks
 
+(* Solve the mutual dependence between the FS layout and the tier
+   geometry: the layout's metadata reservation ([seg_start]) depends on
+   the volume size, and the volume the tier exports depends on where the
+   pinned prefix ends ([base] = [seg_start], so chunks line up with
+   segments 1:1).  [seg_start] moves by a block only when the exported
+   size crosses a usage-table boundary — hundreds of segments — so the
+   iteration settles in one or two rounds; the bound is a corruption
+   guard, not a tuning knob. *)
+let tier_base ~config ~fast ~slow =
+  let chunk_blocks = config.Config.seg_blocks in
+  let exported base =
+    (Vdev_tier.plan ~base ~chunk_blocks ~fast ~slow).Vdev_tier.p_nblocks
+  in
+  let seg_start_of blocks =
+    (Layout.compute config ~disk_blocks:blocks).Layout.seg_start
+  in
+  let rec fix base i =
+    if i > 16 then failwith "Spec: tier geometry failed to converge";
+    let base' = seg_start_of (exported base) in
+    if base' = base then base else fix base' (i + 1)
+  in
+  fix (seg_start_of (fast.Vdev.nblocks + slow.Vdev.nblocks)) 0
+
+let tier_volume ~config ~fast ~slow =
+  let base = tier_base ~config ~fast ~slow in
+  Vdev_tier.format ~base ~chunk_blocks:config.Config.seg_blocks ~fast ~slow
+
 let fresh ?shards ~blocks spec =
   match spec with
   | Lfs -> Fsops.fresh_lfs (Geometry.wren_iv ~blocks)
   | Ffs -> Fsops.fresh_ffs (Geometry.wren_iv ~blocks)
+  | Tier { fast_pct; promote_reads } ->
+      (* Equal total capacity: [fast_pct]% of the volume on a flash-class
+         device, the rest on the paper's Wren IV — the timing asymmetry
+         the placement policy trades on. *)
+      let sb = Config.default.Config.seg_blocks in
+      let fast_blocks = max (6 * sb) (blocks * fast_pct / 100) in
+      let slow_blocks = max (8 * sb) (blocks - fast_blocks) in
+      let fast = Vdev.of_disk (Disk.create (Geometry.flash ~blocks:fast_blocks)) in
+      let slow = Vdev.of_disk (Disk.create (Geometry.wren_iv ~blocks:slow_blocks)) in
+      let config = { Config.default with promote_reads } in
+      let ti = tier_volume ~config ~fast ~slow in
+      let dev = Vdev_tier.vdev ti in
+      Fs.format dev config;
+      let fs = Fs.mount ~tier:ti dev in
+      let name = Printf.sprintf "LFS tier (%d%% fast)" fast_pct in
+      { (Fsops.of_lfs fs) with name }
   | Shard { shards = n; policy } ->
       let n = match shards with Some n -> n | None -> n in
       if n < 1 then invalid_arg "Spec.fresh: shard count < 1";

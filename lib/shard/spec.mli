@@ -7,6 +7,9 @@
     {v
     lfs                    the log-structured file system
     ffs                    the FFS baseline
+    lfs:tier               tiered LFS: 25% fast tier, no promotion
+    lfs:tier:P             P% of the capacity on the fast tier
+    lfs:tier:P:promote=N   promote a slow segment after N reads
     shard:N                N-way sharded LFS, by_hash placement
     shard:N:by_hash        parent-path placement (explicit)
     shard:N:by_subtree     first-path-component placement
@@ -20,6 +23,7 @@
 type t =
   | Lfs
   | Ffs
+  | Tier of { fast_pct : int; promote_reads : int }
   | Shard of { shards : int; policy : Shard_router.policy }
 
 val parse : ?default_shards:int -> string -> (t, string) result
@@ -31,6 +35,19 @@ val to_string : t -> string
 
 val grammar_doc : string
 (** One-line description of the grammar for [--help] output. *)
+
+val tier_volume :
+  config:Lfs_core.Config.t ->
+  fast:Lfs_disk.Vdev.t ->
+  slow:Lfs_disk.Vdev.t ->
+  Lfs_disk.Vdev_tier.t
+(** Format a tiered volume whose chunks line up 1:1 with the segments of
+    an LFS built from [config]: solves the fixpoint between the layout's
+    metadata reservation and the exported size, then
+    {!Lfs_disk.Vdev_tier.format}s.  Mount with
+    [Fs.mount ~tier (Vdev_tier.vdev t)] after [Fs.format].  Shared with
+    the modelcheck/crashtest subjects so every harness builds the same
+    geometry. *)
 
 val fresh : ?shards:int -> blocks:int -> t -> Lfs_workload.Fsops.t
 (** A freshly formatted, mounted volume on simulated Wren IV disks

@@ -64,6 +64,12 @@ let record_random ~ops ?(files = 20) ?(dirs = 4) ~seed () =
   List.rev !trace
 
 let replay trace (fs : Fsops.t) =
+  (* Count the operations that resolve to nothing rather than dropping
+     them silently: a trace replayed against the filesystem it was
+     recorded on skips zero, so a non-zero count flags a hand-edited or
+     mismatched trace instead of quietly shrinking the workload. *)
+  let skipped = ref 0 in
+  let skip () = incr skipped in
   let apply = function
     | Mkdir path -> if fs.Fsops.resolve path = None then ignore (fs.Fsops.mkdir_path path)
     | Create path ->
@@ -71,18 +77,19 @@ let replay trace (fs : Fsops.t) =
     | Write { path; off; len; seed } -> (
         match fs.Fsops.resolve path with
         | Some ino -> fs.Fsops.write ino ~off (payload ~len ~seed)
-        | None -> ())
+        | None -> skip ())
     | Read { path; off; len } -> (
         match fs.Fsops.resolve path with
         | Some ino -> ignore (fs.Fsops.read ino ~off ~len)
-        | None -> ())
+        | None -> skip ())
     | Unlink path -> (
         match (fs.Fsops.resolve path, fs.Fsops.resolve (Filename.dirname path)) with
         | Some _, Some dir -> fs.Fsops.unlink ~dir (Filename.basename path)
-        | _ -> ())
+        | _ -> skip ())
     | Sync -> fs.Fsops.sync ()
   in
-  List.iter apply trace
+  List.iter apply trace;
+  !skipped
 
 (* On-disk format: magic, count, then tagged records. *)
 let magic = 0x4C54_5243 (* "LTRC" *)

@@ -24,10 +24,12 @@ val record_random :
     first, then a mix of writes, partial writes, reads, deletes and
     syncs. *)
 
-val replay : t -> Fsops.t -> unit
-(** Run every operation.  Operations against paths that don't exist
-    (e.g. a read after its file was deleted in a hand-edited trace) are
-    skipped. *)
+val replay : t -> Fsops.t -> int
+(** Run every operation and return how many were skipped.  Operations
+    against paths that don't exist (e.g. a read after its file was
+    deleted in a hand-edited trace) are skipped and counted; a replay of
+    an unmodified trace on a fresh volume returns [0], so a non-zero
+    count flags a mismatched or hand-edited trace. *)
 
 val payload : len:int -> seed:int -> bytes
 (** The deterministic payload associated with a [Write] record. *)

@@ -142,8 +142,8 @@ let test_trace_replay_identical_both_systems () =
   let t = W.Trace.record_random ~ops:150 ~seed:6 () in
   let lfs = W.Fsops.fresh_lfs tiny_geom in
   let ffs = W.Fsops.fresh_ffs tiny_geom in
-  W.Trace.replay t lfs;
-  W.Trace.replay t ffs;
+  Alcotest.(check int) "lfs replay skips nothing" 0 (W.Trace.replay t lfs);
+  Alcotest.(check int) "ffs replay skips nothing" 0 (W.Trace.replay t ffs);
   List.iter
     (fun op ->
       match op with
@@ -162,6 +162,23 @@ let test_trace_replay_identical_both_systems () =
       | W.Trace.Unlink _ | W.Trace.Sync ->
           ())
     t
+
+let test_trace_replay_counts_skips () =
+  (* A hand-edited trace touching paths that never existed: replay
+     applies what it can and reports exactly how much it dropped. *)
+  let t =
+    [
+      W.Trace.Create "/real";
+      W.Trace.Write { path = "/real"; off = 0; len = 64; seed = 1 };
+      W.Trace.Read { path = "/ghost"; off = 0; len = 16 };
+      W.Trace.Write { path = "/ghost"; off = 0; len = 16; seed = 2 };
+      W.Trace.Unlink "/ghost";
+      W.Trace.Sync;
+    ]
+  in
+  let lfs = W.Fsops.fresh_lfs tiny_geom in
+  Alcotest.(check int) "three skipped" 3 (W.Trace.replay t lfs);
+  Alcotest.(check bool) "real file survived" true (lfs.W.Fsops.resolve "/real" <> None)
 
 let test_trace_deterministic () =
   let a = W.Trace.record_random ~ops:80 ~seed:9 () in
@@ -226,6 +243,7 @@ let suite =
       Alcotest.test_case "recovery bench scaling" `Slow test_recovery_bench_scales_with_files;
       Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
       Alcotest.test_case "trace replay agreement" `Slow test_trace_replay_identical_both_systems;
+      Alcotest.test_case "trace replay counts skips" `Quick test_trace_replay_counts_skips;
       Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
       Alcotest.test_case "trace rejects garbage" `Quick test_trace_load_rejects_garbage;
       Alcotest.test_case "cyclic pattern free" `Quick test_cyclic_pattern_is_free;
