@@ -115,6 +115,25 @@ ci:
 	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:tier:25:promote=2 --json --check > ci-tier-b.json
 	cmp ci-tier-a.json ci-tier-b.json
 	rm -f ci-tier-a.json ci-tier-b.json
+	# Multi-head log smoke: serve on lfs:heads=2 with and without the
+	# background cleaner (survivors route through the cold head), metric
+	# validation, the crash sweep and refinement check with cuts landing
+	# in either head's summary chain, the write-cost segregation gate,
+	# and the determinism gate — equal seeds must produce byte-identical
+	# JSON with two log heads, bg-clean on and off.
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs lfs:heads=2 --check > /dev/null
+	dune exec bin/lfs_tool.exe -- serve --clients 8 --ops 50 --seed 1 --fs lfs:heads=2 --bg-clean --check > /dev/null
+	dune exec bin/lfs_tool.exe -- stats --fs lfs:heads=2 --exercise 80 --json --check > /dev/null
+	dune exec bin/lfs_tool.exe -- crashtest --fs lfs:heads=2 --workload script --stride 7 --seed 1
+	dune exec bin/lfs_tool.exe -- modelcheck --fs lfs:heads=2 --seqs 3 --stride 5 --seed 1
+	dune exec bench/main.exe -- quick writecost
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:heads=2 --json --check > ci-heads-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:heads=2 --json --check > ci-heads-b.json
+	cmp ci-heads-a.json ci-heads-b.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:heads=2 --bg-clean --json --check > ci-heads-bg-a.json
+	dune exec bin/lfs_tool.exe -- serve --clients 16 --ops 50 --seed 42 --fs lfs:heads=2 --bg-clean --json --check > ci-heads-bg-b.json
+	cmp ci-heads-bg-a.json ci-heads-bg-b.json
+	rm -f ci-heads-a.json ci-heads-b.json ci-heads-bg-a.json ci-heads-bg-b.json
 
 clean:
 	dune clean

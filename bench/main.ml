@@ -1331,6 +1331,144 @@ let tier () =
   if slow_share < 0.5 || ratio > 1.25 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Multi-head log: write cost vs utilisation with hot/cold segregation  *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 9 point: segregating hot from cold data makes the
+   bimodal segment distribution sharper, so the cleaner finds emptier
+   victims and the write cost falls.  With one write head, cleaner
+   survivors (cold by selection) land in the same segments as fresh hot
+   data and re-pollute them; with [log_heads >= 2] survivors stream to
+   their own cold segments and the hot head's segments decay to
+   near-empty before they are cleaned.  A 90/10 overwrite workload at a
+   fixed disk utilisation measures the steady-state write cost of both
+   configurations on the real FS (not the simulator). *)
+let writecost () =
+  header
+    "Write cost vs utilisation - multi-head hot/cold segregation \
+     (lfs:heads=N)"
+    "one write head mixes cleaner survivors back into the hot stream; a \
+     second (cold) head keeps them apart, sharpening the bimodal \
+     segment distribution and cutting the steady-state write cost at \
+     high utilisation (Sections 3.5, 5.1)";
+  let module Fs = Lfs_core.Fs in
+  let module Fs_stats = Lfs_core.Fs_stats in
+  let module Prng = Lfs_util.Prng in
+  let blocks = 32768 in
+  let utils = if !quick then [ 0.70; 0.85 ] else [ 0.60; 0.70; 0.80; 0.85 ] in
+  let head_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let file_blocks = 16 in
+  let measure ~heads ~util =
+    let config =
+      {
+        Lfs_core.Config.default with
+        log_heads = heads;
+        max_inodes = 4096;
+        (* 128 half-MB segments: the default clean pool (8 segments) is
+           then a small enough fraction of the disk that 85% utilisation
+           leaves the cleaner real working room. *)
+        seg_blocks = 128;
+        write_buffer_blocks = 128;
+        cleaner_read = Lfs_core.Config.Live_blocks;
+        (* Background watermarks sit above the foreground trigger so the
+           idle-window cleaner (one victim per request, below) does all
+           the cleaning.  Single-victim steps are what make the
+           comparison meaningful: each step's survivors land in whatever
+           segment the survivor head has open, so with one head they
+           interleave with the foreground stream. *)
+        bg_clean_start = 10;
+        bg_clean_stop = 12;
+      }
+    in
+    let disk =
+      Lfs_disk.Vdev.of_disk
+        (Lfs_disk.Disk.create (Lfs_disk.Geometry.instant ~blocks))
+    in
+    Fs.format disk config;
+    let fs = Fs.mount disk in
+    let layout = Fs.layout fs in
+    let capacity = layout.Lfs_core.Layout.nsegs * layout.Lfs_core.Layout.seg_blocks in
+    (* Size the file population so live data (plus ~6% metadata) sits at
+       the target utilisation. *)
+    let nfiles = int_of_float (util *. float_of_int capacity) / (file_blocks + 1) in
+    let nhot = max 1 (nfiles / 10) in
+    let file_bytes = file_blocks * layout.Lfs_core.Layout.block_size in
+    let name i = Printf.sprintf "/f%d" i in
+    let payload = Bytes.make file_bytes 'd' in
+    for i = 0 to nfiles - 1 do
+      Fs.write_path fs (name i) payload
+    done;
+    Fs.sync fs;
+    (* 90% of overwrite traffic hits the 10% hot files.  The same seed
+       drives every head count at a given utilisation, so the workloads
+       are identical streams. *)
+    let prng = Prng.create ~seed:(int_of_float (util *. 1000.0)) in
+    (* Idle-window cleaning between requests, as a server would run it
+       (one victim per step): at heads=1 each step's survivors land in
+       the middle of the foreground's current segment, re-polluting it
+       with cold data; a cold head keeps the streams apart. *)
+    let overwrite () =
+      let i =
+        if Prng.bernoulli prng ~p:0.9 then Prng.int prng nhot
+        else nhot + Prng.int prng (max 1 (nfiles - nhot))
+      in
+      Fs.write_path fs (name i) payload;
+      ignore (Fs.clean_step ~max_segments:1 fs)
+    in
+    let warmup = 2 * nfiles in
+    let measured = nfiles in
+    for _ = 1 to warmup do overwrite () done;
+    Fs.sync fs;
+    Fs_stats.reset (Fs.stats fs);
+    for _ = 1 to measured do overwrite () done;
+    Fs.sync fs;
+    dump_metrics
+      ~title:(Printf.sprintf "writecost heads=%d util=%.2f" heads util)
+      (Some (Fs.metrics fs));
+    (Fs_stats.write_cost (Fs.stats fs), Fs.utilization fs)
+  in
+  let results =
+    List.map
+      (fun util ->
+        (util, List.map (fun h -> (h, measure ~heads:h ~util)) head_counts))
+      utils
+  in
+  Table.print
+    ~title:
+      "Steady-state write cost, 90/10 overwrites (real FS, 256 x 512 KB \
+       segments, idle-window cleaning)"
+    ~header:
+      ([ "target util"; "measured util" ]
+      @ List.map (fun h -> Printf.sprintf "heads=%d" h) head_counts
+      @ [ "improvement (2 vs 1)" ])
+    (List.map
+       (fun (util, row) ->
+         let cost h = fst (List.assoc h row) in
+         let measured_u = snd (List.assoc 1 row) in
+         [ pct util; pct measured_u ]
+         @ List.map (fun h -> Table.fmt_float (cost h)) head_counts
+         @ [ pct (1.0 -. (cost 2 /. cost 1)) ])
+       results);
+  (* Gate: at >= 85% utilisation the cold head must buy at least 20%. *)
+  let failures =
+    List.filter_map
+      (fun (util, row) ->
+        if util >= 0.85 then
+          let c1 = fst (List.assoc 1 row) and c2 = fst (List.assoc 2 row) in
+          let improvement = 1.0 -. (c2 /. c1) in
+          Printf.printf
+            "gate: heads=2 write cost >=20%% below heads=1 at %s: %s vs %s \
+             (%s) %s\n"
+            (pct util) (Table.fmt_float c2) (Table.fmt_float c1)
+            (pct improvement)
+            (if improvement >= 0.20 then "PASS" else "FAIL");
+          if improvement >= 0.20 then None else Some util
+        else None)
+      results
+  in
+  if failures <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1439,6 +1577,7 @@ let experiments =
     ("bgclean", server_bgclean);
     ("iodepth", iodepth);
     ("tier", tier);
+    ("writecost", writecost);
   ]
 
 let () =

@@ -359,6 +359,8 @@ let crashtest_cmd =
       match fs_kind with
       | Lfs_shard.Spec.Lfs -> Crashtest.run_lfs ~blocks ~stride ~seed w
       | Lfs_shard.Spec.Ffs -> Crashtest.run_ffs ~blocks ~stride ~seed w
+      | Lfs_shard.Spec.Heads { heads } ->
+          Crashtest.run_heads ~heads ~blocks ~stride ~seed w
       | Lfs_shard.Spec.Tier _ ->
           (* The tier subject pins its own tight demotion/promotion knobs
              so every sweep exercises both migration directions; the
@@ -471,6 +473,11 @@ let modelcheck_cmd =
       match fs_kind with
       | Lfs_shard.Spec.Lfs -> go (module Lfs_model.Subject.Lfs)
       | Lfs_shard.Spec.Ffs -> go (module Lfs_model.Subject.Ffs)
+      | Lfs_shard.Spec.Heads { heads } ->
+          let module H = Lfs_model.Subject.Lfs_heads (struct
+            let heads = heads
+          end) in
+          go (module H)
       | Lfs_shard.Spec.Tier _ -> go (module Lfs_model.Subject.Tier)
       | Lfs_shard.Spec.Shard { shards = n; policy } ->
           let n = Option.value shards ~default:n in
@@ -661,7 +668,9 @@ let stats_cmd =
   let run image spec shards blocks exercise seed json check =
     match (spec, image) with
     | _, None -> run_fresh spec shards blocks exercise seed json check
-    | (Lfs_shard.Spec.Ffs | Lfs_shard.Spec.Tier _ | Lfs_shard.Spec.Shard _), Some _ ->
+    | ( ( Lfs_shard.Spec.Ffs | Lfs_shard.Spec.Heads _ | Lfs_shard.Spec.Tier _
+        | Lfs_shard.Spec.Shard _ ),
+        Some _ ) ->
         prerr_endline
           "an IMAGE argument is only supported with --fs lfs; omit it to \
            build an in-memory volume from the spec";

@@ -2,17 +2,17 @@ module Codec = Lfs_util.Bytes_codec
 module Checksum = Lfs_util.Checksum
 module Vdev = Lfs_disk.Vdev
 
+type head_pos = { cur_seg : int; cur_off : int; next_seg : int }
+
 type t = {
   timestamp : float;
   log_seq : int;
-  cur_seg : int;
-  cur_off : int;
-  next_seg : int;
+  heads : head_pos array;
   imap_addrs : Types.baddr array;
   usage_addrs : Types.baddr array;
 }
 
-let magic = 0x434B_5031 (* "CKP1" *)
+let magic = 0x434B_5032 (* "CKP2": multi-head log positions *)
 
 let region_addr layout region =
   match region with
@@ -27,9 +27,13 @@ let write layout disk ~region t =
   Codec.put_u32 c magic;
   Codec.put_float c t.timestamp;
   Codec.put_u32 c t.log_seq;
-  Codec.put_u32 c t.cur_seg;
-  Codec.put_u32 c t.cur_off;
-  Codec.put_int c t.next_seg;
+  Codec.put_u32 c (Array.length t.heads);
+  Array.iter
+    (fun h ->
+      Codec.put_u32 c h.cur_seg;
+      Codec.put_u32 c h.cur_off;
+      Codec.put_int c h.next_seg)
+    t.heads;
   Codec.put_u32 c (Array.length t.imap_addrs);
   Codec.put_u32 c (Array.length t.usage_addrs);
   Array.iter (fun a -> Codec.put_int c a) t.imap_addrs;
@@ -55,15 +59,19 @@ let read layout disk ~region =
     else begin
       let timestamp = Codec.get_float c in
       let log_seq = Codec.get_u32 c in
-      let cur_seg = Codec.get_u32 c in
-      let cur_off = Codec.get_u32 c in
-      let next_seg = Codec.get_int c in
+      let n_heads = Codec.get_u32 c in
+      let heads =
+        Array.init n_heads (fun _ ->
+            let cur_seg = Codec.get_u32 c in
+            let cur_off = Codec.get_u32 c in
+            let next_seg = Codec.get_int c in
+            { cur_seg; cur_off; next_seg })
+      in
       let n_imap = Codec.get_u32 c in
       let n_usage = Codec.get_u32 c in
       let imap_addrs = Array.init n_imap (fun _ -> Codec.get_int c) in
       let usage_addrs = Array.init n_usage (fun _ -> Codec.get_int c) in
-      Some
-        { timestamp; log_seq; cur_seg; cur_off; next_seg; imap_addrs; usage_addrs }
+      Some { timestamp; log_seq; heads; imap_addrs; usage_addrs }
     end
   end
 

@@ -3,19 +3,23 @@
     A checkpoint is a position in the log at which all file system
     structures are consistent and complete.  The region at a fixed disk
     address records the addresses of all inode map and segment usage
-    table blocks plus the log position (segment, offset, reservation,
-    sequence number).  Two regions alternate so a crash during a
-    checkpoint leaves the previous one intact; on reboot the valid region
-    with the latest timestamp wins.  A whole-region checksum stands in
-    for the paper's "time in the last block" trick — a torn region write
-    simply fails validation. *)
+    table blocks plus every write head's log position (segment, offset,
+    reservation) and the shared sequence number.  Two regions alternate
+    so a crash during a checkpoint leaves the previous one intact; on
+    reboot the valid region with the latest timestamp wins.  A
+    whole-region checksum stands in for the paper's "time in the last
+    block" trick — a torn region write simply fails validation. *)
+
+type head_pos = {
+  cur_seg : int;   (** segment this head is filling *)
+  cur_off : int;   (** next free slot in that segment *)
+  next_seg : int;  (** the head's reserved successor segment *)
+}
 
 type t = {
-  timestamp : float;    (** logical clock at checkpoint time *)
-  log_seq : int;        (** next log-write sequence number *)
-  cur_seg : int;        (** segment the log writer is filling *)
-  cur_off : int;        (** next free slot in that segment *)
-  next_seg : int;       (** the writer's reserved successor segment *)
+  timestamp : float;  (** logical clock at checkpoint time *)
+  log_seq : int;      (** next log-write sequence number (shared) *)
+  heads : head_pos array;  (** one position per write head, by index *)
   imap_addrs : Types.baddr array;
   usage_addrs : Types.baddr array;
 }

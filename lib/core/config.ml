@@ -20,6 +20,7 @@ type t = {
   cleaner_read : cleaner_read_policy;
   demote_age_s : float;
   promote_reads : int;
+  log_heads : int;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     cleaner_read = Whole_segment;
     demote_age_s = 64.0;
     promote_reads = 0;
+    log_heads = 1;
   }
 
 let small =
@@ -62,6 +64,7 @@ let small =
     cleaner_read = Whole_segment;
     demote_age_s = 64.0;
     promote_reads = 0;
+    log_heads = 1;
   }
 
 let with_policy ?cleaning ?grouping t =
@@ -93,9 +96,14 @@ let validate t ~disk_blocks =
     fail "Config: demote_age_s %g < 0 (or NaN)" t.demote_age_s;
   if t.promote_reads < 0 then
     fail "Config: promote_reads %d < 0" t.promote_reads;
-  if disk_blocks / t.seg_blocks < t.clean_stop + 2 then
+  if t.log_heads < 1 || t.log_heads > 8 then
+    fail "Config: log_heads %d outside 1..8" t.log_heads;
+  (* Every head pins two segments (current + reservation); the clean
+     pool must still recover above the stop watermark beyond those. *)
+  if disk_blocks / t.seg_blocks < t.clean_stop + (2 * t.log_heads) then
     fail "Config: disk of %d blocks has only %d segments; need at least %d"
-      disk_blocks (disk_blocks / t.seg_blocks) (t.clean_stop + 2)
+      disk_blocks (disk_blocks / t.seg_blocks)
+      (t.clean_stop + (2 * t.log_heads))
 
 let cleaning_policy_name = function
   | Greedy -> "greedy"

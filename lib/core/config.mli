@@ -62,6 +62,12 @@ type t = {
       (** tiered volumes only: migrate a slow-tier segment back to the
           fast tier after this many distinct block reads hit it on disk;
           0 disables promotion ("never").  Inert without a slow tier. *)
+  log_heads : int;
+      (** independent log write heads (1..8).  With 1 the log is the
+          classic single thread; with more, fresh foreground data goes
+          to head 0 and cleaner/demotion survivors to higher heads
+          binned by age (Section 3.5's hot/cold segregation).  Each
+          head pins two segments (current + reservation). *)
 }
 
 val default : t

@@ -40,6 +40,10 @@ type obs = {
   ckpt_busy : Metrics.histogram;
   ckpt_blocks : Metrics.histogram;
   victim_u : Metrics.dist;
+  victim_fill : Metrics.histogram;
+      (* fullness of each victim when cleaned, as a histogram rather
+         than a mean: with segregated heads the bench expects a bimodal
+         shape — cold segments stay full while hot ones decay empty *)
   victim_age : Metrics.histogram;
       (* modelled-time age of each cleaned victim: the axis demotion
          policy tuning needs next to utilisation (Fig. 6 plots both) *)
@@ -83,6 +87,8 @@ let make_obs ?metrics () =
     ckpt_blocks =
       Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.checkpoint.blocks";
     victim_u = Metrics.dist metrics "fs.cleaner.victim_u";
+    victim_fill =
+      Metrics.histogram ~lo:0.001 ~hi:1.0 metrics "fs.cleaner.victim_fill";
     victim_age =
       Metrics.histogram ~lo:1.0 ~hi:1e6 metrics "fs.cleaner.victim_age";
     cleaner_passes = Metrics.counter metrics "fs.cleaner.passes";
@@ -182,11 +188,24 @@ let kill_addr t addr ~bytes =
     && not (Hashtbl.mem t.cleaning_victims seg)
   then Fs_stats.note_segment_cleaned t.stats ~u:0.0
 
-(* Every log append goes through here so traffic is attributed. *)
+(* Every log append goes through here so traffic is attributed — and
+   routed by temperature (Section 3.5): fresh foreground data to head 0,
+   cleaner survivors to the cold head(s).  With more than two heads the
+   survivors spread into age bins, [demote_age_s] wide, so data that has
+   already proven cold lands apart from the merely lukewarm. *)
 let append_block t ~kind ~ino ~blockno ~version ~mtime payload =
   Fs_stats.note_written t.stats kind ~cleaner:!(t.cleaner_attr) ~blocks:1;
   t.blocks_since_ckpt <- t.blocks_since_ckpt + 1;
-  Log_writer.append t.log ~kind ~ino ~blockno ~version ~mtime payload
+  let head =
+    let n = Log_writer.nheads t.log in
+    if n = 1 || not !(t.cleaner_attr) then 0
+    else if n = 2 then 1
+    else
+      let age = Float.max 0.0 (t.clock -. mtime) in
+      let bin = int_of_float (age /. Float.max 1.0 t.config.Config.demote_age_s) in
+      1 + min (n - 2) bin
+  in
+  Log_writer.append ~head t.log ~kind ~ino ~blockno ~version ~mtime payload
 
 (* {1 Inode handles} *)
 
@@ -245,11 +264,11 @@ let note_tier_read t addr =
       let threshold = t.config.Config.promote_reads in
       if threshold > 0 && (not t.in_cleaner) && not t.in_checkpoint then begin
         let seg = Layout.seg_of_block t.layout addr in
+        let active = Log_writer.active_segments t.log in
         if
           seg >= 0
           && seg < Vdev_tier.nchunks ti
-          && seg <> Log_writer.current_segment t.log
-          && seg <> Log_writer.reserved_segment t.log
+          && (not (List.mem seg active))
           && (not (Hashtbl.mem t.cleaning_victims seg))
           && Vdev_tier.chunk_tier ti seg = Vdev_tier.Slow
         then begin
@@ -265,8 +284,7 @@ let note_tier_read t addr =
                  the slow tier as demotion capacity in the same move. *)
               let donor_ok s =
                 s <> seg
-                && s <> Log_writer.current_segment t.log
-                && s <> Log_writer.reserved_segment t.log
+                && (not (List.mem s active))
                 && (not (Hashtbl.mem t.cleaning_victims s))
                 && Vdev_tier.chunk_tier ti s = Vdev_tier.Fast
               in
@@ -431,10 +449,11 @@ let sync t =
 (* {1 Checkpoints} *)
 
 let refresh_reusable t =
-  let cur = Log_writer.current_segment t.log in
-  let nxt = Log_writer.reserved_segment t.log in
+  let active = Log_writer.active_segments t.log in
   t.reusable :=
-    List.filter (fun s -> s <> cur && s <> nxt) (Seg_usage.clean_segments t.usage);
+    List.filter
+      (fun s -> not (List.mem s active))
+      (Seg_usage.clean_segments t.usage);
   t.reusable_len := List.length !(t.reusable)
 
 let checkpoint t =
@@ -505,9 +524,15 @@ let checkpoint t =
           {
             Checkpoint.timestamp = t.clock;
             log_seq = Log_writer.seq t.log;
-            cur_seg = Log_writer.current_segment t.log;
-            cur_off = Log_writer.current_offset t.log;
-            next_seg = Log_writer.reserved_segment t.log;
+            heads =
+              Array.map
+                (fun (p : Log_writer.position) ->
+                  {
+                    Checkpoint.cur_seg = p.Log_writer.pos_seg;
+                    cur_off = p.Log_writer.pos_off;
+                    next_seg = p.Log_writer.pos_next;
+                  })
+                (Log_writer.positions t.log);
             imap_addrs =
               Array.init (Inode_map.nblocks t.imap) (Inode_map.block_addr t.imap);
             usage_addrs =
@@ -538,10 +563,16 @@ let flush_need t =
   ((3 * t.config.Config.write_buffer_blocks) + t.layout.Layout.seg_blocks - 1)
   / t.layout.Layout.seg_blocks
 
-let clean_start_effective t = max t.config.Config.clean_start (flush_need t + 2)
+(* Each write head beyond the first pins one extra clean segment as its
+   standing reservation; those count as "clean" in the usage table but
+   can never be handed out, so the watermarks must sit above them. *)
+let head_reserve t = t.config.Config.log_heads - 1
+
+let clean_start_effective t =
+  max t.config.Config.clean_start (flush_need t + 2) + head_reserve t
 
 let clean_stop_effective t =
-  max t.config.Config.clean_stop (clean_start_effective t + 2)
+  max (t.config.Config.clean_stop + head_reserve t) (clean_start_effective t + 2)
 
 (* Parse every log write found in a victim segment's in-memory image.
    Stale summaries from a previous life of the segment may survive here;
@@ -793,6 +824,7 @@ let clean_victims t ~bg victims =
       let u = seg_utilization t seg in
       Fs_stats.note_segment_cleaned t.stats ~u;
       Metrics.dist_add t.obs.victim_u u;
+      Metrics.observe t.obs.victim_fill u;
       Metrics.observe t.obs.victim_age
         (Float.max 0.0 (t.clock -. Seg_usage.mtime t.usage seg));
       if Seg_usage.live_bytes t.usage seg > 0 then begin
@@ -880,12 +912,11 @@ let bg_max_u = 0.95
 let clean_pass t ~bg ~max_victims ~candidates =
   op_span t (if bg then t.obs.bg_busy else t.obs.fg_busy) @@ fun () ->
   let before = clean_segment_count t in
-  let cur = Log_writer.current_segment t.log in
-  let nxt = Log_writer.reserved_segment t.log in
+  let active = Log_writer.active_segments t.log in
   let scored =
     !candidates
     |> List.filter (fun s ->
-           s <> cur && s <> nxt && Seg_usage.live_bytes t.usage s > 0)
+           (not (List.mem s active)) && Seg_usage.live_bytes t.usage s > 0)
     |> List.map (fun s ->
            {
              Cleaner.seg = s;
@@ -1049,10 +1080,9 @@ let demote_step ?max_segments t =
   | Some ti ->
       if t.in_cleaner then 0
       else begin
-        let cur = Log_writer.current_segment t.log in
-        let nxt = Log_writer.reserved_segment t.log in
+        let active = Log_writer.active_segments t.log in
         let eligible s =
-          s <> cur && s <> nxt
+          (not (List.mem s active))
           && (not (Hashtbl.mem t.cleaning_victims s))
           && Seg_usage.live_bytes t.usage s > 0
           && Vdev_tier.chunk_tier ti s = Vdev_tier.Fast
@@ -1075,7 +1105,7 @@ let demote_step ?max_segments t =
            Reusable segments are overwrite-safe by the checkpoint rule,
            exactly the contract [swap] asks for. *)
         let donor_ok s =
-          s <> cur && s <> nxt
+          (not (List.mem s active))
           && (not (Hashtbl.mem t.cleaning_victims s))
           && Vdev_tier.chunk_tier ti s = Vdev_tier.Slow
         in
@@ -1560,12 +1590,21 @@ let register_fs_metrics t =
   g "write_cost" (fun () -> Fs_stats.write_cost s);
   gi "checkpoints" Fs_stats.checkpoints;
   g "clean_segments" (fun () -> float_of_int (clean_segment_count t));
+  (* Per-head traffic: with segregation on, the bench expects the cold
+     heads' [blocks] to stay a small fraction of head 0's. *)
+  for i = 0 to Log_writer.nheads t.log - 1 do
+    let hname field = Printf.sprintf "log.head.%d.%s" i field in
+    let hstat f = float_of_int (f (Log_writer.head_stats t.log i)) in
+    g (hname "segments") (fun () -> hstat (fun h -> h.Log_writer.segments));
+    g (hname "blocks") (fun () -> hstat (fun h -> h.Log_writer.blocks));
+    g (hname "syncs") (fun () -> hstat (fun h -> h.Log_writer.syncs))
+  done;
   match t.tier with
   | None -> ()
   | Some ti -> Vdev_tier.register_metrics m ti
 
-let make_t ?metrics ?tier disk sb ~config ~imap ~usage ~cur_seg ~cur_off
-    ~next_seg ~seq ~clock ~ckpt_region =
+let make_t ?metrics ?tier disk sb ~config ~imap ~usage ~heads ~seq ~clock
+    ~ckpt_region =
   let layout = sb.Superblock.layout in
   (match tier with
   | None -> ()
@@ -1636,15 +1675,14 @@ let make_t ?metrics ?tier disk sb ~config ~imap ~usage ~cur_seg ~cur_off
     Seg_usage.add_live usage seg ~bytes ~mtime
   in
   let log_batch_hook = ref (fun ~blocks:_ -> ()) in
-  let on_batch ~addr:_ ~blocks =
+  let on_batch ~head:_ ~addr:_ ~blocks =
     (* Log batches flow through the cache layer, which keeps itself
        coherent when the log reuses cleaned segments. *)
     Fs_stats.note_written stats Types.Summary ~cleaner:!cleaner_attr ~blocks:1;
     !log_batch_hook ~blocks
   in
   let log =
-    Log_writer.create layout dev ~pick_clean ~on_append ~on_batch ~cur_seg
-      ~cur_off ~next_seg ~seq
+    Log_writer.create layout dev ~pick_clean ~on_append ~on_batch ~heads ~seq
   in
   let t =
     {
@@ -1693,13 +1731,20 @@ let format disk cfg =
   let layout = sb.Superblock.layout in
   let imap = Inode_map.create layout in
   let usage = Seg_usage.create layout in
-  let t =
-    make_t disk sb ~config:cfg ~imap ~usage ~cur_seg:0 ~cur_off:0 ~next_seg:1
-      ~seq:1 ~clock:1.0 ~ckpt_region:0
+  (* Head i starts writing segment 2i with 2i+1 reserved. *)
+  let nheads = cfg.Config.log_heads in
+  let heads =
+    Array.init nheads (fun i ->
+        { Log_writer.pos_seg = 2 * i; pos_off = 0; pos_next = (2 * i) + 1 })
   in
-  (* Fresh disk: every segment is writable. *)
+  let t =
+    make_t disk sb ~config:cfg ~imap ~usage ~heads ~seq:1 ~clock:1.0
+      ~ckpt_region:0
+  in
+  (* Fresh disk: every segment not pinned by a head is writable. *)
   t.reusable :=
-    List.filter (fun s -> s <> 0 && s <> 1)
+    List.filter
+      (fun s -> s >= 2 * nheads)
       (List.init layout.Layout.nsegs (fun i -> i));
   t.reusable_len := List.length !(t.reusable);
   let ino = Inode_map.allocate t.imap in
@@ -1725,6 +1770,7 @@ let mount ?config ?metrics ?tier disk =
   if cfg.Config.block_size <> sb.Superblock.config.Config.block_size
      || cfg.Config.seg_blocks <> sb.Superblock.config.Config.seg_blocks
      || cfg.Config.max_inodes <> sb.Superblock.config.Config.max_inodes
+     || cfg.Config.log_heads <> sb.Superblock.config.Config.log_heads
   then invalid_arg "Fs.mount: geometry fields cannot be overridden";
   match Checkpoint.read_latest layout disk with
   | None -> Types.corrupt "no valid checkpoint region: not a formatted LFS"
@@ -1736,9 +1782,18 @@ let mount ?config ?metrics ?tier disk =
       let usage =
         Seg_usage.load layout ~read ~block_addrs:ck.Checkpoint.usage_addrs
       in
-      make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage
-        ~cur_seg:ck.Checkpoint.cur_seg ~cur_off:ck.Checkpoint.cur_off
-        ~next_seg:ck.Checkpoint.next_seg ~seq:ck.Checkpoint.log_seq
+      let heads =
+        Array.map
+          (fun (h : Checkpoint.head_pos) ->
+            {
+              Log_writer.pos_seg = h.Checkpoint.cur_seg;
+              pos_off = h.Checkpoint.cur_off;
+              pos_next = h.Checkpoint.next_seg;
+            })
+          ck.Checkpoint.heads
+      in
+      make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage ~heads
+        ~seq:ck.Checkpoint.log_seq
         ~clock:(ck.Checkpoint.timestamp +. 1.0)
         ~ckpt_region:(1 - region)
 
@@ -1766,10 +1821,19 @@ let recover ?config ?metrics ?tier disk =
           (fun acc w -> Float.max acc w.Recovery.summary.Summary.timestamp)
           ck.Checkpoint.timestamp scan.Recovery.writes
       in
+      let heads =
+        Array.map
+          (fun (tl : Recovery.tail) ->
+            {
+              Log_writer.pos_seg = tl.Recovery.tail_seg;
+              pos_off = tl.Recovery.tail_off;
+              pos_next = tl.Recovery.tail_next_seg;
+            })
+          scan.Recovery.tails
+      in
       let t =
-        make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage
-          ~cur_seg:scan.Recovery.tail_seg ~cur_off:scan.Recovery.tail_off
-          ~next_seg:scan.Recovery.tail_next_seg ~seq:scan.Recovery.next_seq
+        make_t ?metrics ?tier disk sb ~config:cfg ~imap ~usage ~heads
+          ~seq:scan.Recovery.next_seq
           ~clock:(newest_ts +. 1.0)
           ~ckpt_region:(1 - region)
       in
@@ -1778,7 +1842,10 @@ let recover ?config ?metrics ?tier disk =
          they must not be handed out for writing until the adjusted
          usage table says so. *)
       let touched = Hashtbl.create 8 in
-      Hashtbl.replace touched scan.Recovery.tail_seg ();
+      Array.iter
+        (fun (tl : Recovery.tail) ->
+          Hashtbl.replace touched tl.Recovery.tail_seg ())
+        scan.Recovery.tails;
       List.iter
         (fun w -> Hashtbl.replace touched w.Recovery.summary.Summary.seg ())
         scan.Recovery.writes;
@@ -2076,8 +2143,14 @@ let utilization t =
       * t.layout.Layout.block_size)
 
 let segment_histogram t ~bins =
-  let cur = Log_writer.current_segment t.log in
-  Seg_usage.utilization_histogram t.usage ~bins ~exclude:(fun s -> s = cur)
+  let curs =
+    Array.to_list
+      (Array.map
+         (fun (p : Log_writer.position) -> p.Log_writer.pos_seg)
+         (Log_writer.positions t.log))
+  in
+  Seg_usage.utilization_histogram t.usage ~bins ~exclude:(fun s ->
+      List.mem s curs)
 
 type live_breakdown = { by_kind : (Types.block_kind * int) list; total_bytes : int }
 

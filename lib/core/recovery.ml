@@ -1,12 +1,11 @@
 module Vdev = Lfs_disk.Vdev
 
 type write = { summary : Summary.t; blocks : (int * bytes) list }
+type tail = { tail_seg : int; tail_off : int; tail_next_seg : int }
 
 type result = {
   writes : write list;
-  tail_seg : int;
-  tail_off : int;
-  tail_next_seg : int;
+  tails : tail array;
   next_seq : int;
   segments_scanned : int;
 }
@@ -30,14 +29,20 @@ let load_blocks layout disk s =
          else [])
        s.Summary.entries)
 
-let scan layout disk ~ckpt =
+(* One head's chain walk.  [steps] are the intact summaries in walk
+   order (strictly increasing seq); [torn] is the first summary whose
+   payload failed its checksum, which ends the chain. *)
+type chain = {
+  steps : Summary.t list;
+  torn : Summary.t option;
+  scanned : int;
+}
+
+let walk_chain layout disk ~ckpt ~start_seg =
   let seg_blocks = layout.Layout.seg_blocks in
-  let writes = ref [] in
-  let tail_seg = ref ckpt.Checkpoint.cur_seg in
-  let tail_off = ref ckpt.Checkpoint.cur_off in
-  let tail_next_seg = ref ckpt.Checkpoint.next_seg in
-  let next_seq = ref ckpt.Checkpoint.log_seq in
-  let segments_scanned = ref 0 in
+  let steps = ref [] in
+  let torn = ref None in
+  let scanned = ref 0 in
   let visited = Hashtbl.create 16 in
   (* last_seq grows strictly along the walk; summaries written before the
      checkpoint (or left over from a segment's previous life) fail the
@@ -63,11 +68,10 @@ let scan layout disk ~ckpt =
                    checksum: with queued submission the device commits
                    blocks out of submission order, so a crash can
                    persist a later summary while an earlier write's
-                   payload never made it.  The first torn write ends the
-                   replayable prefix — nothing at or after it was ever
-                   acknowledged durable (the sync barrier covering it
-                   did not complete), so the log is truncated there and
-                   the walk stops. *)
+                   payload never made it.  The first torn write ends
+                   this chain — and, because the fsync barrier spans
+                   every head, truncates all chains at its sequence
+                   number (see [scan]). *)
                 let intact =
                   s.Summary.seq < ckpt.Checkpoint.log_seq
                   ||
@@ -76,27 +80,15 @@ let scan layout disk ~ckpt =
                   in
                   Summary.payload_checksum payload = s.Summary.payload_sum
                 in
-                if not intact then begin
-                  tail_seg := seg;
-                  tail_off := slot;
-                  next_seq := s.Summary.seq;
-                  tail_next_seg := s.Summary.next_seg
-                end
+                if not intact then torn := Some s
                 else begin
-                  if s.Summary.seq >= ckpt.Checkpoint.log_seq then
-                    writes :=
-                      { summary = s; blocks = load_blocks layout disk s }
-                      :: !writes;
-                  tail_seg := seg;
-                  tail_off := Summary.next_slot s;
-                  tail_next_seg := s.Summary.next_seg;
-                  next_seq := s.Summary.seq + 1;
+                  steps := s :: !steps;
                   let next = Summary.next_slot s in
                   if next <= seg_blocks - 2 then
                     walk_segment seg next s.Summary.seq
                   else begin
-                    (* Segment exhausted: follow the log thread. *)
-                    incr segments_scanned;
+                    (* Segment exhausted: follow the head's thread. *)
+                    incr scanned;
                     if
                       s.Summary.next_seg >= 0
                       && s.Summary.next_seg < layout.Layout.nsegs
@@ -111,13 +103,85 @@ let scan layout disk ~ckpt =
   (* Start from the head of the checkpoint's tail segment: writes earlier
      in that segment predate the checkpoint and are skipped by the seq
      filter, but they carry the chain to the post-checkpoint tail. *)
-  incr segments_scanned;
-  walk_segment ckpt.Checkpoint.cur_seg 0 0;
+  incr scanned;
+  walk_segment start_seg 0 0;
+  { steps = List.rev !steps; torn = !torn; scanned = !scanned }
+
+let scan layout disk ~ckpt =
+  let chains =
+    Array.map
+      (fun (h : Checkpoint.head_pos) ->
+        walk_chain layout disk ~ckpt ~start_seg:h.cur_seg)
+      ckpt.Checkpoint.heads
+  in
+  (* The durability frontier is global: a completed fsync barrier awaits
+     every head's unflushed batches, so nothing with a sequence number at
+     or beyond the earliest torn write was ever acknowledged — and a
+     surviving write there may reference payloads (in another head's
+     chain) that never made it.  Truncate every chain at that point. *)
+  let cutoff =
+    Array.fold_left
+      (fun acc c ->
+        match c.torn with Some s -> min acc s.Summary.seq | None -> acc)
+      max_int chains
+  in
+  let tails =
+    Array.mapi
+      (fun i c ->
+        let h = ckpt.Checkpoint.heads.(i) in
+        let kept, rejected =
+          List.partition (fun s -> s.Summary.seq < cutoff) c.steps
+        in
+        let tail_at (s : Summary.t) =
+          {
+            tail_seg = s.Summary.seg;
+            tail_off = s.Summary.slot;
+            tail_next_seg = s.Summary.next_seg;
+          }
+        in
+        match (rejected, c.torn) with
+        | s :: _, _ -> tail_at s
+        | [], Some s -> tail_at s
+        | [], None -> (
+            match List.rev kept with
+            | s :: _ ->
+                {
+                  tail_seg = s.Summary.seg;
+                  tail_off = Summary.next_slot s;
+                  tail_next_seg = s.Summary.next_seg;
+                }
+            | [] ->
+                {
+                  tail_seg = h.Checkpoint.cur_seg;
+                  tail_off = h.Checkpoint.cur_off;
+                  tail_next_seg = h.Checkpoint.next_seg;
+                }))
+      chains
+  in
+  (* Roll-forward merges the chains back into one log order by the
+     shared sequence number. *)
+  let writes =
+    Array.to_list chains
+    |> List.concat_map (fun c ->
+           List.filter
+             (fun s ->
+               s.Summary.seq < cutoff
+               && s.Summary.seq >= ckpt.Checkpoint.log_seq)
+             c.steps)
+    |> List.sort (fun a b -> compare a.Summary.seq b.Summary.seq)
+    |> List.map (fun s -> { summary = s; blocks = load_blocks layout disk s })
+  in
+  let next_seq =
+    if cutoff < max_int then cutoff
+    else
+      List.fold_left
+        (fun acc w -> max acc (w.summary.Summary.seq + 1))
+        ckpt.Checkpoint.log_seq writes
+  in
   {
-    writes = List.rev !writes;
-    tail_seg = !tail_seg;
-    tail_off = !tail_off;
-    tail_next_seg = !tail_next_seg;
-    next_seq = !next_seq;
-    segments_scanned = !segments_scanned;
+    writes;
+    tails;
+    next_seq;
+    segments_scanned =
+      Array.fold_left (fun acc c -> acc + c.scanned) 0 chains;
   }

@@ -1,11 +1,13 @@
 (** Crash recovery: the log scan behind roll-forward (Section 4.2).
 
-    Starting from the checkpoint's log position, the scan walks summary
-    blocks — within a segment by hopping over each write's payload, and
-    across segments by following the [next_seg] pointer every summary
-    records.  A write is accepted only if its summary is intact, its
-    sequence number strictly increases, and its self-identification
-    (segment, slot) matches where it was found.
+    Starting from the checkpoint's per-head log positions, the scan walks
+    each head's summary chain — within a segment by hopping over each
+    write's payload, and across segments by following the [next_seg]
+    pointer every summary records.  A write is accepted only if its
+    summary is intact, its sequence number strictly increases along its
+    chain, and its self-identification (segment, slot) matches where it
+    was found.  The chains are then merged back into one log order by the
+    shared sequence number.
 
     Only inode-block and directory-log payloads are read (data blocks
     are referenced in place), which is what makes recovery time scale
@@ -14,9 +16,11 @@
     payload checksum: under queued submission the device commits blocks
     out of submission order, so a crash can persist a later summary
     while an earlier write's payload never made it.  The first torn
-    write truncates the log — nothing at or after it was acknowledged
-    durable, so the walk stops and the tail points at the torn
-    summary's slot.
+    write truncates the log {e globally} — the fsync barrier spans every
+    head, so nothing at or beyond its sequence number (in any chain) was
+    acknowledged durable, and a later write in one chain may reference
+    torn payloads in another.  Every chain is cut at that sequence
+    number and each head's tail points at its first discarded summary.
 
     The scan is read-only; {!Fs.recover} applies the results. *)
 
@@ -27,16 +31,22 @@ type write = {
           entry index within the summary *)
 }
 
-type result = {
-  writes : write list;
-      (** valid log writes with [seq >= ] the checkpoint's [log_seq], in
-          log order — the data roll-forward must reprocess *)
-  tail_seg : int;       (** where the log writer should resume *)
+type tail = {
+  tail_seg : int;       (** where this head should resume *)
   tail_off : int;
   tail_next_seg : int;  (** reservation in force at the tail *)
+}
+
+type result = {
+  writes : write list;
+      (** valid log writes with [seq >= ] the checkpoint's [log_seq] and
+          below the torn-write cutoff, merged across chains into
+          ascending sequence order — the data roll-forward must
+          reprocess *)
+  tails : tail array;   (** per-head resume positions, indexed by head *)
   next_seq : int;       (** sequence number for the next write *)
   segments_scanned : int;
 }
 
 val scan : Layout.t -> Lfs_disk.Vdev.t -> ckpt:Checkpoint.t -> result
-(** Follow the log from [ckpt]'s position until it ends. *)
+(** Follow every head's chain from [ckpt]'s positions until each ends. *)

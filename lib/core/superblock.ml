@@ -5,7 +5,7 @@ module Vdev = Lfs_disk.Vdev
 type t = { config : Config.t; layout : Layout.t }
 
 let magic = 0x4C46_5331 (* "LFS1" *)
-let format_version = 3
+let format_version = 4
 
 let create config ~disk_blocks =
   { config; layout = Layout.compute config ~disk_blocks }
@@ -52,6 +52,7 @@ let store t disk =
     | Config.Live_blocks -> 1);
   Codec.put_float c t.config.Config.demote_age_s;
   Codec.put_int c t.config.Config.promote_reads;
+  Codec.put_int c t.config.Config.log_heads;
   (* Whole-block checksum over everything after the checksum field. *)
   let sum = Checksum.adler32 ~pos:8 b in
   let c0 = Codec.writer b in
@@ -99,6 +100,7 @@ let load disk =
   in
   let demote_age_s = Codec.get_float c in
   let promote_reads = Codec.get_int c in
+  let log_heads = Codec.get_int c in
   if block_size <> Vdev.block_size disk then
     Types.corrupt "superblock: block size %d but device has %d" block_size
       (Vdev.block_size disk);
@@ -121,6 +123,7 @@ let load disk =
       cleaner_read;
       demote_age_s;
       promote_reads;
+      log_heads;
     }
   in
   create config ~disk_blocks:(Vdev.nblocks disk)

@@ -25,6 +25,10 @@ module type SHARD_SHAPE = Lfs_model.Subject.SHARD_SHAPE
 
 module Shard = Lfs_model.Subject.Shard
 
+module type HEAD_SHAPE = Lfs_model.Subject.HEAD_SHAPE
+
+module Lfs_heads = Lfs_model.Subject.Lfs_heads
+
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -272,6 +276,14 @@ let run_ffs ?blocks ?stride ?cuts ?seed ?modes w =
 
 let run_tier ?blocks ?stride ?cuts ?seed ?modes w =
   Tier_runner.run ?blocks ?stride ?cuts ?seed ?modes w
+
+let run_heads ?(heads = 2) ?blocks ?stride ?cuts ?seed ?modes w =
+  let module R =
+    Make (Lfs_heads (struct
+      let heads = heads
+    end))
+  in
+  R.run ?blocks ?stride ?cuts ?seed ?modes w
 
 let run_shard ?(shards = 2) ?(policy = Lfs_shard.Shard_router.By_hash) ?blocks
     ?stride ?cuts ?seed ?modes w =

@@ -65,6 +65,15 @@ module Tier : SUBJECT with type t = Lfs_core.Fs.t
     barrier runs one demotion step first, so the sweep enumerates cuts
     mid-demotion. *)
 
+module type HEAD_SHAPE = sig
+  val heads : int
+end
+
+module Lfs_heads (P : HEAD_SHAPE) : SUBJECT with type t = Lfs_core.Fs.t
+(** A multi-head LFS ([P.heads] log write heads) on one device: the
+    sweep enumerates cuts inside every head's summary chain, exercising
+    the seq-merged roll-forward and the global torn-write cutoff. *)
+
 module type SHARD_SHAPE = sig
   val shards : int
   val policy : Lfs_shard.Shard_router.policy
@@ -169,6 +178,18 @@ val run_tier :
   report
 (** {!Make} over {!Tier}: a fast and a slow device of [?blocks] each,
     crash points enumerated over the fast child's writes. *)
+
+val run_heads :
+  ?heads:int ->
+  ?blocks:int ->
+  ?stride:int ->
+  ?cuts:int list ->
+  ?seed:int ->
+  ?modes:Lfs_disk.Vdev_fault.mode list ->
+  workload ->
+  report
+(** {!Make} over {!Lfs_heads}: a single device, [?heads] (default 2)
+    log write heads. *)
 
 val run_shard :
   ?shards:int ->

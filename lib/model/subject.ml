@@ -51,6 +51,29 @@ module Lfs = struct
   let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
 end
 
+module type HEAD_SHAPE = sig
+  val heads : int
+end
+
+(* Multi-head LFS on one device: the same tight geometry, with the log
+   split across N write heads.  The crash-point sweep then enumerates
+   cuts inside every head's summary chain, exercising the merged
+   roll-forward and the global torn-write cutoff. *)
+module Lfs_heads (P : HEAD_SHAPE) = struct
+  include Lfs_core.Fs
+
+  let subject_name = Printf.sprintf "lfs:heads=%d" P.heads
+  let async_writes = true
+  let ndevices = 1
+
+  let config = { lfs_config with log_heads = P.heads }
+
+  let format devs = Lfs_core.Fs.format (the_dev devs) config
+  let mount devs = Lfs_core.Fs.mount (the_dev devs)
+  let recover devs = fst (Lfs_core.Fs.recover (the_dev devs))
+  let fsck_errors fs = (Lfs_core.Fsck.check fs).Lfs_core.Fsck.errors
+end
+
 let ffs_config =
   {
     Lfs_ffs.Ffs.default_config with

@@ -10,18 +10,25 @@ module Fsops = Lfs_workload.Fsops
 type t =
   | Lfs
   | Ffs
+  | Heads of { heads : int }
   | Tier of { fast_pct : int; promote_reads : int }
   | Shard of { shards : int; policy : Shard_router.policy }
 
 let default_fast_pct = 25
 
 let grammar_doc =
-  "lfs | ffs | lfs:tier[:FAST%][:promote=N] | shard[:N][:by_hash|by_subtree] \
-   (e.g. lfs:tier:25, lfs:tier:25:promote=2, shard:4, shard:2:by_subtree)"
+  "lfs | ffs | lfs:heads=N | lfs:tier[:FAST%][:promote=N] | \
+   shard[:N][:by_hash|by_subtree] (e.g. lfs:heads=2, lfs:tier:25, \
+   lfs:tier:25:promote=2, shard:4, shard:2:by_subtree)"
 
 let parse_promote s =
   match String.split_on_char '=' s with
   | [ "promote"; n ] -> int_of_string_opt n
+  | _ -> None
+
+let parse_heads s =
+  match String.split_on_char '=' s with
+  | [ "heads"; n ] -> int_of_string_opt n
   | _ -> None
 
 let parse ?(default_shards = 4) s =
@@ -29,6 +36,11 @@ let parse ?(default_shards = 4) s =
   match String.split_on_char ':' s with
   | [ "lfs" ] -> Ok Lfs
   | [ "ffs" ] -> Ok Ffs
+  | [ "lfs"; kv ] when parse_heads kv <> None -> (
+      match parse_heads kv with
+      | Some n when n >= 1 && n <= 8 -> Ok (Heads { heads = n })
+      | Some n -> Error (Printf.sprintf "log heads %d outside 1..8" n)
+      | None -> Error usage)
   | "lfs" :: "tier" :: rest -> (
       let pct, rest =
         match rest with
@@ -67,6 +79,7 @@ let parse ?(default_shards = 4) s =
 let to_string = function
   | Lfs -> "lfs"
   | Ffs -> "ffs"
+  | Heads { heads } -> Printf.sprintf "lfs:heads=%d" heads
   | Tier { fast_pct; promote_reads } ->
       if promote_reads > 0 then
         Printf.sprintf "lfs:tier:%d:promote=%d" fast_pct promote_reads
@@ -110,6 +123,10 @@ let fresh ?shards ~blocks spec =
   match spec with
   | Lfs -> Fsops.fresh_lfs (Geometry.wren_iv ~blocks)
   | Ffs -> Fsops.fresh_ffs (Geometry.wren_iv ~blocks)
+  | Heads { heads } ->
+      let config = { Config.default with Config.log_heads = heads } in
+      let name = Printf.sprintf "Sprite LFS (%d heads)" heads in
+      { (Fsops.fresh_lfs ~config (Geometry.wren_iv ~blocks)) with name }
   | Tier { fast_pct; promote_reads } ->
       (* Equal total capacity: [fast_pct]% of the volume on a flash-class
          device, the rest on the paper's Wren IV — the timing asymmetry

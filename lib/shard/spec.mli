@@ -7,6 +7,9 @@
     {v
     lfs                    the log-structured file system
     ffs                    the FFS baseline
+    lfs:heads=N            multi-head LFS: N log write heads (hot/cold
+                           segregation; fresh data to head 0, cleaner
+                           survivors to colder heads)
     lfs:tier               tiered LFS: 25% fast tier, no promotion
     lfs:tier:P             P% of the capacity on the fast tier
     lfs:tier:P:promote=N   promote a slow segment after N reads
@@ -23,6 +26,7 @@
 type t =
   | Lfs
   | Ffs
+  | Heads of { heads : int }
   | Tier of { fast_pct : int; promote_reads : int }
   | Shard of { shards : int; policy : Shard_router.policy }
 

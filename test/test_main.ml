@@ -17,6 +17,7 @@ let () =
       Test_sim.suite;
       Test_workload.suite;
       Test_crashtest.suite;
+      Test_heads.suite;
       Test_tier.suite;
       Test_model.suite;
       Test_shard.suite;

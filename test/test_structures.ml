@@ -409,9 +409,7 @@ let ckpt_fixture =
   {
     Checkpoint.timestamp = 42.0;
     log_seq = 7;
-    cur_seg = 2;
-    cur_off = 13;
-    next_seg = 5;
+    heads = [| { Checkpoint.cur_seg = 2; cur_off = 13; next_seg = 5 } |];
     imap_addrs = [| 100; 101; Types.nil_addr |];
     usage_addrs = [| 200 |];
   }
@@ -437,6 +435,27 @@ let test_checkpoint_roundtrip () =
   | None -> Alcotest.fail "should read back");
   Alcotest.(check bool) "other region invalid" true
     (Checkpoint.read ckpt_layout (Helpers.vdev disk) ~region:1 = None)
+
+let test_checkpoint_multihead_roundtrip () =
+  (* Divergent per-head positions must survive the region encoding. *)
+  let disk = Helpers.fresh_disk () in
+  let fixture =
+    {
+      ckpt_fixture with
+      Checkpoint.heads =
+        [|
+          { Checkpoint.cur_seg = 2; cur_off = 13; next_seg = 5 };
+          { Checkpoint.cur_seg = 9; cur_off = 1; next_seg = 11 };
+          { Checkpoint.cur_seg = 4; cur_off = 15; next_seg = Types.nil_addr };
+        |];
+      imap_addrs = Array.make ckpt_layout.Layout.imap_blocks 33;
+      usage_addrs = Array.make ckpt_layout.Layout.usage_blocks 44;
+    }
+  in
+  Checkpoint.write ckpt_layout (Helpers.vdev disk) ~region:0 fixture;
+  match Checkpoint.read ckpt_layout (Helpers.vdev disk) ~region:0 with
+  | Some c -> Alcotest.(check bool) "heads roundtrip" true (c = fixture)
+  | None -> Alcotest.fail "should read back"
 
 let test_checkpoint_latest_wins () =
   let disk = Helpers.fresh_disk () in
@@ -563,6 +582,8 @@ let suite =
       Alcotest.test_case "dirlog splits blocks" `Quick test_dirlog_splits_blocks;
       Alcotest.test_case "dirlog empty" `Quick test_dirlog_empty;
       Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+      Alcotest.test_case "checkpoint multi-head roundtrip" `Quick
+        test_checkpoint_multihead_roundtrip;
       Alcotest.test_case "checkpoint latest wins" `Quick test_checkpoint_latest_wins;
       Alcotest.test_case "checkpoint torn write" `Quick test_checkpoint_torn_write_invalid;
       QCheck_alcotest.to_alcotest prop_inode_roundtrip;
